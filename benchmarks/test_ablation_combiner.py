@@ -1,0 +1,92 @@
+"""Ablation X3 — the k-means combiner (Section VI related work).
+
+The paper describes the Zhao et al. speed-up: a combiner sums each map
+task's points locally so "the communication cost ... is null" — only one
+tiny partial-sum record per (mapper, cluster) crosses the shuffle
+instead of every trace.  This bench quantifies that on the 66 MB
+corpus: shuffle bytes, reduce input records and simulated time, with and
+without the combiner.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_runner, write_report
+from repro.algorithms.kmeans import run_kmeans_mapreduce
+from repro.mapreduce.counters import STANDARD
+
+K = 11
+
+
+@pytest.fixture(scope="module")
+def combiner_runs(corpus_66mb):
+    array, _ = corpus_66mb
+    init = array.coordinates()[
+        np.random.default_rng(3).choice(len(array), K, replace=False)
+    ]
+    out = {}
+    for use_combiner in (False, True):
+        runner = make_runner(array, n_workers=5, chunk_mb=64)
+        res = run_kmeans_mapreduce(
+            runner,
+            "input/traces",
+            K,
+            max_iter=1,
+            initial_centroids=init,
+            use_combiner=use_combiner,
+            workdir="km",
+        )
+        out[use_combiner] = res
+    plain = out[False].history[0]
+    combined = out[True].history[0]
+    ratio = plain.shuffle_bytes / max(combined.shuffle_bytes, 1)
+    lines = [
+        "Ablation X3 - k-means combiner (66 MB corpus, k=11, 1 iteration)",
+        f"{'variant':<12} {'shuffle bytes':>14} {'sim s':>7}",
+        f"{'no combiner':<12} {plain.shuffle_bytes:>14,} {plain.sim_seconds:>7.1f}",
+        f"{'combiner':<12} {combined.shuffle_bytes:>14,} {combined.sim_seconds:>7.1f}",
+        f"shuffle reduction: {ratio:,.0f}x",
+    ]
+    print(write_report("ablation_combiner", lines))
+    return out
+
+
+def test_combiner_cuts_shuffle_volume(combiner_runs):
+    plain = combiner_runs[False].history[0]
+    combined = combiner_runs[True].history[0]
+    ratio = plain.shuffle_bytes / max(combined.shuffle_bytes, 1)
+    # Map tasks x k tiny records vs ~16 bytes per trace.
+    assert ratio > 1000
+
+
+def test_combiner_does_not_change_centroids(combiner_runs):
+    a = combiner_runs[False].centroids
+    b = combiner_runs[True].centroids
+    assert np.abs(a - b).max() < 1e-9
+
+
+def test_combiner_never_slower_in_sim_time(combiner_runs):
+    assert (
+        combiner_runs[True].history[0].sim_seconds
+        <= combiner_runs[False].history[0].sim_seconds + 0.5
+    )
+
+
+def test_benchmark_combiner_iteration(benchmark, corpus_66mb, combiner_runs):
+    """Wall-clock of one combiner-enabled MR k-means iteration.
+
+    Depends on ``combiner_runs`` so a ``--benchmark-only`` run still
+    generates the X3 ablation report.
+    """
+    array, _ = corpus_66mb
+    init = array.coordinates()[:K]
+
+    def run():
+        runner = make_runner(array, n_workers=5, chunk_mb=64, path="b/in")
+        return run_kmeans_mapreduce(
+            runner, "b/in", K, max_iter=1, initial_centroids=init,
+            use_combiner=True, workdir="b/km",
+        )
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.history

@@ -1,0 +1,96 @@
+"""Ablation — speculative execution (Hadoop straggler mitigation).
+
+When one chunk is much larger than the rest (a straggler), Hadoop can
+launch a duplicate attempt on another node and take whichever finishes
+first.  This bench builds a skewed chunk distribution over the modelled
+cluster and measures the simulated map-phase makespan with and without
+speculation.  (In this simulator task durations are deterministic, so
+the duplicate only wins when it starts early enough on a faster path —
+the bench asserts speculation never hurts and reports what it buys.)
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.scheduler import plan_map_phase
+from repro.mapreduce.simtime import CostModel
+from repro.mapreduce.types import ArrayPayload, Chunk
+from repro.geo.trace import TraceArray
+
+
+def _chunk(cid, n_traces, replicas):
+    arr = TraceArray.from_columns(
+        ["u"], np.zeros(n_traces), np.zeros(n_traces), np.arange(n_traces, dtype=float)
+    )
+    return Chunk(cid, ArrayPayload(arr, record_bytes=64), replicas=tuple(replicas))
+
+
+@pytest.fixture(scope="module")
+def skewed_plan():
+    """One 10x straggler chunk pinned (with its replicas) to a single
+    slow-path node, plus uniform small chunks."""
+    cluster = paper_cluster(4)
+    workers = [n.name for n in cluster.tasktrackers()]
+    chunks = [_chunk("c-big", 600_000, [workers[0]])]
+    chunks += [_chunk(f"c-{i}", 60_000, [workers[(i + 1) % len(workers)]]) for i in range(10)]
+    model = CostModel()
+
+    def time_fn(chunk, locality):
+        # Exaggerate the straggler: its home node reads slowly.
+        base = model.map_task_time(chunk, locality)
+        return base * (3.0 if chunk.chunk_id == "c-big" and locality == "node_local" else 1.0)
+
+    plain = plan_map_phase(chunks, cluster, time_fn, speculative=False)
+    spec = plan_map_phase(chunks, cluster, time_fn, speculative=True, straggler_factor=1.3)
+    lines = [
+        "Ablation - speculative execution on a skewed chunk distribution",
+        f"{'variant':<16} {'makespan s':>11} {'attempts':>9}",
+        f"{'no speculation':<16} {plain.makespan:>11.2f} {len(plain.assignments):>9}",
+        f"{'speculation':<16} {spec.makespan:>11.2f} {len(spec.assignments):>9}",
+    ]
+    print(write_report("ablation_speculation", lines))
+    return plain, spec
+
+
+def test_speculation_never_hurts(skewed_plan):
+    plain, spec = skewed_plan
+    assert spec.makespan <= plain.makespan + 1e-9
+
+
+def test_speculation_duplicates_the_straggler(skewed_plan):
+    _, spec = skewed_plan
+    dupes = [a for a in spec.assignments if a.speculative]
+    assert dupes
+    # The big chunk is the defining straggler; it must be re-attempted
+    # (late-wave small tasks may legitimately speculate too).
+    assert any(a.chunk.chunk_id == "c-big" for a in dupes)
+
+
+def test_speculation_improves_makespan_here(skewed_plan):
+    """With the straggler's duplicate on a fast node, the win is real."""
+    plain, spec = skewed_plan
+    assert spec.makespan < plain.makespan * 0.9
+
+
+def test_benchmark_speculative_planning(benchmark, skewed_plan):
+    """Wall-clock of planning a 500-chunk skewed map phase with
+    speculation enabled.  Depends on ``skewed_plan`` so a
+    ``--benchmark-only`` run still generates the speculation report."""
+    cluster = paper_cluster(8)
+    workers = [n.name for n in cluster.tasktrackers()]
+    chunks = [
+        _chunk(f"b-{i}", 30_000 + (i % 7) * 20_000, [workers[i % len(workers)]])
+        for i in range(500)
+    ]
+    model = CostModel()
+    plan = benchmark(
+        plan_map_phase,
+        chunks,
+        cluster,
+        lambda c, loc: model.map_task_time(c, loc),
+        True,
+        True,
+    )
+    assert len(plan.assignments) >= 500

@@ -1,0 +1,61 @@
+"""Figures 2-3 — the two representative-selection techniques.
+
+Figure 2 keeps the trace closest to the *upper limit* of each time
+window; Figure 3 keeps the trace closest to the *middle*.  This bench
+verifies the two techniques pick the documented representatives, that
+they disagree on real data, and times the vectorized kernel at the full
+2 M-trace scale.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.sampling import sample_array
+from repro.geo.trace import TraceArray
+
+
+def test_fig23_technique_semantics():
+    """The paper's worked situation: traces through one window."""
+    ts = np.array([2.0, 14.0, 27.0, 44.0, 58.0])
+    arr = TraceArray.from_columns(["u"], np.arange(5.0), np.zeros(5), ts)
+    upper = sample_array(arr, 60.0, "upper")
+    middle = sample_array(arr, 60.0, "middle")
+    assert list(upper.timestamp) == [58.0]  # closest to 60 (Fig. 2)
+    assert list(middle.timestamp) == [27.0]  # closest to 30 (Fig. 3)
+
+
+@pytest.fixture(scope="module")
+def technique_comparison(corpus_128mb):
+    array, _ = corpus_128mb
+    upper = sample_array(array, 60.0, "upper").sort_by_time()
+    middle = sample_array(array, 60.0, "middle").sort_by_time()
+    differs = float(np.mean(upper.timestamp != middle.timestamp))
+    lines = [
+        "Figures 2-3 - sampling technique comparison (1-min windows)",
+        f"representatives: {len(upper):,} windows",
+        f"upper vs middle picked a different trace in {differs:.0%} of windows",
+    ]
+    print(write_report("fig23_sampling_techniques", lines))
+    return upper, middle, differs
+
+
+def test_fig23_disagreement_rate(technique_comparison):
+    upper, middle, differs = technique_comparison
+    # Same windows -> same cardinality.
+    assert len(upper) == len(middle)
+    # Dense 1-5 s logs: the end-of-window and mid-window traces almost
+    # always differ.
+    assert differs > 0.5
+
+
+@pytest.mark.parametrize("technique", ["upper", "middle"])
+def test_benchmark_sampling_kernel(benchmark, corpus_128mb, technique_comparison, technique):
+    """Vectorized single-pass sampling over ~2 M traces.
+
+    Depends on ``technique_comparison`` so a ``--benchmark-only`` run
+    still generates the Figures 2-3 report.
+    """
+    array, _ = corpus_128mb
+    out = benchmark(sample_array, array, 60.0, technique)
+    assert 0 < len(out) < len(array)

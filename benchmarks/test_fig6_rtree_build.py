@@ -1,0 +1,121 @@
+"""Figure 6 — three-phase MapReduce R-tree construction (Section VII-C).
+
+Phase 1 samples curve scalars to pick partition boundaries; phase 2
+builds one small R-tree per partition; phase 3 merges them.  The paper
+implemented both Z-order and Hilbert space-filling curves as the
+locality-preserving partitioning function — this bench builds with both,
+compares partition balance (the property the curve choice affects),
+verifies the merged index answers exactly like a locally built one, and
+times the full pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_runner, write_report
+from repro.algorithms.sampling import sample_array
+from repro.index.rtree import RTree
+from repro.index.rtree_mr import build_rtree_mapreduce
+
+
+@pytest.fixture(scope="module")
+def indexed_corpus(corpus_128mb):
+    array, _ = corpus_128mb
+    return sample_array(array, 60.0)  # Table I scale: ~100-200k points
+
+
+@pytest.fixture(scope="module")
+def builds(indexed_corpus):
+    out = {}
+    for curve in ("zorder", "hilbert"):
+        runner = make_runner(indexed_corpus, n_workers=5, chunk_mb=1, path="in")
+        out[curve] = build_rtree_mapreduce(
+            runner, "in", n_partitions=8, curve=curve, workdir=f"rt/{curve}"
+        )
+    lines = ["Figure 6 - MapReduce R-tree construction (8 partitions)"]
+    for curve, res in out.items():
+        sizes = sorted(res.partition_sizes.values())
+        lines.append(
+            f"{curve:<8} points={len(res.tree):,} partitions={sizes} "
+            f"balance={res.balance_ratio:.3f} "
+            f"sim={res.sim_seconds:.1f}s (phase1 {res.phase1_sim_seconds:.1f} + "
+            f"phase2 {res.phase2_sim_seconds:.1f})"
+        )
+    print(write_report("fig6_rtree_build", lines))
+    return out
+
+
+def test_fig6_both_curves_index_everything(builds, indexed_corpus):
+    for res in builds.values():
+        assert len(res.tree) == len(indexed_corpus)
+
+
+def test_fig6_partitions_balanced(builds):
+    """Quantile boundaries over curve scalars give near-equal partitions
+    for both curves (the design goal of the partitioning function)."""
+    for curve, res in builds.items():
+        assert res.balance_ratio < 1.3, f"{curve} unbalanced: {res.balance_ratio:.2f}"
+
+
+def test_fig6_merged_tree_query_equivalence(builds, indexed_corpus):
+    local = RTree.bulk_load(indexed_corpus.coordinates())
+    for curve, res in builds.items():
+        for radius in (200.0, 2000.0):
+            got = set(res.tree.query_radius(39.9042, 116.4074, radius).tolist())
+            want = set(local.query_radius(39.9042, 116.4074, radius).tolist())
+            assert got == want, f"{curve} tree answers differ at r={radius}"
+
+
+@pytest.fixture(scope="module")
+def curve_ablation(indexed_corpus):
+    """Mean partition MBR area per curve — the locality ablation."""
+    from repro.index.spacefilling import hilbert_key, zorder_key
+
+    pts = indexed_corpus.coordinates()[:50_000]
+    bounds = (
+        pts[:, 0].min(), pts[:, 1].min(), pts[:, 0].max(), pts[:, 1].max()
+    )
+
+    def mean_partition_area(curve_fn):
+        keys = curve_fn(pts[:, 0], pts[:, 1], bounds, 16)
+        order = np.argsort(keys)
+        areas = []
+        for part in np.array_split(order, 16):
+            p = pts[part]
+            areas.append(
+                (p[:, 0].max() - p[:, 0].min()) * (p[:, 1].max() - p[:, 1].min())
+            )
+        return float(np.mean(areas))
+
+    hilbert_area = mean_partition_area(hilbert_key)
+    zorder_area = mean_partition_area(zorder_key)
+    lines = [
+        "Space-filling-curve ablation - mean partition MBR area (deg^2)",
+        f"zorder : {zorder_area:.6f}",
+        f"hilbert: {hilbert_area:.6f}",
+        f"hilbert/zorder: {hilbert_area / zorder_area:.3f}",
+    ]
+    print(write_report("fig6_curve_ablation", lines))
+    return hilbert_area, zorder_area
+
+
+def test_fig6_curve_locality_metric(curve_ablation):
+    """Hilbert preserves locality at least as well as Z-order: mean
+    spatial spread (MBR area) of equal-size partitions is no worse."""
+    hilbert_area, zorder_area = curve_ablation
+    assert hilbert_area <= zorder_area * 1.10
+
+
+def test_benchmark_rtree_build(benchmark, indexed_corpus, builds, curve_ablation):
+    """Wall-clock of the full three-phase build (Hilbert).
+
+    Depends on ``builds`` and ``curve_ablation`` so a ``--benchmark-only``
+    run still generates the Figure 6 reports.
+    """
+
+    def run():
+        runner = make_runner(indexed_corpus, n_workers=5, chunk_mb=1, path="b/in")
+        return build_rtree_mapreduce(runner, "b/in", n_partitions=8, workdir="b/rt")
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(res.tree) == len(indexed_corpus)

@@ -1,0 +1,86 @@
+"""X4 — cluster-size scaling of the sampling job (Section V).
+
+The paper ran sampling over the full 18 GB GeoLife corpus on 61 nodes:
+282 chunks of 64 MB, ~4-5 map tasks per node (~2-3 waves over 122
+slots), completing in 1 min 48 s.  We model the 18 GB input by inflating
+the per-record on-disk size (the computation still processes the real
+2 M traces; the cost model sees 282 x 64 MB chunks) and sweep the worker
+count.  Expected shape: simulated completion time falls hyperbolically
+with workers as waves shrink, flattening once every chunk runs in the
+first wave.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner, write_report
+from repro.algorithms.sampling import run_sampling_job
+
+WORKER_COUNTS = [5, 15, 30, 61, 141]
+
+
+@pytest.fixture(scope="module")
+def scaling(corpus_128mb):
+    array, _ = corpus_128mb
+    # Model the 18 GB corpus: inflate per-record bytes so the namenode
+    # sees ~282 chunks of 64 MB over the real traces.
+    record_bytes = int(18 * 2**30 / len(array))
+    rows = []
+    for workers in WORKER_COUNTS:
+        runner = make_runner(
+            array, n_workers=workers, chunk_mb=64, record_bytes=record_bytes
+        )
+        n_chunks = len(runner.hdfs.chunks("input/traces"))
+        res = run_sampling_job(runner, "input/traces", "out", 60.0)
+        rows.append((workers, n_chunks, res.map_plan.waves, res.sim_seconds))
+    lines = [
+        "X4 - sampling the modelled 18 GB corpus vs cluster size",
+        "(paper: 61 nodes, 282 chunks, ~4-5 maps/node, 108 s)",
+        f"{'workers':>8} {'chunks':>7} {'waves':>6} {'sim s':>8}",
+    ]
+    for workers, chunks, waves, sim in rows:
+        lines.append(f"{workers:>8} {chunks:>7} {waves:>6} {sim:>8.1f}")
+    print(write_report("scaling_nodes", lines))
+    return rows
+
+
+def test_scaling_shape(scaling):
+    assert len(scaling) == len(WORKER_COUNTS)
+
+
+def test_scaling_monotone(scaling):
+    sims = [row[3] for row in scaling]
+    assert all(b <= a + 1e-6 for a, b in zip(sims, sims[1:])), sims
+    # Strict speed-up while waves are shrinking.
+    assert sims[0] > sims[-1]
+
+
+def test_chunk_count_matches_paper(scaling):
+    # 2 M traces x 9 KB / 64 MB ~ 270-300 chunks (paper: 282).
+    n_chunks = scaling[0][1]
+    assert 250 <= n_chunks <= 310
+
+
+def test_61_node_run_in_paper_ballpark(scaling):
+    """Paper: 1 min 48 s = 108 s on 61 nodes."""
+    row = next(r for r in scaling if r[0] == 61)
+    assert row[3] == pytest.approx(108.0, abs=45.0)
+
+
+def test_benchmark_61_node_sampling(benchmark, corpus_128mb, scaling):
+    """Wall-clock of the 61-node modelled-18GB sampling run.
+
+    Depends on ``scaling`` so a ``--benchmark-only`` run still generates
+    the X4 scaling report.
+    """
+    array, _ = corpus_128mb
+    record_bytes = int(18 * 2**30 / len(array))
+
+    def run():
+        runner = make_runner(
+            array, n_workers=61, chunk_mb=64, record_bytes=record_bytes,
+            path="b/in",
+        )
+        return run_sampling_job(runner, "b/in", "b/out", 60.0)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.sim_seconds > 0

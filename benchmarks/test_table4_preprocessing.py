@@ -1,0 +1,95 @@
+"""Table IV — DJ-Cluster preprocessing reduction (Section VII-A, Fig. 5).
+
+Paper (GeoLife sampled datasets; speed threshold 0.72 km/h = 0.2 m/s):
+
+    sampling  unfiltered  after speed filter  after dedup
+    1 min       155,260        86,416            85,743
+    5 min        41,263        23,996            23,894
+    10 min       23,596        14,207            14,174
+
+Reproduction: the 178-user corpus sampled at the same three rates, then
+pushed through the two pipelined map-only preprocessing jobs.  Expected
+shape: the speed filter removes the moving ~half of the traces (the
+paper keeps 56-60%), while duplicate removal shaves a further sliver.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner, write_report
+from repro.algorithms.djcluster import DJClusterParams, run_preprocessing_pipeline
+from repro.algorithms.sampling import sample_array
+
+PAPER = {
+    "1 min": (155_260, 86_416, 85_743),
+    "5 min": (41_263, 23_996, 23_894),
+    "10 min": (23_596, 14_207, 14_174),
+}
+WINDOWS = {"1 min": 60.0, "5 min": 300.0, "10 min": 600.0}
+PARAMS = DJClusterParams()  # 0.2 m/s threshold, as in the paper
+
+
+@pytest.fixture(scope="module")
+def preprocessing_counts(corpus_128mb):
+    array, _ = corpus_128mb
+    rows = {}
+    for label, window in WINDOWS.items():
+        sampled = sample_array(array, window)
+        runner = make_runner(sampled, n_workers=5, chunk_mb=4, path="in")
+        result = run_preprocessing_pipeline(runner, "in", PARAMS, workdir="pre")
+        rows[label] = (
+            len(sampled),
+            runner.hdfs.file_records("pre/stationary"),
+            runner.hdfs.file_records("pre/preprocessed"),
+            result.sim_seconds,
+        )
+    lines = [
+        "Table IV - traces remaining after the preprocessing phase",
+        f"{'rate':<7} {'paper: unf/filt/dedup':>26} {'measured: unf/filt/dedup':>30}",
+    ]
+    for label, paper in PAPER.items():
+        unf, filt, dedup, _sim = rows[label]
+        lines.append(
+            f"{label:<7} {paper[0]:>8,}/{paper[1]:>7,}/{paper[2]:>7,} "
+            f"{unf:>10,}/{filt:>8,}/{dedup:>8,}"
+        )
+    lines.append("")
+    for label, (_, _, _, sim) in rows.items():
+        lines.append(f"pipeline simulated time ({label}): {sim:.1f}s (2 chained jobs)")
+    print(write_report("table4_preprocessing", lines))
+    return rows
+
+
+def test_table4_reproduction(preprocessing_counts):
+    for label, (unf, filt, dedup, _) in preprocessing_counts.items():
+        paper_unf, paper_filt, paper_dedup = PAPER[label]
+        kept_paper = paper_filt / paper_unf
+        kept_ours = filt / unf
+        # Speed filter keeps roughly the paper's stationary share.
+        assert abs(kept_ours - kept_paper) < 0.25, (
+            f"{label}: filter keeps {kept_ours:.0%} vs paper {kept_paper:.0%}"
+        )
+        # Dedup is the minor second filter in both.
+        dedup_frac_ours = (filt - dedup) / filt
+        assert dedup_frac_ours < 0.2
+        assert (unf - filt) > (filt - dedup), "filter must dominate dedup"
+
+
+def test_figure5_pipelined_jobs(preprocessing_counts, corpus_128mb):
+    """Figure 5 — two map-only jobs in pipeline: job 2 reads job 1's
+    output, and counts are monotonically non-increasing."""
+    for unf, filt, dedup, _ in preprocessing_counts.values():
+        assert unf >= filt >= dedup > 0
+
+
+def test_benchmark_preprocessing(benchmark, corpus_128mb, preprocessing_counts):
+    """Wall-clock of the vectorized preprocessing kernels at 1-min scale.
+
+    Depends on ``preprocessing_counts`` so a ``--benchmark-only`` run
+    still generates the Table IV reproduction report.
+    """
+    from repro.algorithms.djcluster import preprocess_array
+
+    array, _ = corpus_128mb
+    sampled = sample_array(array, 60.0)
+    stationary, deduped = benchmark(preprocess_array, sampled, PARAMS)
+    assert len(deduped) <= len(stationary) <= len(sampled)

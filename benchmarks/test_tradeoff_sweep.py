@@ -1,0 +1,93 @@
+"""Extension bench — the privacy/utility trade-off sweep.
+
+GEPETO's whole purpose: "evaluate various sanitization algorithms and
+inference attacks as well as ... the resulting trade-off between privacy
+and utility".  This bench sweeps Gaussian mask strength on a 12-user
+corpus, runs the POI inference attack on each release, and asserts the
+trade-off laws: attack success falls monotonically-ish with noise, while
+distortion rises monotonically — the frontier a curator navigates.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.djcluster import DJClusterParams
+from repro.algorithms.sampling import sample_dataset
+from repro.attacks.poi import poi_attack
+from repro.geo.synthetic import SyntheticConfig, generate_dataset
+from repro.metrics.privacy import poi_recovery
+from repro.metrics.utility import range_query_error, utility_report
+from repro.sanitization import GaussianMask
+
+SIGMAS = [0.0, 50.0, 100.0, 200.0, 400.0]
+PARAMS = DJClusterParams(radius_m=80.0, min_pts=6)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    dataset, users = generate_dataset(SyntheticConfig(n_users=12, days=2, seed=2025))
+    baseline = sample_dataset(dataset, 60.0)
+    ground_truth = [p for u in users for p in u.pois]
+    rows = []
+    for sigma in SIGMAS:
+        released = (
+            baseline
+            if sigma == 0.0
+            else GaussianMask(sigma, seed=1).sanitize_dataset(baseline)
+        )
+        pois = []
+        for trail in released.trails():
+            pois.extend(poi_attack(trail, PARAMS))
+        recovery = poi_recovery(pois, ground_truth, match_radius_m=150.0)
+        utility = utility_report(baseline, released)
+        qerr = range_query_error(baseline, released)
+        rows.append((sigma, recovery.f1, utility.mean_distortion_m, qerr))
+    lines = [
+        "Extension - privacy/utility trade-off sweep (Gaussian mask)",
+        f"{'sigma_m':>8} {'poi_f1':>7} {'distort_m':>10} {'query_err':>10}",
+    ]
+    for sigma, f1, dist, qerr in rows:
+        lines.append(f"{sigma:>8.0f} {f1:>7.2f} {dist:>10.1f} {qerr:>10.2f}")
+    print(write_report("tradeoff_sweep", lines))
+    return rows
+
+
+def test_attack_success_decreases_with_noise(sweep):
+    f1s = [f1 for _, f1, _, _ in sweep]
+    assert f1s[0] > 0.5, "attack must work on clean data"
+    assert f1s[-1] < f1s[0] * 0.5, "heavy noise must defeat the attack"
+    # Near-monotone: allow one small inversion from clustering noise.
+    inversions = sum(1 for a, b in zip(f1s, f1s[1:]) if b > a + 0.05)
+    assert inversions <= 1
+
+
+def test_distortion_increases_with_noise(sweep):
+    dists = [d for _, _, d, _ in sweep]
+    assert dists[0] == 0.0
+    assert all(b >= a - 1e-9 for a, b in zip(dists, dists[1:]))
+
+
+def test_query_error_increases_with_noise(sweep):
+    qerrs = [q for *_, q in sweep]
+    assert qerrs[0] == 0.0
+    assert qerrs[-1] > qerrs[1]
+
+
+def test_benchmark_one_release_evaluation(benchmark, sweep):
+    """Wall-clock of evaluating one sanitized release end to end
+    (sanitize + attack + score).  Depends on ``sweep`` so a
+    ``--benchmark-only`` run still generates the trade-off report."""
+    dataset, users = generate_dataset(SyntheticConfig(n_users=4, days=1, seed=9))
+    baseline = sample_dataset(dataset, 60.0)
+    ground_truth = [p for u in users for p in u.pois]
+
+    def evaluate():
+        released = GaussianMask(150.0, seed=2).sanitize_dataset(baseline)
+        pois = []
+        for trail in released.trails():
+            pois.extend(poi_attack(trail, PARAMS))
+        return poi_recovery(pois, ground_truth, 150.0)
+
+    recovery = benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    assert recovery.n_true > 0

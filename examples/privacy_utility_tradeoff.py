@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The privacy/utility trade-off GEPETO exists to evaluate.
+
+Sweeps the geo-sanitization mechanisms from the paper's future-work list
+(Section VIII) — geographical masks, spatial aggregation, temporal
+aggregation, spatial cloaking, mix zones — and, for each sanitized
+release, measures:
+
+* privacy — how well the POI inference attack still recovers the true
+  POIs (precision / recall / F1), plus de-anonymization resistance;
+* utility — spatial distortion, trace volume and coverage retained.
+
+The output is the trade-off table a data curator would use to pick a
+mechanism.
+
+Run:  python examples/privacy_utility_tradeoff.py
+"""
+
+from repro import Gepeto
+from repro.algorithms.djcluster import DJClusterParams
+from repro.attacks.poi import poi_attack
+from repro.metrics.privacy import poi_recovery
+from repro.metrics.utility import utility_report
+from repro.metrics.utility import range_query_error
+from repro.sanitization import (
+    DonutMask,
+    GaussianMask,
+    PlanarLaplaceMask,
+    MixZone,
+    MixZoneSanitizer,
+    RoundingMask,
+    SpatialAggregator,
+    SpatialCloaking,
+    TemporalAggregator,
+    UniformNoiseMask,
+)
+
+
+def attack_all(gepeto: Gepeto, params: DJClusterParams):
+    """Run the POI attack on every trail, pooling the estimates."""
+    pois = []
+    for trail in gepeto.dataset.trails():
+        pois.extend(poi_attack(trail, params))
+    return pois
+
+
+def main() -> None:
+    gepeto, truth = Gepeto.synthetic(n_users=5, days=3, seed=99)
+    baseline = gepeto.sample(60.0)  # analysis granularity
+    params = DJClusterParams(radius_m=80.0, min_pts=6)
+    ground_truth = [p for user in truth for p in user.pois]
+
+    mechanisms = [
+        ("none (baseline)", None),
+        ("gaussian 50 m", GaussianMask(50.0, seed=1)),
+        ("gaussian 200 m", GaussianMask(200.0, seed=1)),
+        ("gaussian 500 m", GaussianMask(500.0, seed=1)),
+        ("uniform 300 m", UniformNoiseMask(300.0, seed=1)),
+        ("donut 100-300 m", DonutMask(100.0, 300.0, seed=1)),
+        ("laplace eps=.01", PlanarLaplaceMask(0.01, seed=1)),
+        ("rounding 500 m", RoundingMask(500.0)),
+        ("aggregate 300 m", SpatialAggregator(300.0)),
+        ("sample 10 min", TemporalAggregator(600.0)),
+        ("cloaking k=3", SpatialCloaking(k=3, base_cell_m=500.0, window_s=3600.0)),
+        (
+            "mix zones x3",
+            MixZoneSanitizer(
+                [
+                    MixZone(39.9042, 116.4074, 2000.0),
+                    MixZone(39.95, 116.45, 1500.0),
+                    MixZone(39.86, 116.35, 1500.0),
+                ],
+                seed=1,
+            ),
+        ),
+    ]
+
+    header = (
+        f"{'mechanism':<18} {'poi_prec':>8} {'poi_rec':>8} {'poi_f1':>7} "
+        f"{'distort_m':>10} {'volume':>7} {'coverage':>9} {'query_err':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, sanitizer in mechanisms:
+        released = baseline if sanitizer is None else baseline.sanitize(sanitizer)
+        recovery = poi_recovery(attack_all(released, params), ground_truth, 150.0)
+        utility = utility_report(baseline.dataset, released.dataset)
+        query_err = range_query_error(baseline.dataset, released.dataset)
+        distortion = (
+            f"{utility.mean_distortion_m:10.1f}"
+            if utility.mean_distortion_m == utility.mean_distortion_m  # not NaN
+            else "   (n/a)  "
+        )
+        print(
+            f"{name:<18} {recovery.precision:8.2f} {recovery.recall:8.2f} "
+            f"{recovery.f1:7.2f} {distortion} {utility.volume_ratio:7.2f} "
+            f"{utility.coverage:9.2f} {query_err:10.2f}"
+        )
+
+    print(
+        "\nReading: stronger mechanisms push POI recall down (more privacy)"
+        "\nwhile distortion rises and volume/coverage fall (less utility)."
+        "\nThe curator picks the row matching their release's risk budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Semantic trajectories: from coordinates to a life narrative (Section II).
+
+"From this semantic information the adversary can derive a clearer
+understanding about the interests of an individual."  This example
+segments a synthetic user's raw GPS log into stays and trips, groups the
+stays into places, labels each place by its visit-time signature and
+prints the *semantic trail* — the day reconstructed as
+home → work → lunch → work → home, plus the Song-et-al. predictability
+of the visit sequence.
+
+Run:  python examples/semantic_trajectories.py
+"""
+
+import datetime as dt
+
+import numpy as np
+
+from repro import Gepeto
+from repro.attacks.semantics import label_places
+from repro.geo.distance import haversine_m
+from repro.geo.trajectory import segment_trail
+from repro.metrics.predictability import predictability_report
+
+
+def main() -> None:
+    gepeto, truth = Gepeto.synthetic(n_users=1, days=4, seed=77)
+    user = truth[0]
+    trail = gepeto.dataset.trail(user.user_id)
+    print(f"Raw log: {len(trail):,} GPS fixes over 4 days\n")
+
+    # 1. Stay/trip segmentation.
+    stays, trips = segment_trail(trail, roam_radius_m=100, min_stay_s=600)
+    total_dwell = sum(s.duration_s for s in stays) / 3600.0
+    total_travel = sum(t.duration_s for t in trips) / 3600.0
+    print(
+        f"Segmentation: {len(stays)} stays ({total_dwell:.1f} h dwelling), "
+        f"{len(trips)} trips ({total_travel:.1f} h travelling)\n"
+    )
+
+    # 2. Places with semantic labels.
+    places, visits = label_places(trail, min_stay_s=600)
+    print(f"{'label':<9} {'visits':>6} {'dwell_h':>8} {'night%':>7} {'work%':>6} {'truth'}")
+    print("-" * 60)
+    for p in sorted(places, key=lambda p: -p.total_dwell_s):
+        nearest = min(
+            user.pois,
+            key=lambda poi: float(haversine_m(p.latitude, p.longitude, poi.latitude, poi.longitude)),
+        )
+        d = float(haversine_m(p.latitude, p.longitude, nearest.latitude, nearest.longitude))
+        truth_note = f"{nearest.label} ({d:.0f} m)" if d < 200 else "-"
+        print(
+            f"{p.label:<9} {p.n_visits:>6} {p.total_dwell_s / 3600:>8.1f} "
+            f"{p.night_fraction:>6.0%} {p.workhour_fraction:>5.0%}  {truth_note}"
+        )
+
+    # 3. The semantic trail: the user's days as a story.
+    print("\nSemantic trail (first 12 visits):")
+    for v in visits[:12]:
+        when = dt.datetime.fromtimestamp(v.start_ts, tz=dt.timezone.utc)
+        print(
+            f"  {when:%a %H:%M}  {v.label:<8} for {v.duration_s / 3600:.1f} h"
+        )
+
+    # 4. How predictable is this life?
+    seq = [v.place_index for v in visits]
+    report = predictability_report(np.array(seq))
+    print(
+        f"\nPredictability: S_real = {report.s_real:.2f} bits over "
+        f"{report.n_states} places -> Fano bound Pi_max = {report.pi_max:.0%}"
+    )
+    print(
+        "A sanitizer must break this structure, not just blur coordinates —"
+        "\nwhich is what GEPETO's privacy/utility evaluation quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

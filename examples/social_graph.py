@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Discovering social relations from co-location (Section II).
+
+"Two individuals that are in contact during a non-negligible amount of
+time share some kind of social link."  This example builds a small
+population with planted relationships — two couples sharing homes and a
+pair of colleagues sharing an office — plus independent users, runs the
+co-location attack, and checks the inferred social graph against the
+planted edges.
+
+Run:  python examples/social_graph.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.attacks.social import ColocationParams, colocation_graph
+from repro.geo.synthetic import PointOfInterest, SyntheticConfig, generate_user
+from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
+
+
+def shifted_clone(trail: Trail, new_user: str, jitter_m: float = 4.0, seed: int = 0) -> Trail:
+    """A companion who moves with `trail` (same schedule, own GPS noise)."""
+    rng = np.random.default_rng(seed)
+    arr = trail.traces
+    sigma_deg = jitter_m / 111_320.0
+    return Trail(
+        new_user,
+        TraceArray.from_columns(
+            [new_user],
+            arr.latitude + rng.normal(0, sigma_deg, len(arr)),
+            arr.longitude + rng.normal(0, sigma_deg, len(arr)),
+            arr.timestamp.copy(),
+        ),
+    )
+
+
+def main() -> None:
+    cfg = SyntheticConfig(n_users=8, days=2, seed=314)
+    trails = {}
+    for i in range(4):  # four independent "seed" users
+        user = generate_user(cfg, i)
+        trails[user.user_id] = user.trail
+
+    # Plant relationships: 000+100 and 001+101 are couples (shadow the
+    # whole day together); 002+102 are colleagues (together half the time:
+    # clone then keep only a window).
+    trails["100"] = shifted_clone(trails["000"], "100", seed=1)
+    trails["101"] = shifted_clone(trails["001"], "101", seed=2)
+    colleague = shifted_clone(trails["002"], "102", seed=3)
+    arr = colleague.traces
+    lo, hi = arr.time_span()
+    window = arr[(arr.timestamp >= lo) & (arr.timestamp <= lo + (hi - lo) * 0.5)]
+    trails["102"] = Trail("102", window)
+
+    dataset = GeolocatedDataset(trails.values())
+    print(f"Population: {dataset}")
+    planted = {("000", "100"), ("001", "101"), ("002", "102")}
+    print(f"Planted relationships: {sorted(planted)}\n")
+
+    params = ColocationParams(contact_radius_m=50.0, window_s=300.0, min_contact_s=3600.0)
+    graph = colocation_graph(dataset, params)
+
+    print(f"{'pair':<14} {'contact hours':>13}")
+    for a, b, data in sorted(graph.edges(data=True), key=lambda e: -e[2]["contact_s"]):
+        mark = "(planted)" if tuple(sorted((a, b))) in planted else "(incidental)"
+        print(f"{a}-{b:<10} {data['contact_s'] / 3600.0:>13.1f}  {mark}")
+
+    inferred = {tuple(sorted(e)) for e in graph.edges}
+    recall = len(inferred & planted) / len(planted)
+    precision = len(inferred & planted) / len(inferred) if inferred else 0.0
+    print(f"\nrecall of planted edges:    {recall:.0%}")
+    print(f"precision of inferred edges: {precision:.0%}")
+    print(f"graph density: {nx.density(graph):.3f} over {graph.number_of_nodes()} users")
+    print(
+        "\nThe attack needs only coarse (5-minute, 50 m) co-location —"
+        "\nanother reason location traces are sensitive beyond the individual."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""GEPETO-MR: MapReduce-based privacy analysis of mobility traces.
+
+A reproduction of *"MapReducing GEPETO or Towards Conducting a Privacy
+Analysis on Millions of Mobility Traces"* (Gambs, Killijian, Moise,
+Nunez del Prado Cortez - IPDPSW 2013).
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.geo` - mobility-trace data model, distances, GeoLife I/O,
+  synthetic corpus generation;
+* :mod:`repro.mapreduce` - the simulated Hadoop substrate (HDFS,
+  scheduler, shuffle, combiners, failures, cost model);
+* :mod:`repro.index` - R-trees and space-filling curves, including the
+  three-phase MapReduce R-tree construction;
+* :mod:`repro.algorithms` - the paper's MapReduced GEPETO algorithms:
+  sampling, k-means, DJ-Cluster;
+* :mod:`repro.attacks` - POI extraction, Mobility Markov Chains,
+  prediction, de-anonymization;
+* :mod:`repro.sanitization` - geographical masks, aggregation, spatial
+  cloaking, mix zones;
+* :mod:`repro.metrics` - privacy and utility measurement;
+* :mod:`repro.toolkit` - the :class:`~repro.toolkit.Gepeto` facade.
+"""
+
+from repro.toolkit import Gepeto, GepetoCluster
+
+__version__ = "1.0.0"
+
+__all__ = ["Gepeto", "GepetoCluster", "__version__"]

@@ -1,0 +1,221 @@
+"""Mobility Markov Chains (the paper's first planned extension).
+
+"A MMC represents in a compact way the mobility behavior of an individual
+and can be used to predict his future locations or even to perform
+de-anonymization attacks" (Section VIII).  States are the individual's
+POIs; transitions count observed moves between consecutive POI visits.
+
+The chain is built from a trail by snapping each trace to its nearest POI
+(within an attachment radius), collapsing consecutive repeats into visits
+and counting visit-to-visit transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.distance import haversine_m
+from repro.geo.trace import Trail, TraceArray
+
+__all__ = ["MobilityMarkovChain", "build_mmc", "mmc_distance", "visit_sequence"]
+
+
+@dataclass
+class MobilityMarkovChain:
+    """A Markov chain over an individual's POIs.
+
+    ``states`` is an (n, 2) array of POI coordinates; ``transitions`` is a
+    row-stochastic (n, n) matrix (rows with no observations are uniform).
+    """
+
+    states: np.ndarray
+    transitions: np.ndarray
+    visit_counts: np.ndarray
+    labels: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.states)
+        if self.transitions.shape != (n, n):
+            raise ValueError("transition matrix shape mismatch")
+        if not np.allclose(self.transitions.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition matrix rows must sum to 1")
+        if not self.labels:
+            self.labels = [f"state_{i}" for i in range(n)]
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def predict_next(self, state: int) -> int:
+        """Most likely next state from ``state``."""
+        if not 0 <= state < self.n_states:
+            raise IndexError(f"state {state} out of range")
+        return int(np.argmax(self.transitions[state]))
+
+    def next_distribution(self, state: int) -> np.ndarray:
+        return self.transitions[state].copy()
+
+    def stationary_distribution(self, tol: float = 1e-12, max_iter: int = 10_000) -> np.ndarray:
+        """Long-run visit distribution via power iteration.
+
+        Starts from the empirical visit frequencies so reducible chains
+        converge to the component actually visited.
+        """
+        total = self.visit_counts.sum()
+        pi = (
+            self.visit_counts / total
+            if total > 0
+            else np.full(self.n_states, 1.0 / self.n_states)
+        )
+        for _ in range(max_iter):
+            nxt = pi @ self.transitions
+            if np.abs(nxt - pi).max() < tol:
+                return nxt
+            pi = nxt
+        return pi
+
+    def log_likelihood(self, sequence: np.ndarray) -> float:
+        """Log2-likelihood of a visit sequence under this chain.
+
+        The model-quality score for held-out evaluation: higher (less
+        negative) means the chain explains the sequence better.  A
+        transition with probability 0 yields ``-inf`` (use smoothing when
+        building the chain to avoid it).
+        """
+        seq = np.asarray(sequence, dtype=np.int64)
+        if len(seq) < 2:
+            return 0.0
+        if seq.min() < 0 or seq.max() >= self.n_states:
+            raise IndexError("sequence contains out-of-range states")
+        probs = self.transitions[seq[:-1], seq[1:]]
+        with np.errstate(divide="ignore"):
+            return float(np.sum(np.log2(probs)))
+
+    def simulate(self, start: int, steps: int, seed: int = 0) -> np.ndarray:
+        """Generate a synthetic visit sequence (for what-if analyses)."""
+        rng = np.random.default_rng(seed)
+        seq = np.empty(steps + 1, dtype=np.int64)
+        seq[0] = start
+        state = start
+        for i in range(1, steps + 1):
+            state = int(rng.choice(self.n_states, p=self.transitions[state]))
+            seq[i] = state
+        return seq
+
+
+def visit_sequence(
+    array: TraceArray, poi_coords: np.ndarray, attach_radius_m: float = 200.0
+) -> np.ndarray:
+    """Trail -> sequence of visited POI indices.
+
+    Each trace snaps to its nearest POI if within ``attach_radius_m``
+    (otherwise it is transit and ignored); consecutive repeats collapse
+    into a single visit.
+    """
+    if len(poi_coords) == 0 or len(array) == 0:
+        return np.empty(0, dtype=np.int64)
+    ordered = array.sort_by_time()
+    lat = ordered.latitude[:, None]
+    lon = ordered.longitude[:, None]
+    dists = haversine_m(lat, lon, poi_coords[None, :, 0], poi_coords[None, :, 1])
+    nearest = np.argmin(dists, axis=1)
+    within = dists[np.arange(len(nearest)), nearest] <= attach_radius_m
+    attached = nearest[within]
+    if len(attached) == 0:
+        return np.empty(0, dtype=np.int64)
+    change = np.ones(len(attached), dtype=bool)
+    change[1:] = attached[1:] != attached[:-1]
+    return attached[change]
+
+
+def build_mmc(
+    trail: Trail | TraceArray,
+    poi_coords: np.ndarray,
+    attach_radius_m: float = 200.0,
+    labels: list[str] | None = None,
+    smoothing: float = 0.0,
+) -> MobilityMarkovChain:
+    """Build an MMC over the given POIs from a trail.
+
+    ``smoothing`` adds Laplace pseudo-counts to every transition, which
+    keeps the chain irreducible for prediction tasks on sparse data.
+    """
+    poi_coords = np.asarray(poi_coords, dtype=np.float64)
+    if poi_coords.ndim != 2 or poi_coords.shape[1] != 2:
+        raise ValueError("poi_coords must be an (n, 2) array")
+    if len(poi_coords) == 0:
+        raise ValueError("an MMC needs at least one state")
+    array = trail.traces if isinstance(trail, Trail) else trail
+    seq = visit_sequence(array, poi_coords, attach_radius_m)
+    n = len(poi_coords)
+    counts = np.full((n, n), float(smoothing))
+    if len(seq) >= 2:
+        np.add.at(counts, (seq[:-1], seq[1:]), 1.0)
+    visit_counts = np.bincount(seq, minlength=n).astype(np.float64)
+    row_sums = counts.sum(axis=1, keepdims=True)
+    transitions = np.where(row_sums > 0, counts / np.where(row_sums == 0, 1, row_sums), 1.0 / n)
+    return MobilityMarkovChain(
+        states=poi_coords.copy(),
+        transitions=transitions,
+        visit_counts=visit_counts,
+        labels=list(labels) if labels else [],
+    )
+
+
+def _match_states(a: MobilityMarkovChain, b: MobilityMarkovChain, max_dist_m: float) -> list[tuple[int, int]]:
+    """Greedy nearest-pair matching of two chains' POI sets."""
+    if a.n_states == 0 or b.n_states == 0:
+        return []
+    d = haversine_m(
+        a.states[:, None, 0], a.states[:, None, 1],
+        b.states[None, :, 0], b.states[None, :, 1],
+    )
+    d = np.atleast_2d(d)
+    pairs: list[tuple[int, int]] = []
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    order = np.argsort(d, axis=None)
+    for flat in order:
+        i, j = np.unravel_index(flat, d.shape)
+        if d[i, j] > max_dist_m:
+            break
+        if i in used_a or j in used_b:
+            continue
+        pairs.append((int(i), int(j)))
+        used_a.add(int(i))
+        used_b.add(int(j))
+    return pairs
+
+
+def mmc_distance(
+    a: MobilityMarkovChain,
+    b: MobilityMarkovChain,
+    max_match_dist_m: float = 500.0,
+    unmatched_penalty: float = 1.0,
+) -> float:
+    """Dissimilarity between two mobility fingerprints (lower = closer).
+
+    States are matched greedily by spatial proximity; matched states
+    contribute the absolute difference of their stationary probabilities
+    plus the L1 gap between their outgoing transition rows (restricted to
+    matched columns); unmatched stationary mass pays ``unmatched_penalty``.
+    This is the linking-attack scoring function.
+    """
+    pairs = _match_states(a, b, max_match_dist_m)
+    pi_a = a.stationary_distribution()
+    pi_b = b.stationary_distribution()
+    matched_a = {i for i, _ in pairs}
+    matched_b = {j for _, j in pairs}
+    score = 0.0
+    for i, j in pairs:
+        score += abs(pi_a[i] - pi_b[j])
+        # Compare transition rows over the common matched state space.
+        for i2, j2 in pairs:
+            score += abs(a.transitions[i, i2] - b.transitions[j, j2]) * pi_a[i]
+    score += unmatched_penalty * float(
+        sum(pi_a[i] for i in range(a.n_states) if i not in matched_a)
+        + sum(pi_b[j] for j in range(b.n_states) if j not in matched_b)
+    )
+    return float(score)

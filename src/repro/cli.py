@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front-end over the :class:`~repro.toolkit.Gepeto` facade so a
+data curator can run the standard workflow — generate/load, inspect,
+sample, attack, sanitize — without writing Python.  Datasets on disk use
+the GeoLife directory layout (``<root>/<user>/Trajectory/*.plt``).
+
+Commands
+--------
+``generate``   synthesize a GeoLife-like corpus to a directory
+``info``       corpus statistics (users, traces, span, bounding box)
+``visualize``  ASCII density map
+``sample``     temporal down-sampling (Section V)
+``attack``     the POI inference attack (Section VII + labelling)
+``sanitize``   apply a geo-sanitization mechanism
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import sys
+from pathlib import Path
+
+from repro.algorithms.djcluster import DJClusterParams
+from repro.attacks.poi import poi_attack
+from repro.geo.geolife import read_geolife_dataset, write_geolife_dataset
+from repro.geo.synthetic import SyntheticConfig, generate_dataset
+from repro.sanitization import (
+    DonutMask,
+    GaussianMask,
+    PlanarLaplaceMask,
+    Pseudonymizer,
+    RoundingMask,
+    SpatialAggregator,
+    SpatialCloaking,
+    TemporalAggregator,
+    UniformNoiseMask,
+)
+from repro.viz import ascii_density_map, cluster_summary_table
+
+__all__ = ["main", "build_parser", "parse_mechanism"]
+
+
+def parse_mechanism(spec: str):
+    """Parse a ``name:param`` mechanism spec into a Sanitizer.
+
+    Supported: ``gaussian:<sigma_m>``, ``uniform:<radius_m>``,
+    ``donut:<r_min>-<r_max>``, ``rounding:<cell_m>``,
+    ``aggregate:<cell_m>``, ``sample:<window_s>``, ``cloak:<k>``,
+    ``pseudonymize[:<seed>]``.
+    """
+    name, _, arg = spec.partition(":")
+    name = name.strip().lower()
+    try:
+        if name == "donut":
+            r_min, _, r_max = arg.partition("-")
+            return DonutMask(float(r_min), float(r_max))
+        if name == "laplace":
+            return PlanarLaplaceMask(float(arg))
+        if name == "gaussian":
+            return GaussianMask(float(arg))
+        if name == "uniform":
+            return UniformNoiseMask(float(arg))
+        if name == "rounding":
+            return RoundingMask(float(arg))
+        if name == "aggregate":
+            return SpatialAggregator(float(arg))
+        if name == "sample":
+            return TemporalAggregator(float(arg))
+        if name == "cloak":
+            return SpatialCloaking(k=int(arg))
+        if name == "pseudonymize":
+            return Pseudonymizer(seed=int(arg) if arg else 0)
+    except ValueError as exc:
+        raise SystemExit(f"bad mechanism parameter in {spec!r}: {exc}")
+    raise SystemExit(
+        f"unknown mechanism {name!r}; known: gaussian, uniform, donut, "
+        "laplace, rounding, aggregate, sample, cloak, pseudonymize"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GEPETO-MR: privacy analysis of mobility traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a GeoLife-like corpus")
+    gen.add_argument("--out", required=True, help="output directory (GeoLife layout)")
+    gen.add_argument("--users", type=int, default=5)
+    gen.add_argument("--days", type=int, default=2)
+    gen.add_argument("--seed", type=int, default=2013)
+
+    info = sub.add_parser("info", help="corpus statistics")
+    info.add_argument("--in", dest="input", required=True)
+    info.add_argument(
+        "--detailed",
+        action="store_true",
+        help="add radius of gyration and logging-interval statistics",
+    )
+
+    viz = sub.add_parser("visualize", help="ASCII density map")
+    viz.add_argument("--in", dest="input", required=True)
+    viz.add_argument("--width", type=int, default=72)
+    viz.add_argument("--height", type=int, default=24)
+
+    samp = sub.add_parser("sample", help="temporal down-sampling (Section V)")
+    samp.add_argument("--in", dest="input", required=True)
+    samp.add_argument("--out", required=True)
+    samp.add_argument("--window", type=float, default=60.0, help="seconds")
+    samp.add_argument("--technique", choices=["upper", "middle"], default="upper")
+
+    atk = sub.add_parser("attack", help="POI inference attack (Section VII)")
+    atk.add_argument("--in", dest="input", required=True)
+    atk.add_argument("--user", help="restrict to one user id")
+    atk.add_argument("--radius", type=float, default=100.0, help="metres")
+    atk.add_argument("--min-pts", type=int, default=10)
+    atk.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also label places semantically (home/work/lunch/leisure)",
+    )
+
+    san = sub.add_parser("sanitize", help="apply a geo-sanitization mechanism")
+    san.add_argument("--in", dest="input", required=True)
+    san.add_argument("--out", required=True)
+    san.add_argument(
+        "--mechanism",
+        required=True,
+        help="e.g. gaussian:200, rounding:500, sample:600, cloak:3, pseudonymize:7",
+    )
+    return parser
+
+
+def _load(path: str):
+    dataset = read_geolife_dataset(path)
+    if dataset.num_users() == 0:
+        raise SystemExit(f"no GeoLife data found under {path}")
+    return dataset
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        dataset, users = generate_dataset(
+            SyntheticConfig(n_users=args.users, days=args.days, seed=args.seed)
+        )
+        written = write_geolife_dataset(dataset, args.out)
+        print(
+            f"wrote {len(dataset):,} traces for {dataset.num_users()} users "
+            f"({len(written)} PLT files) under {args.out}"
+        )
+        return 0
+
+    if args.command == "info":
+        dataset = _load(args.input)
+        flat = dataset.flat()
+        lo, hi = flat.time_span()
+        bbox = flat.bounding_box()
+        print(f"users:  {dataset.num_users()}")
+        print(f"traces: {len(flat):,}")
+        print(
+            "span:   "
+            f"{_dt.datetime.fromtimestamp(lo, tz=_dt.timezone.utc):%Y-%m-%d %H:%M} .. "
+            f"{_dt.datetime.fromtimestamp(hi, tz=_dt.timezone.utc):%Y-%m-%d %H:%M} UTC"
+        )
+        print(f"bbox:   lat [{bbox[0]:.4f}, {bbox[2]:.4f}]  lon [{bbox[1]:.4f}, {bbox[3]:.4f}]")
+        if args.detailed:
+            from repro.geo.stats import corpus_summary, user_stats
+
+            summary = corpus_summary(dataset)
+            print(
+                f"median r_g: {summary['median_rg_m']:,.0f} m  "
+                f"(p90 {summary['p90_rg_m']:,.0f} m); "
+                f"median log interval: {summary['median_interval_s']:.1f} s"
+            )
+            for user in dataset.user_ids:
+                s = user_stats(dataset.trail(user))
+                print(
+                    f"  user {user}: {s.n_traces:,} traces, "
+                    f"r_g {s.radius_of_gyration_m:,.0f} m, "
+                    f"interval {s.median_interval_s:.1f} s"
+                )
+        else:
+            for user in dataset.user_ids:
+                print(f"  user {user}: {len(dataset.trail(user)):,} traces")
+        return 0
+
+    if args.command == "visualize":
+        dataset = _load(args.input)
+        print(ascii_density_map(dataset, width=args.width, height=args.height))
+        return 0
+
+    if args.command == "sample":
+        from repro.algorithms.sampling import sample_dataset
+
+        dataset = _load(args.input)
+        sampled = sample_dataset(dataset, args.window, args.technique)
+        write_geolife_dataset(sampled, args.out)
+        print(
+            f"sampled {len(dataset):,} -> {len(sampled):,} traces "
+            f"(window {args.window:.0f}s, {args.technique}) -> {args.out}"
+        )
+        return 0
+
+    if args.command == "attack":
+        dataset = _load(args.input)
+        params = DJClusterParams(radius_m=args.radius, min_pts=args.min_pts)
+        users = [args.user] if args.user else dataset.user_ids
+        for user in users:
+            if user not in dataset:
+                raise SystemExit(f"unknown user {user!r}")
+            pois = poi_attack(dataset.trail(user), params)
+            print(f"\nuser {user}: {len(pois)} POIs")
+            if pois:
+                print(cluster_summary_table(pois))
+            if args.semantic:
+                from repro.attacks.semantics import label_places
+
+                places, visits = label_places(dataset.trail(user))
+                print(f"semantic places ({len(visits)} visits):")
+                for p in sorted(places, key=lambda p: -p.total_dwell_s):
+                    print(
+                        f"  {p.label:<8} at ({p.latitude:.5f}, {p.longitude:.5f}) "
+                        f"{p.n_visits} visits, {p.total_dwell_s / 3600:.1f} h"
+                    )
+        return 0
+
+    if args.command == "sanitize":
+        dataset = _load(args.input)
+        sanitizer = parse_mechanism(args.mechanism)
+        released = sanitizer.sanitize_dataset(dataset)
+        write_geolife_dataset(released, args.out)
+        print(
+            f"applied {sanitizer!r}: {len(dataset):,} -> "
+            f"{len(released.flat()):,} traces -> {args.out}"
+        )
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""GeoLife PLT on-disk format (Figure 1 of the paper).
+
+The GeoLife GPS-trajectory corpus stores one trajectory per ``.plt`` file,
+grouped in a per-user directory layout::
+
+    <root>/<user_id>/Trajectory/<yyyymmddHHMMSS>.plt
+
+Each PLT file starts with six header lines (ignored by all parsers) followed
+by one line per mobility trace::
+
+    latitude,longitude,0,altitude,days,date,time
+
+where
+
+* ``latitude``/``longitude`` are decimal degrees,
+* the third field is always ``0`` and "has no meaning for this dataset",
+* ``altitude`` is in feet (``-777`` when invalid),
+* ``days`` is the timestamp as fractional days elapsed since 1899-12-30
+  (the Excel/OLE epoch), and
+* ``date``/``time`` repeat the timestamp as ``yyyy-mm-dd`` / ``HH:MM:SS``
+  strings.
+
+This module reads and writes that exact format so the toolkit operates on
+byte-compatible inputs, and so the synthetic generator can serialize its
+output as a drop-in GeoLife replacement.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import io
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
+
+__all__ = [
+    "GEOLIFE_EPOCH",
+    "PLT_HEADER",
+    "parse_plt_line",
+    "format_plt_line",
+    "read_plt",
+    "write_plt",
+    "read_geolife_dataset",
+    "write_geolife_dataset",
+    "unix_to_ole_days",
+    "ole_days_to_unix",
+]
+
+#: The PLT "days" field counts days since this epoch (1899-12-30 00:00 UTC).
+GEOLIFE_EPOCH = _dt.datetime(1899, 12, 30, tzinfo=_dt.timezone.utc)
+
+#: Seconds between the OLE epoch and the Unix epoch.
+_EPOCH_OFFSET_S = -GEOLIFE_EPOCH.timestamp()
+
+#: The six header lines every PLT file begins with (verbatim from GeoLife).
+PLT_HEADER = (
+    "Geolife trajectory\n"
+    "WGS 84\n"
+    "Altitude is in Feet\n"
+    "Reserved 3\n"
+    "0,2,255,My Track,0,0,2,8421376\n"
+    "0\n"
+)
+
+
+def unix_to_ole_days(timestamp: float | np.ndarray) -> float | np.ndarray:
+    """Convert a Unix timestamp (s) to fractional days since 1899-12-30."""
+    return (np.asarray(timestamp, dtype=np.float64) + _EPOCH_OFFSET_S) / 86400.0
+
+
+def ole_days_to_unix(days: float | np.ndarray) -> float | np.ndarray:
+    """Convert fractional days since 1899-12-30 to a Unix timestamp (s)."""
+    return np.asarray(days, dtype=np.float64) * 86400.0 - _EPOCH_OFFSET_S
+
+
+def parse_plt_line(line: str) -> tuple[float, float, float, float]:
+    """Parse one PLT record into ``(lat, lon, altitude, unix_timestamp)``.
+
+    The timestamp is taken from the ``days`` field (field 5), which carries
+    full sub-second precision; the date/time string fields are redundant.
+    """
+    parts = line.rstrip("\n").split(",")
+    if len(parts) != 7:
+        raise ValueError(f"malformed PLT line ({len(parts)} fields): {line!r}")
+    lat = float(parts[0])
+    lon = float(parts[1])
+    alt = float(parts[3])
+    ts = float(ole_days_to_unix(float(parts[4])))
+    return lat, lon, alt, ts
+
+
+def format_plt_line(lat: float, lon: float, alt: float, timestamp: float) -> str:
+    """Format one trace as a PLT record line (without trailing newline)."""
+    days = float(unix_to_ole_days(timestamp))
+    when = _dt.datetime.fromtimestamp(round(timestamp), tz=_dt.timezone.utc)
+    return (
+        f"{lat:.6f},{lon:.6f},0,{alt:.0f},{days:.10f},"
+        f"{when:%Y-%m-%d},{when:%H:%M:%S}"
+    )
+
+
+def read_plt(source: str | Path | io.TextIOBase, user_id: str) -> Trail:
+    """Read a single PLT trajectory file into a :class:`Trail`.
+
+    ``source`` may be a path or an open text stream.  Lines that do not
+    parse (e.g. the six-line header) are skipped only within the header
+    region; malformed body lines raise.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_plt(fh, user_id)
+    lines = source.read().splitlines()
+    body = lines[6:]  # the fixed six-line header
+    n = len(body)
+    lat = np.empty(n)
+    lon = np.empty(n)
+    alt = np.empty(n)
+    ts = np.empty(n)
+    for i, line in enumerate(body):
+        lat[i], lon[i], alt[i], ts[i] = parse_plt_line(line)
+    arr = TraceArray.from_columns([user_id], lat, lon, ts, alt)
+    return Trail(user_id, arr.sort_by_time())
+
+
+def write_plt(trail: Trail, target: str | Path | io.TextIOBase) -> None:
+    """Write a trail as one PLT file (header + one record per trace)."""
+    if isinstance(target, (str, Path)):
+        Path(target).parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as fh:
+            write_plt(trail, fh)
+        return
+    target.write(PLT_HEADER)
+    arr = trail.traces
+    lat, lon, alt, ts = arr.latitude, arr.longitude, arr.altitude, arr.timestamp
+    for i in range(len(arr)):
+        target.write(format_plt_line(lat[i], lon[i], alt[i], ts[i]))
+        target.write("\n")
+
+
+def read_geolife_dataset(root: str | Path, user_ids: Iterable[str] | None = None) -> GeolocatedDataset:
+    """Read a GeoLife-layout directory tree into a :class:`GeolocatedDataset`.
+
+    ``root`` contains one directory per user; each user directory contains a
+    ``Trajectory/`` folder of ``.plt`` files.  ``user_ids`` optionally
+    restricts which users to load.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"GeoLife root not found: {root}")
+    wanted = set(user_ids) if user_ids is not None else None
+    ds = GeolocatedDataset()
+    for user_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        user = user_dir.name
+        if wanted is not None and user not in wanted:
+            continue
+        traj_dir = user_dir / "Trajectory"
+        if not traj_dir.is_dir():
+            continue
+        for plt_file in sorted(traj_dir.glob("*.plt")):
+            trail = read_plt(plt_file, user)
+            if len(trail):
+                ds.add_trail(trail)
+    return ds
+
+
+def write_geolife_dataset(dataset: GeolocatedDataset, root: str | Path) -> list[Path]:
+    """Write a dataset in GeoLife directory layout; returns written paths.
+
+    Each trail becomes a single PLT file named from its first timestamp,
+    matching GeoLife's ``yyyymmddHHMMSS.plt`` convention.
+    """
+    root = Path(root)
+    written: list[Path] = []
+    for trail in dataset.trails():
+        first = _dt.datetime.fromtimestamp(
+            trail.traces.timestamp[0], tz=_dt.timezone.utc
+        )
+        path = root / trail.user_id / "Trajectory" / f"{first:%Y%m%d%H%M%S}.plt"
+        write_plt(trail, path)
+        written.append(path)
+    return written

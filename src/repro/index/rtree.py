@@ -1,0 +1,544 @@
+"""R-tree spatial index (Guttman 1984) over mobility-trace coordinates.
+
+"R-Trees are data structures commonly used for indexing multidimensional
+data ... At the leaf level each rectangle contains only a single datapoint
+while higher levels aggregate an increasing number of datapoints.  When
+querying an R-Tree only the bounding rectangles intersecting the current
+query are traversed." (Section VII-C.)
+
+This implementation provides both construction paths the reproduction
+needs:
+
+* **STR bulk load** (:meth:`RTree.bulk_load`) — sort-tile-recursive
+  packing, used by the MapReduce phase-2 reducers to index a partition;
+* **dynamic insert** with Guttman's quadratic split (:meth:`RTree.insert`)
+  — the classic algorithm, used in tests as the reference behaviour;
+
+plus the queries DJ-Cluster needs: rectangle search, radius search
+(metres, Haversine-refined) and k-nearest-neighbours, and the phase-3
+**merge** of small R-trees into a global index.
+
+Hot-path note: each internal node keeps its children's MBRs in one
+``(fanout, 4)`` NumPy array so that the overlap test per visited node is a
+single vectorized comparison, not a per-child Python loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geo.distance import haversine_m
+
+__all__ = ["Rect", "RTree", "DEFAULT_MAX_ENTRIES"]
+
+#: Default node fanout (Guttman's M).
+DEFAULT_MAX_ENTRIES = 32
+
+#: Metres per degree of latitude, for radius -> bounding-box conversion.
+_M_PER_DEG_LAT = 111_320.0
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle in (latitude, longitude) space."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.max_lat < self.min_lat or self.max_lon < self.min_lon:
+            raise ValueError(f"degenerate rect: {self}")
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "Rect":
+        """MBR of an (n, 2) array of (lat, lon) rows."""
+        if len(points) == 0:
+            raise ValueError("cannot bound zero points")
+        return cls(
+            float(points[:, 0].min()),
+            float(points[:, 1].min()),
+            float(points[:, 0].max()),
+            float(points[:, 1].max()),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )
+
+    def contains_point(self, lat: float, lon: float) -> bool:
+        return (
+            self.min_lat <= lat <= self.max_lat
+            and self.min_lon <= lon <= self.max_lon
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.min_lat, other.min_lat),
+            min(self.min_lon, other.min_lon),
+            max(self.max_lat, other.max_lat),
+            max(self.max_lon, other.max_lon),
+        )
+
+    def area(self) -> float:
+        return (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (Guttman's criterion)."""
+        return self.union(other).area() - self.area()
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.min_lat, self.min_lon, self.max_lat, self.max_lon])
+
+    def min_dist_m(self, lat: float, lon: float) -> float:
+        """Lower bound on the Haversine distance from a point to this rect.
+
+        Clamps the point into the rectangle and measures to the clamped
+        point — exact for points outside, zero inside.
+        """
+        clat = min(max(lat, self.min_lat), self.max_lat)
+        clon = min(max(lon, self.min_lon), self.max_lon)
+        return float(haversine_m(lat, lon, clat, clon))
+
+
+class _Node:
+    """Internal tree node: a leaf over points, or a parent over nodes."""
+
+    __slots__ = ("is_leaf", "ids", "points", "children", "mbr")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.ids: np.ndarray | None = None  # leaf: (n,) int64
+        self.points: np.ndarray | None = None  # leaf: (n, 2) float64
+        self.children: list[_Node] = []  # internal
+        self.mbr: Rect | None = None
+
+    def recompute_mbr(self) -> None:
+        if self.is_leaf:
+            self.mbr = Rect.of_points(self.points)
+        else:
+            mbr = self.children[0].mbr
+            for child in self.children[1:]:
+                mbr = mbr.union(child.mbr)
+            self.mbr = mbr
+
+    def child_mbrs(self) -> np.ndarray:
+        """(n_children, 4) array of child MBRs for vectorized pruning."""
+        return np.array([c.mbr.as_array() for c in self.children])
+
+    def n_entries(self) -> int:
+        return len(self.ids) if self.is_leaf else len(self.children)
+
+
+def _chunk_evenly(n: int, size: int) -> Iterator[slice]:
+    for start in range(0, n, size):
+        yield slice(start, min(start + size, n))
+
+
+class RTree:
+    """An R-tree over (latitude, longitude) points with integer ids."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 2:
+            raise ValueError("max_entries must be >= 2")
+        self.max_entries = max_entries
+        self.min_entries = max(1, max_entries // 2)
+        self._root: _Node | None = None
+        self._size = 0
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        points: np.ndarray,
+        ids: np.ndarray | None = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> "RTree":
+        """Sort-tile-recursive bulk load of an (n, 2) point array.
+
+        STR packs points into ``ceil(n/M)`` full leaves arranged in a
+        near-square tile grid: sort by latitude, cut into vertical slabs,
+        sort each slab by longitude, cut into leaves.  Upper levels pack
+        node centres the same way.
+        """
+        tree = cls(max_entries=max_entries)
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("points must be an (n, 2) array")
+        n = len(points)
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if len(ids) != n:
+                raise ValueError("ids length mismatch")
+        if n == 0:
+            return tree
+        leaves = tree._str_pack_leaves(points, ids)
+        tree._root = tree._build_upper_levels(leaves)
+        tree._size = n
+        return tree
+
+    def _str_pack_leaves(self, points: np.ndarray, ids: np.ndarray) -> list[_Node]:
+        m = self.max_entries
+        n = len(points)
+        n_leaves = -(-n // m)
+        n_slabs = max(1, int(math.ceil(math.sqrt(n_leaves))))
+        slab_size = n_slabs * m
+        order = np.argsort(points[:, 0], kind="stable")
+        leaves: list[_Node] = []
+        for slab in _chunk_evenly(n, slab_size):
+            slab_idx = order[slab]
+            slab_order = slab_idx[np.argsort(points[slab_idx, 1], kind="stable")]
+            for piece in _chunk_evenly(len(slab_order), m):
+                idx = slab_order[piece]
+                leaf = _Node(is_leaf=True)
+                leaf.ids = ids[idx].copy()
+                leaf.points = points[idx].copy()
+                leaf.recompute_mbr()
+                leaves.append(leaf)
+        return leaves
+
+    def _build_upper_levels(self, nodes: list[_Node]) -> _Node:
+        while len(nodes) > 1:
+            centers = np.array(
+                [
+                    (
+                        (c.mbr.min_lat + c.mbr.max_lat) / 2.0,
+                        (c.mbr.min_lon + c.mbr.max_lon) / 2.0,
+                    )
+                    for c in nodes
+                ]
+            )
+            m = self.max_entries
+            n_parents = -(-len(nodes) // m)
+            n_slabs = max(1, int(math.ceil(math.sqrt(n_parents))))
+            slab_size = n_slabs * m
+            order = np.argsort(centers[:, 0], kind="stable")
+            parents: list[_Node] = []
+            for slab in _chunk_evenly(len(nodes), slab_size):
+                slab_idx = order[slab]
+                slab_order = slab_idx[np.argsort(centers[slab_idx, 1], kind="stable")]
+                for piece in _chunk_evenly(len(slab_order), m):
+                    parent = _Node(is_leaf=False)
+                    parent.children = [nodes[i] for i in slab_order[piece]]
+                    parent.recompute_mbr()
+                    parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # -- dynamic insert (Guttman, quadratic split) -----------------------------
+    def insert(self, point_id: int, lat: float, lon: float) -> None:
+        """Insert one point, splitting overflowing nodes quadratically."""
+        if self._root is None:
+            leaf = _Node(is_leaf=True)
+            leaf.ids = np.array([point_id], dtype=np.int64)
+            leaf.points = np.array([[lat, lon]])
+            leaf.recompute_mbr()
+            self._root = leaf
+            self._size = 1
+            return
+        split = self._insert_into(self._root, point_id, lat, lon)
+        if split is not None:
+            new_root = _Node(is_leaf=False)
+            new_root.children = [self._root, split]
+            new_root.recompute_mbr()
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: _Node, point_id: int, lat: float, lon: float) -> _Node | None:
+        point_rect = Rect(lat, lon, lat, lon)
+        if node.is_leaf:
+            node.ids = np.append(node.ids, np.int64(point_id))
+            node.points = np.vstack([node.points, [lat, lon]])
+            node.recompute_mbr()
+            if len(node.ids) > self.max_entries:
+                return self._split_leaf(node)
+            return None
+        # ChooseLeaf: the child needing least enlargement (ties: least area).
+        best = min(
+            node.children,
+            key=lambda c: (c.mbr.enlargement(point_rect), c.mbr.area()),
+        )
+        split = self._insert_into(best, point_id, lat, lon)
+        if split is not None:
+            node.children.append(split)
+        node.recompute_mbr()
+        if len(node.children) > self.max_entries:
+            return self._split_internal(node)
+        return None
+
+    @staticmethod
+    def _quadratic_seeds(rects: list[Rect]) -> tuple[int, int]:
+        """PickSeeds: the pair wasting the most area if grouped together."""
+        worst, seeds = -1.0, (0, 1)
+        for i, j in itertools.combinations(range(len(rects)), 2):
+            waste = rects[i].union(rects[j]).area() - rects[i].area() - rects[j].area()
+            if waste > worst:
+                worst, seeds = waste, (i, j)
+        return seeds
+
+    def _distribute(self, rects: list[Rect]) -> tuple[list[int], list[int]]:
+        """Quadratic-split distribution of entry indices into two groups."""
+        i, j = self._quadratic_seeds(rects)
+        group_a, group_b = [i], [j]
+        mbr_a, mbr_b = rects[i], rects[j]
+        rest = [k for k in range(len(rects)) if k not in (i, j)]
+        for k in rest:
+            # Force the remainder into a group that must reach min_entries.
+            need_a = self.min_entries - len(group_a)
+            need_b = self.min_entries - len(group_b)
+            remaining = len(rects) - len(group_a) - len(group_b)
+            if need_a >= remaining:
+                group_a.append(k)
+                mbr_a = mbr_a.union(rects[k])
+                continue
+            if need_b >= remaining:
+                group_b.append(k)
+                mbr_b = mbr_b.union(rects[k])
+                continue
+            grow_a = mbr_a.enlargement(rects[k])
+            grow_b = mbr_b.enlargement(rects[k])
+            if (grow_a, mbr_a.area(), len(group_a)) <= (grow_b, mbr_b.area(), len(group_b)):
+                group_a.append(k)
+                mbr_a = mbr_a.union(rects[k])
+            else:
+                group_b.append(k)
+                mbr_b = mbr_b.union(rects[k])
+        return group_a, group_b
+
+    def _split_leaf(self, node: _Node) -> _Node:
+        rects = [
+            Rect(p[0], p[1], p[0], p[1]) for p in node.points
+        ]
+        group_a, group_b = self._distribute(rects)
+        sibling = _Node(is_leaf=True)
+        sibling.ids = node.ids[group_b].copy()
+        sibling.points = node.points[group_b].copy()
+        node.ids = node.ids[group_a].copy()
+        node.points = node.points[group_a].copy()
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    def _split_internal(self, node: _Node) -> _Node:
+        rects = [c.mbr for c in node.children]
+        group_a, group_b = self._distribute(rects)
+        sibling = _Node(is_leaf=False)
+        sibling.children = [node.children[i] for i in group_b]
+        node.children = [node.children[i] for i in group_a]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    # -- queries ------------------------------------------------------------
+    def query_rect(self, rect: Rect) -> np.ndarray:
+        """Ids of all points inside ``rect`` (inclusive bounds)."""
+        if self._root is None:
+            return np.empty(0, dtype=np.int64)
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        qarr = rect.as_array()
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                pts = node.points
+                mask = (
+                    (pts[:, 0] >= qarr[0])
+                    & (pts[:, 1] >= qarr[1])
+                    & (pts[:, 0] <= qarr[2])
+                    & (pts[:, 1] <= qarr[3])
+                )
+                if mask.any():
+                    out.append(node.ids[mask])
+            else:
+                mbrs = node.child_mbrs()
+                hit = ~(
+                    (mbrs[:, 0] > qarr[2])
+                    | (mbrs[:, 2] < qarr[0])
+                    | (mbrs[:, 1] > qarr[3])
+                    | (mbrs[:, 3] < qarr[1])
+                )
+                for i in np.flatnonzero(hit):
+                    stack.append(node.children[i])
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(out))
+
+    def query_radius(self, lat: float, lon: float, radius_m: float) -> np.ndarray:
+        """Ids of points within ``radius_m`` metres (Haversine) of a point.
+
+        A latitude/longitude bounding box prunes the tree; survivors are
+        refined with the exact Haversine distance.
+        """
+        if radius_m < 0:
+            raise ValueError("radius must be non-negative")
+        if self._root is None:
+            return np.empty(0, dtype=np.int64)
+        dlat = radius_m / _M_PER_DEG_LAT
+        cos_lat = max(math.cos(math.radians(lat)), 1e-9)
+        dlon = radius_m / (_M_PER_DEG_LAT * cos_lat)
+        rect = Rect(
+            max(lat - dlat, -90.0),
+            max(lon - dlon, -180.0),
+            min(lat + dlat, 90.0),
+            min(lon + dlon, 180.0),
+        )
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        qarr = rect.as_array()
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                pts = node.points
+                mask = (
+                    (pts[:, 0] >= qarr[0])
+                    & (pts[:, 1] >= qarr[1])
+                    & (pts[:, 0] <= qarr[2])
+                    & (pts[:, 1] <= qarr[3])
+                )
+                if mask.any():
+                    cand_pts = pts[mask]
+                    dist = haversine_m(lat, lon, cand_pts[:, 0], cand_pts[:, 1])
+                    keep = dist <= radius_m
+                    if np.any(keep):
+                        out.append(node.ids[mask][keep])
+            else:
+                mbrs = node.child_mbrs()
+                hit = ~(
+                    (mbrs[:, 0] > qarr[2])
+                    | (mbrs[:, 2] < qarr[0])
+                    | (mbrs[:, 1] > qarr[3])
+                    | (mbrs[:, 3] < qarr[1])
+                )
+                for i in np.flatnonzero(hit):
+                    stack.append(node.children[i])
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(out))
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest points as ``(id, haversine_metres)``, nearest
+        first.  Best-first search over node MBR min-distances."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if self._root is None:
+            return []
+        counter = itertools.count()
+        # Heap holds (min_dist, tiebreak, kind, payload).
+        heap: list[tuple[float, int, bool, object]] = [
+            (self._root.mbr.min_dist_m(lat, lon), next(counter), False, self._root)
+        ]
+        result: list[tuple[int, float]] = []
+        while heap and len(result) < k:
+            dist, _, is_point, payload = heapq.heappop(heap)
+            if is_point:
+                result.append((int(payload), dist))
+                continue
+            node: _Node = payload
+            if node.is_leaf:
+                dists = haversine_m(lat, lon, node.points[:, 0], node.points[:, 1])
+                for pid, d in zip(node.ids, np.atleast_1d(dists)):
+                    heapq.heappush(heap, (float(d), next(counter), True, int(pid)))
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (child.mbr.min_dist_m(lat, lon), next(counter), False, child),
+                    )
+        return result
+
+    # -- structure -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bounds(self) -> Rect | None:
+        return self._root.mbr if self._root is not None else None
+
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree, 1 for a single leaf)."""
+        h, node = 0, self._root
+        while node is not None:
+            h += 1
+            node = node.children[0] if not node.is_leaf else None
+        return h
+
+    def iter_entries(self) -> Iterator[tuple[int, float, float]]:
+        """All (id, lat, lon) entries, leaf order."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for pid, pt in zip(node.ids, node.points):
+                    yield int(pid), float(pt[0]), float(pt[1])
+            else:
+                stack.extend(node.children)
+
+    def check_invariants(self) -> None:
+        """Validate MBR containment and leaf-depth uniformity (tests)."""
+        if self._root is None:
+            return
+        depths: set[int] = set()
+
+        def visit(node: _Node, depth: int) -> None:
+            if node.is_leaf:
+                depths.add(depth)
+                assert node.mbr == Rect.of_points(node.points)
+            else:
+                mbr = node.children[0].mbr
+                for child in node.children:
+                    mbr = mbr.union(child.mbr)
+                    visit(child, depth + 1)
+                assert node.mbr == mbr, "internal MBR does not cover children"
+
+        visit(self._root, 0)
+        assert len(depths) == 1, f"leaves at different depths: {depths}"
+
+    # -- merging (Figure 6, phase 3) ------------------------------------------
+    @classmethod
+    def merge(cls, trees: Sequence["RTree"]) -> "RTree":
+        """Merge small R-trees into one global index.
+
+        When all inputs have equal height (the common case for STR-packed
+        equal-size partitions) their roots are packed under new upper
+        levels directly.  Mixed heights fall back to re-packing all leaf
+        nodes, which preserves the entries while keeping the tree balanced.
+        """
+        trees = [t for t in trees if t._root is not None]
+        if not trees:
+            return cls()
+        if len(trees) == 1:
+            return trees[0]
+        max_entries = trees[0].max_entries
+        merged = cls(max_entries=max_entries)
+        heights = {t.height() for t in trees}
+        if len(heights) == 1:
+            roots = [t._root for t in trees]
+            merged._root = merged._build_upper_levels(roots)
+        else:
+            leaves: list[_Node] = []
+            for t in trees:
+                stack = [t._root]
+                while stack:
+                    node = stack.pop()
+                    if node.is_leaf:
+                        leaves.append(node)
+                    else:
+                        stack.extend(node.children)
+            merged._root = merged._build_upper_levels(leaves)
+        merged._size = sum(len(t) for t in trees)
+        return merged

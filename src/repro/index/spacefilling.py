@@ -1,0 +1,181 @@
+"""Space-filling curves: Z-order (Morton) and Hilbert.
+
+The R-tree construction's partitioning function (Section VII-C) "has to
+map multidimensional datapoints into an ordered sequence of unidimensional
+values" while preserving data locality.  Both curves here map a point on a
+``2^order x 2^order`` grid to a single integer key in ``[0, 4^order)``:
+
+* **Z-order** interleaves the bits of the two grid coordinates — cheap,
+  decent locality, with the well-known "Z jumps" between quadrants;
+* **Hilbert** follows the Hilbert curve — slightly costlier, strictly
+  better locality (no long jumps), which yields better-balanced, more
+  compact partitions (the Figure 6 ablation bench measures exactly this).
+
+Everything is vectorized: keys for a million points are computed with a
+handful of NumPy passes (``order`` iterations for Hilbert), never a
+per-point Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "normalize_to_grid",
+    "morton_interleave",
+    "zorder_key",
+    "hilbert_key",
+    "hilbert_xy_from_key",
+    "CURVES",
+    "get_curve",
+    "DEFAULT_ORDER",
+]
+
+#: Default curve order: a 65536^2 grid, fine enough that city-scale data
+#: rarely collides.
+DEFAULT_ORDER = 16
+
+
+def normalize_to_grid(
+    x: np.ndarray,
+    y: np.ndarray,
+    bounds: tuple[float, float, float, float],
+    order: int = DEFAULT_ORDER,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map continuous coordinates into integer cells of a ``2^order`` grid.
+
+    ``bounds`` is ``(min_x, min_y, max_x, max_y)``.  Degenerate extents
+    (all points sharing one coordinate) collapse to cell 0 on that axis.
+    """
+    if not 1 <= order <= 31:
+        raise ValueError("order must be within [1, 31]")
+    min_x, min_y, max_x, max_y = bounds
+    if max_x < min_x or max_y < min_y:
+        raise ValueError("invalid bounds: max < min")
+    size = (1 << order) - 1
+    span_x = max_x - min_x
+    span_y = max_y - min_y
+    gx = np.zeros(len(np.atleast_1d(x)), dtype=np.uint64)
+    gy = np.zeros(len(np.atleast_1d(y)), dtype=np.uint64)
+    if span_x > 0:
+        fx = (np.asarray(x, dtype=np.float64) - min_x) / span_x
+        gx = np.clip(np.floor(fx * (size + 1)), 0, size).astype(np.uint64)
+    if span_y > 0:
+        fy = (np.asarray(y, dtype=np.float64) - min_y) / span_y
+        gy = np.clip(np.floor(fy * (size + 1)), 0, size).astype(np.uint64)
+    return gx, gy
+
+
+def morton_interleave(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+    """Interleave the bits of two uint arrays (x in even bits, y in odd).
+
+    Standard "part1by1" bit-spreading with 64-bit magic masks; supports
+    grid coordinates up to 31 bits.
+    """
+
+    def _part1by1(v: np.ndarray) -> np.ndarray:
+        v = v.astype(np.uint64)
+        v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+        v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+        v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+        v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
+        return v
+
+    return _part1by1(gx) | (_part1by1(gy) << np.uint64(1))
+
+
+def zorder_key(
+    x: np.ndarray,
+    y: np.ndarray,
+    bounds: tuple[float, float, float, float],
+    order: int = DEFAULT_ORDER,
+) -> np.ndarray:
+    """Z-order (Morton) key of each point, as uint64."""
+    gx, gy = normalize_to_grid(x, y, bounds, order)
+    return morton_interleave(gx, gy)
+
+
+def hilbert_key(
+    x: np.ndarray,
+    y: np.ndarray,
+    bounds: tuple[float, float, float, float],
+    order: int = DEFAULT_ORDER,
+) -> np.ndarray:
+    """Hilbert-curve key of each point, as uint64.
+
+    Vectorized form of the classic ``xy2d`` rotate-and-fold algorithm:
+    one pass per curve level over the whole arrays.
+    """
+    gx, gy = normalize_to_grid(x, y, bounds, order)
+    rx = np.zeros_like(gx)
+    ry = np.zeros_like(gy)
+    d = np.zeros_like(gx)
+    gx = gx.copy()
+    gy = gy.copy()
+    s = np.uint64(1 << (order - 1))
+    n = np.uint64(1 << order)
+    one = np.uint64(1)
+    zero = np.uint64(0)
+    while s > 0:
+        rx = np.where((gx & s) > 0, one, zero)
+        ry = np.where((gy & s) > 0, one, zero)
+        d += s * s * ((np.uint64(3) * rx) ^ ry)
+        # Rotate the quadrant so the curve stays continuous; the forward
+        # transform reflects within the full n x n grid (classic xy2d).
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        gx_f = np.where(flip, n - one - gx, gx)
+        gy_f = np.where(flip, n - one - gy, gy)
+        gx_new = np.where(swap, gy_f, gx_f)
+        gy_new = np.where(swap, gx_f, gy_f)
+        gx, gy = gx_new, gy_new
+        s = np.uint64(int(s) >> 1)
+    return d
+
+
+def hilbert_xy_from_key(
+    d: np.ndarray, order: int = DEFAULT_ORDER
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse Hilbert mapping (``d2xy``), vectorized; for property tests."""
+    d = np.asarray(d, dtype=np.uint64).copy()
+    gx = np.zeros_like(d)
+    gy = np.zeros_like(d)
+    t = d.copy()
+    one = np.uint64(1)
+    s = np.uint64(1)
+    top = np.uint64(1 << order)
+    while s < top:
+        rx = (t // np.uint64(2)) & one
+        ry = (t ^ rx) & one
+        # Rotate back.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        gx_f = np.where(flip, s - one - gx, gx)
+        gy_f = np.where(flip, s - one - gy, gy)
+        gx_r = np.where(swap, gy_f, gx_f)
+        gy_r = np.where(swap, gx_f, gy_f)
+        gx = gx_r + s * rx
+        gy = gy_r + s * ry
+        t = t // np.uint64(4)
+        s = np.uint64(int(s) << 1)
+    return gx, gy
+
+
+#: Registry of curve implementations by name (the paper tests both).
+CURVES: dict[str, Callable] = {
+    "zorder": zorder_key,
+    "hilbert": hilbert_key,
+}
+
+
+def get_curve(name: str) -> Callable:
+    """Look up a space-filling curve by name (``zorder`` / ``hilbert``)."""
+    key = name.strip().lower().replace("-", "").replace("_", "")
+    if key == "z":
+        key = "zorder"
+    if key not in CURVES:
+        raise KeyError(f"unknown curve {name!r}; known: {sorted(CURVES)}")
+    return CURVES[key]

@@ -1,0 +1,50 @@
+"""Distributed cache for read-only side data.
+
+Hadoop's distributed cache ships auxiliary files (here: the serialized
+R-tree used by DJ-Cluster's neighborhood mappers, or the current k-means
+centroids) to every tasktracker before the map phase starts.  Mappers read
+cached entries in ``setup``.  The cost model charges the broadcast once per
+tasktracker, not per task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.mapreduce.types import estimate_nbytes
+
+__all__ = ["DistributedCache"]
+
+
+class DistributedCache:
+    """Named read-only artifacts broadcast to all tasktrackers."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Any] = {}
+
+    def put(self, name: str, value: Any) -> None:
+        if name in self._entries:
+            raise KeyError(f"cache entry already exists: {name!r}")
+        self._entries[name] = value
+
+    def replace(self, name: str, value: Any) -> None:
+        """Overwrite an entry (e.g. centroids updated between iterations)."""
+        self._entries[name] = value
+
+    def get(self, name: str) -> Any:
+        if name not in self._entries:
+            raise KeyError(f"no such cache entry: {name!r}")
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def nbytes(self) -> int:
+        """Modelled broadcast payload size (for the cost model)."""
+        return sum(estimate_nbytes(v) for v in self._entries.values())

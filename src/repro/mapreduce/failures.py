@@ -1,0 +1,75 @@
+"""Failure injection and the task-retry policy.
+
+Hadoop's jobtracker monitors tasks and re-executes failed attempts (up to
+``mapred.map.max.attempts``, default 4), preferring a different node that
+holds a replica of the input chunk.  This module provides the injection
+half: a deterministic :class:`FailureInjector` the tests and ablation
+benches use to crash chosen task attempts, and the :class:`TaskFailure`
+exception the runner's retry loop catches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TaskFailure", "FailureInjector", "MAX_TASK_ATTEMPTS"]
+
+#: Hadoop's default maximum attempts per task before the job fails.
+MAX_TASK_ATTEMPTS = 4
+
+
+class TaskFailure(RuntimeError):
+    """Raised inside a task attempt to simulate a crash."""
+
+    def __init__(self, task_id: str, attempt: int, reason: str = "injected failure"):
+        super().__init__(f"task {task_id} attempt {attempt}: {reason}")
+        self.task_id = task_id
+        self.attempt = attempt
+        self.reason = reason
+
+
+@dataclass
+class FailureInjector:
+    """Decides which task attempts crash.
+
+    Two mechanisms compose:
+
+    * ``scripted`` — an explicit set of ``(task_id, attempt)`` pairs that
+      must fail (deterministic tests: "kill map-0003's first attempt").
+    * ``probability`` — each attempt independently fails with this
+      probability, drawn from a seeded generator (chaos-style integration
+      tests).
+
+    A task whose every attempt up to the retry limit fails aborts the job,
+    exactly as Hadoop gives up after ``max.attempts``.
+    """
+
+    scripted: set[tuple[str, int]] = field(default_factory=set)
+    probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+        # The thread-pool executor calls fail_attempt concurrently;
+        # Generator draws are not thread-safe.
+        self._lock = threading.Lock()
+
+    def fail_attempt(self, task_id: str, attempt: int) -> None:
+        """Raise :class:`TaskFailure` if this attempt is doomed."""
+        if (task_id, attempt) in self.scripted:
+            raise TaskFailure(task_id, attempt, "scripted failure")
+        if self.probability > 0.0:
+            with self._lock:
+                doomed = self._rng.random() < self.probability
+            if doomed:
+                raise TaskFailure(task_id, attempt, "random failure")
+
+    def script_failures(self, task_id: str, attempts: int) -> None:
+        """Schedule the first ``attempts`` attempts of a task to fail."""
+        for attempt in range(1, attempts + 1):
+            self.scripted.add((task_id, attempt))

@@ -1,0 +1,364 @@
+"""The job runner: executes a :class:`~repro.mapreduce.job.JobSpec`.
+
+Execution follows the Hadoop lifecycle from Section III end-to-end:
+
+1. the namenode supplies the input chunks and their replica locations;
+2. the jobtracker plans map tasks onto tasktracker slots with locality
+   preference (:mod:`repro.mapreduce.scheduler`);
+3. map tasks run (serially or on a thread pool), each over one chunk,
+   with failure injection + retry on another replica holder;
+4. the optional combiner folds each map task's local output;
+5. the shuffle partitions, transfers and sorts intermediate pairs;
+6. reduce tasks aggregate their key groups; output lands in HDFS;
+7. the cost model converts the executed DAG into simulated seconds.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.geo.trace import TraceArray
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.counters import Counters, STANDARD
+from repro.mapreduce.failures import FailureInjector, MAX_TASK_ATTEMPTS, TaskFailure
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import (
+    ARRAY_OUTPUT_KEY,
+    JobSpec,
+    MapContext,
+    ReduceContext,
+)
+from repro.mapreduce.scheduler import (
+    MapPhasePlan,
+    TaskAssignment,
+    plan_map_phase,
+    plan_reduce_phase,
+    record_locality,
+)
+from repro.mapreduce.shuffle import group_sorted, shuffle
+from repro.mapreduce.simtime import CostModel, JobTiming
+from repro.mapreduce.types import Chunk
+
+__all__ = ["JobRunner", "JobResult"]
+
+
+@dataclass
+class JobResult:
+    """Everything a caller can observe about a finished job."""
+
+    job_name: str
+    output_path: str
+    counters: Counters
+    timing: JobTiming
+    map_plan: MapPhasePlan
+    n_map_tasks: int
+    n_reduce_tasks: int
+
+    @property
+    def sim_seconds(self) -> float:
+        """Simulated job duration on the modelled cluster."""
+        return self.timing.total_s
+
+    def summary(self) -> str:
+        """One-line jobtracker-style report (name, tasks, locality,
+        shuffle volume, simulated timing breakdown)."""
+        sched = self.counters.group(STANDARD.GROUP_SCHEDULER)
+        local = sched.get(STANDARD.DATA_LOCAL_MAPS, 0)
+        shuffle_mb = self.counters.value(
+            STANDARD.GROUP_TASK, STANDARD.SHUFFLE_BYTES
+        ) / (1024 * 1024)
+        failed = sched.get(STANDARD.FAILED_TASKS, 0)
+        parts = [
+            f"{self.job_name}: {self.n_map_tasks} maps ({local} node-local)",
+            f"{self.n_reduce_tasks} reduces" if self.n_reduce_tasks else "map-only",
+            f"shuffle {shuffle_mb:.2f} MB",
+            f"sim {self.sim_seconds:.1f}s "
+            f"({self.timing.setup_s:.0f}+{self.timing.map_s:.1f}"
+            f"+{self.timing.reduce_s:.1f})",
+        ]
+        if failed:
+            parts.append(f"{failed} retried attempts")
+        return "  ".join(parts)
+
+
+class JobRunner:
+    """Executes MapReduce jobs against a :class:`SimulatedHDFS` cluster.
+
+    Parameters
+    ----------
+    hdfs:
+        The filesystem (and, through it, the cluster topology).
+    cost_model:
+        Simulated-time constants; defaults to the Table III calibration.
+    cache:
+        The distributed cache visible to all tasks of all jobs run here.
+    failure_injector:
+        Optional :class:`FailureInjector`; injected crashes are retried up
+        to ``max_attempts`` per task, preferring a different replica node.
+    executor:
+        ``"serial"`` (default, fully deterministic) or ``"threads"`` — run
+        map tasks on a thread pool sized to the cluster's map slots.
+    prefer_locality / speculative:
+        Scheduler knobs (DESIGN.md locality ablation; straggler
+        speculation).
+    """
+
+    def __init__(
+        self,
+        hdfs: SimulatedHDFS,
+        cost_model: CostModel | None = None,
+        cache: DistributedCache | None = None,
+        failure_injector: FailureInjector | None = None,
+        max_attempts: int = MAX_TASK_ATTEMPTS,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        prefer_locality: bool = True,
+        speculative: bool = False,
+    ):
+        if executor not in ("serial", "threads"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.hdfs = hdfs
+        self.cluster = hdfs.cluster
+        self.cost_model = cost_model or CostModel()
+        self.cache = cache or DistributedCache()
+        self.failure_injector = failure_injector
+        self.max_attempts = max_attempts
+        self.executor = executor
+        self.max_workers = max_workers
+        self.prefer_locality = prefer_locality
+        self.speculative = speculative
+        #: Simulated one-time deployment overhead (HDFS install + upload);
+        #: reported separately, as the paper does (~25 s).
+        self.deploy_overhead_s = self.cost_model.deploy_overhead_s
+
+    # -- map side -----------------------------------------------------------
+    def _retry_node(self, chunk: Chunk, tried: set[str]) -> str:
+        """Pick the node for a retry attempt: untried replica, else any."""
+        alive = [
+            n.name
+            for n in self.cluster.tasktrackers()
+            if n.name not in self.hdfs.dead_nodes
+        ]
+        for replica in chunk.replicas:
+            if replica not in tried and replica in alive:
+                return replica
+        untried = [n for n in alive if n not in tried]
+        return untried[0] if untried else alive[0]
+
+    def _run_map_task(
+        self, job: JobSpec, assignment: TaskAssignment
+    ) -> tuple[list[tuple[Any, Any]], Counters, float, int]:
+        """Run one map task with the retry policy.
+
+        Returns (output pairs, local counters, simulated retry penalty,
+        records emitted).
+        """
+        chunk = assignment.chunk
+        retry_penalty = 0.0
+        tried: set[str] = set()
+        node = assignment.node
+        last_error: TaskFailure | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            tried.add(node)
+            counters = Counters()
+            ctx = MapContext(job.conf, counters, self.cache, assignment.task_id, node)
+            mapper = job.mapper()
+            try:
+                if self.failure_injector is not None:
+                    self.failure_injector.fail_attempt(assignment.task_id, attempt)
+                mapper.setup(ctx)
+                mapper.run(chunk, ctx)
+                mapper.cleanup(ctx)
+            except TaskFailure as exc:
+                last_error = exc
+                retry_penalty += assignment.duration  # the wasted attempt
+                node = self._retry_node(chunk, tried)
+                continue
+            counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.MAP_INPUT_RECORDS, chunk.n_records
+            )
+            counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_RECORDS, ctx.output_records
+            )
+            counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_BYTES, ctx.output_nbytes
+            )
+            counters.increment(
+                STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1
+            )
+            return ctx.output, counters, retry_penalty, ctx.output_records
+        raise RuntimeError(
+            f"task {assignment.task_id} failed {self.max_attempts} attempts"
+        ) from last_error
+
+    def _apply_combiner(
+        self, job: JobSpec, task_output: list[tuple[Any, Any]], task_id: str, node: str
+    ) -> tuple[list[tuple[Any, Any]], Counters]:
+        """Run the combiner over one map task's local output."""
+        counters = Counters()
+        ctx = ReduceContext(job.conf, counters, self.cache, f"{task_id}-combine", node)
+        combiner = job.combiner()
+        groups = group_sorted(task_output)
+        combiner.setup(ctx)
+        combiner.run(groups, ctx)
+        combiner.cleanup(ctx)
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.COMBINE_INPUT_RECORDS, len(task_output)
+        )
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.COMBINE_OUTPUT_RECORDS, len(ctx.output)
+        )
+        return ctx.output, counters
+
+    # -- output side -----------------------------------------------------------
+    def _write_output(self, path: str, records: list[tuple[Any, Any]]) -> None:
+        """Write job output; columnar blocks keep the array fast path."""
+        if records and all(k == ARRAY_OUTPUT_KEY for k, _ in records):
+            arrays = [v for _, v in records if isinstance(v, TraceArray)]
+            if len(arrays) == len(records):
+                merged = TraceArray.concatenate(arrays)
+                self.hdfs.put_trace_array(path, merged)
+                return
+        self.hdfs.put_records(path, records)
+
+    # -- the whole job --------------------------------------------------------
+    def run(self, job: JobSpec) -> JobResult:
+        """Execute ``job`` and return its :class:`JobResult`.
+
+        Raises ``FileExistsError`` if the output path exists (as Hadoop
+        refuses to clobber output directories), ``FileNotFoundError`` for
+        missing inputs, and ``RuntimeError`` when a task exhausts its
+        retry budget.
+        """
+        if self.hdfs.exists(job.output_path):
+            raise FileExistsError(f"output path exists: {job.output_path}")
+        chunks = [c for path in job.input_paths for c in self.hdfs.chunks(path)]
+        counters = Counters()
+        counters.increment(STANDARD.GROUP_SCHEDULER, STANDARD.MAP_TASKS, len(chunks))
+
+        plan = plan_map_phase(
+            chunks,
+            self.cluster,
+            lambda c, loc: self.cost_model.map_task_time(c, loc, job.map_cost_factor),
+            prefer_locality=self.prefer_locality,
+            speculative=self.speculative,
+            dead_nodes=self.hdfs.dead_nodes,
+        )
+        record_locality(counters, plan)
+
+        primary = sorted(
+            (a for a in plan.assignments if not a.speculative),
+            key=lambda a: a.task_id,
+        )
+
+        if self.executor == "threads" and len(primary) > 1:
+            workers = self.max_workers or max(self.cluster.total_map_slots(), 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(lambda a: self._run_map_task(job, a), primary))
+        else:
+            results = [self._run_map_task(job, a) for a in primary]
+
+        map_outputs: list[list[tuple[Any, Any]]] = []
+        retry_penalty = 0.0
+        for output, task_counters, penalty, _ in results:
+            counters.merge(task_counters)
+            retry_penalty += penalty
+            map_outputs.append(output)
+
+        if job.combiner is not None:
+            combined = []
+            for assignment, output in zip(primary, map_outputs):
+                out, c_counters = self._apply_combiner(
+                    job, output, assignment.task_id, assignment.node
+                )
+                counters.merge(c_counters)
+                combined.append(out)
+            map_outputs = combined
+
+        setup_s = self.cost_model.job_setup_s + self.cost_model.cache_broadcast_time(
+            self.cache.nbytes()
+        )
+
+        if job.map_only:
+            flat = [pair for output in map_outputs for pair in output]
+            self._write_output(job.output_path, flat)
+            timing = JobTiming(setup_s, plan.makespan, 0.0, retry_penalty)
+            return JobResult(
+                job.name, job.output_path, counters, timing, plan, len(primary), 0
+            )
+
+        sh = shuffle(map_outputs, job.partitioner, job.num_reducers)
+        counters.increment(STANDARD.GROUP_TASK, STANDARD.SHUFFLE_BYTES, sh.shuffled_bytes)
+        counters.increment(
+            STANDARD.GROUP_SCHEDULER, STANDARD.REDUCE_TASKS, job.num_reducers
+        )
+
+        reduce_output: list[tuple[Any, Any]] = []
+        for r, groups in enumerate(sh.partitions):
+            task_id = f"reduce-{r:04d}"
+            out, r_counters = self._run_reduce_task(job, task_id, groups)
+            counters.merge(r_counters)
+            reduce_output.extend(out)
+
+        _, reduce_makespan = plan_reduce_phase(
+            job.num_reducers,
+            self.cluster,
+            lambda r: self.cost_model.reduce_task_time(
+                sh.partition_bytes[r], job.reduce_cost_factor
+            ),
+            dead_nodes=self.hdfs.dead_nodes,
+        )
+        self._write_output(job.output_path, reduce_output)
+        timing = JobTiming(setup_s, plan.makespan, reduce_makespan, retry_penalty)
+        return JobResult(
+            job.name,
+            job.output_path,
+            counters,
+            timing,
+            plan,
+            len(primary),
+            job.num_reducers,
+        )
+
+    def _run_reduce_task(
+        self, job: JobSpec, task_id: str, groups: list[tuple[Any, list[Any]]]
+    ) -> tuple[list[tuple[Any, Any]], Counters]:
+        """Run one reduce task with the same retry policy as map tasks."""
+        alive = [
+            n.name
+            for n in self.cluster.tasktrackers()
+            if n.name not in self.hdfs.dead_nodes
+        ]
+        last_error: TaskFailure | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            node = alive[(attempt - 1) % len(alive)]
+            counters = Counters()
+            ctx = ReduceContext(job.conf, counters, self.cache, task_id, node)
+            reducer = job.reducer()
+            try:
+                if self.failure_injector is not None:
+                    self.failure_injector.fail_attempt(task_id, attempt)
+                reducer.setup(ctx)
+                reducer.run(groups, ctx)
+                reducer.cleanup(ctx)
+            except TaskFailure as exc:
+                last_error = exc
+                counters = Counters()
+                continue
+            n_values = sum(len(v) for _, v in groups)
+            counters.increment(STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_GROUPS, len(groups))
+            counters.increment(STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_RECORDS, n_values)
+            counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.REDUCE_OUTPUT_RECORDS, ctx.output_records
+            )
+            counters.increment(STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1)
+            return ctx.output, counters
+        raise RuntimeError(
+            f"task {task_id} failed {self.max_attempts} attempts"
+        ) from last_error

@@ -1,0 +1,96 @@
+"""Shuffle and sort: routing map output to reducers.
+
+The shuffle is "the only communication step in MapReduce" (Section III):
+every intermediate pair is routed by the partitioner to one reduce task,
+and each reduce task sees its keys in sorted order with all values for a
+key grouped together.  This module implements that data movement plus the
+byte accounting the cost model charges as network transfer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.mapreduce.job import Partitioner
+from repro.mapreduce.types import estimate_nbytes
+
+__all__ = ["shuffle", "group_sorted", "ShuffleResult"]
+
+
+def _sort_key(key: Any) -> tuple[str, repr]:
+    """Total order over heterogeneous keys: type name first, then repr.
+
+    Hadoop sorts by serialized key bytes; repr-of-key is the analogous
+    deterministic order for arbitrary Python keys and keeps numeric keys
+    of one type in natural order via a numeric fast path below.
+    """
+    return (type(key).__name__, repr(key))
+
+
+def group_sorted(pairs: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
+    """Group values by key, keys emitted in sorted order.
+
+    Within one key, values keep their arrival order (Hadoop makes no
+    ordering promise for values; arrival order keeps runs deterministic
+    because map outputs are concatenated in task order).
+    """
+    grouped: dict[Any, list[Any]] = defaultdict(list)
+    for key, value in pairs:
+        grouped[key].append(value)
+    try:
+        ordered = sorted(grouped)  # natural order when keys are comparable
+    except TypeError:
+        ordered = sorted(grouped, key=_sort_key)
+    return [(key, grouped[key]) for key in ordered]
+
+
+class ShuffleResult:
+    """Outcome of a shuffle: per-reducer key groups plus byte accounting."""
+
+    def __init__(
+        self,
+        partitions: list[list[tuple[Any, list[Any]]]],
+        shuffled_bytes: int,
+        partition_bytes: list[int] | None = None,
+    ):
+        self.partitions = partitions
+        self.shuffled_bytes = shuffled_bytes
+        self.partition_bytes = (
+            partition_bytes if partition_bytes is not None else [0] * len(partitions)
+        )
+
+    @property
+    def n_reducers(self) -> int:
+        return len(self.partitions)
+
+    def records_for(self, partition: int) -> int:
+        return sum(len(values) for _, values in self.partitions[partition])
+
+
+def shuffle(
+    map_outputs: Sequence[list[tuple[Any, Any]]],
+    partitioner: Partitioner,
+    n_reducers: int,
+) -> ShuffleResult:
+    """Partition, transfer and sort the map outputs.
+
+    ``map_outputs`` is one list of (key, value) pairs per completed map
+    task, in task order.  Returns sorted, grouped input per reduce task and
+    the total modelled bytes crossing the network.
+    """
+    if n_reducers < 1:
+        raise ValueError("n_reducers must be >= 1")
+    buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(n_reducers)]
+    partition_bytes = [0] * n_reducers
+    for task_output in map_outputs:
+        for key, value in task_output:
+            part = partitioner.partition(key, n_reducers)
+            if not 0 <= part < n_reducers:
+                raise ValueError(
+                    f"partitioner returned {part} for {n_reducers} reducers"
+                )
+            buckets[part].append((key, value))
+            partition_bytes[part] += estimate_nbytes(key) + estimate_nbytes(value)
+    partitions = [group_sorted(bucket) for bucket in buckets]
+    return ShuffleResult(partitions, sum(partition_bytes), partition_bytes)

@@ -1,0 +1,53 @@
+"""Privacy and utility measurement.
+
+GEPETO's purpose is evaluating "the resulting trade-off between privacy
+and utility" (Abstract).  Utility metrics compare a sanitized dataset to
+the original; privacy metrics score how well inference attacks still work
+after sanitization.
+"""
+
+from repro.metrics.utility import (
+    spatial_distortion_m,
+    trace_volume_ratio,
+    coverage_ratio,
+    range_query_error,
+    UtilityReport,
+    utility_report,
+)
+from repro.metrics.predictability import (
+    PredictabilityReport,
+    max_predictability,
+    predictability_report,
+    random_entropy,
+    real_entropy,
+    temporal_uncorrelated_entropy,
+)
+from repro.metrics.privacy import (
+    poi_recovery,
+    PoiRecoveryReport,
+    anonymity_set_sizes,
+    mixzone_anonymity_sets,
+    PrivacyReport,
+    privacy_report,
+)
+
+__all__ = [
+    "spatial_distortion_m",
+    "trace_volume_ratio",
+    "coverage_ratio",
+    "range_query_error",
+    "UtilityReport",
+    "utility_report",
+    "poi_recovery",
+    "PoiRecoveryReport",
+    "anonymity_set_sizes",
+    "mixzone_anonymity_sets",
+    "PrivacyReport",
+    "privacy_report",
+    "PredictabilityReport",
+    "max_predictability",
+    "predictability_report",
+    "random_entropy",
+    "real_entropy",
+    "temporal_uncorrelated_entropy",
+]

@@ -1,0 +1,133 @@
+"""Spatial cloaking: k-anonymous location disclosure.
+
+Spatial cloaking (Gruteser & Grunwald 2003, cited in Section VIII)
+releases a trace's location only at a granularity coarse enough that at
+least ``k`` distinct users share the reported area within the same time
+window.  This implementation uses a quadtree-style grid: starting from a
+fine cell, the cell is repeatedly doubled until it covers ≥ k distinct
+users in that window; traces whose cell never reaches k users (even at
+the coarsest level) are suppressed.
+
+Cloaking inherently needs cross-user context, so it is **not** chunk-local
+(``chunk_local = False``): the MapReduce adaptation must shuffle traces by
+time window first, which :func:`cloak_dataset` documents and the facade's
+pipeline performs dataset-side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.synthetic import KM_PER_DEG_LAT
+from repro.geo.trace import GeolocatedDataset, TraceArray
+from repro.sanitization.base import Sanitizer
+
+__all__ = ["SpatialCloaking"]
+
+_M_PER_DEG_LAT = KM_PER_DEG_LAT * 1000.0
+
+
+class SpatialCloaking(Sanitizer):
+    """k-anonymity cloaking over (time window, adaptive grid cell).
+
+    Parameters
+    ----------
+    k:
+        Minimum number of distinct users that must share the reported
+        cell within a time window.
+    base_cell_m:
+        Finest grid cell size (the precision ceiling of the output).
+    window_s:
+        Temporal resolution of the anonymity requirement.
+    max_levels:
+        How many doublings are attempted before suppressing the traces.
+    """
+
+    chunk_local = False
+
+    def __init__(self, k: int, base_cell_m: float = 250.0, window_s: float = 3600.0, max_levels: int = 6):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if base_cell_m <= 0 or window_s <= 0:
+            raise ValueError("base_cell_m and window_s must be positive")
+        if max_levels < 1:
+            raise ValueError("max_levels must be >= 1")
+        self.k = k
+        self.base_cell_m = base_cell_m
+        self.window_s = window_s
+        self.max_levels = max_levels
+
+    def base_cells(self, array: TraceArray) -> np.ndarray:
+        """(window, base_lat, base_lon) per trace at the finest level.
+
+        Coarser levels are derived by right-shifting the integer bands,
+        so the hierarchy is a true quadtree: every level-``l`` cell is
+        the union of exactly ``4^l`` base cells.  This nesting is what
+        lets the MapReduce adaptation (:mod:`repro.sanitization.cloaking_mr`)
+        cloak each coarsest-level bucket independently yet exactly.
+        """
+        cell_lat = self.base_cell_m / _M_PER_DEG_LAT
+        lat_band = np.floor(array.latitude / cell_lat).astype(np.int64)
+        cos_band = np.maximum(np.cos(np.radians((lat_band + 0.5) * cell_lat)), 1e-9)
+        cell_lon = self.base_cell_m / (_M_PER_DEG_LAT * cos_band)
+        lon_band = np.floor(array.longitude / cell_lon).astype(np.int64)
+        window = np.floor_divide(array.timestamp, self.window_s).astype(np.int64)
+        return np.stack([window, lat_band, lon_band], axis=1)
+
+    def _cell_ids(self, array: TraceArray, level: int) -> np.ndarray:
+        cells = self.base_cells(array).copy()
+        cells[:, 1] >>= level  # arithmetic shift floors negatives too
+        cells[:, 2] >>= level
+        _, inverse = np.unique(cells, axis=0, return_inverse=True)
+        return inverse
+
+    def sanitize_array(self, array: TraceArray) -> TraceArray:
+        """Cloak an array that contains *all* users of the release.
+
+        Applying this to a single-user slice suppresses everything for
+        k > 1 — by design: anonymity cannot be computed per user.
+        """
+        n = len(array)
+        if n == 0:
+            return array
+        lat = array.latitude.copy()
+        lon = array.longitude.copy()
+        resolved = np.zeros(n, dtype=bool)
+        users = array.user_index
+        for level in range(self.max_levels):
+            pending = ~resolved
+            if not pending.any():
+                break
+            groups = self._cell_ids(array, level)
+            # Count distinct users per group over pending traces only is
+            # wrong — anonymity counts everyone present in the cell.
+            pairs = np.stack([groups, users.astype(np.int64)], axis=1)
+            uniq_pairs = np.unique(pairs, axis=0)
+            users_per_group = np.bincount(uniq_pairs[:, 0], minlength=int(groups.max()) + 1)
+            ok = users_per_group[groups] >= self.k
+            newly = pending & ok
+            if newly.any():
+                # Report the group centroid at this level.
+                n_groups = int(groups.max()) + 1
+                counts = np.bincount(groups, minlength=n_groups).astype(np.float64)
+                glat = np.bincount(groups, weights=array.latitude, minlength=n_groups) / counts
+                glon = np.bincount(groups, weights=array.longitude, minlength=n_groups) / counts
+                lat[newly] = glat[groups[newly]]
+                lon[newly] = glon[groups[newly]]
+                resolved |= newly
+        kept = array.with_coordinates(lat, lon)
+        return kept[resolved]
+
+    def sanitize_dataset(self, dataset: GeolocatedDataset) -> GeolocatedDataset:
+        """Cloak the whole dataset at once (the correct cross-user scope)."""
+        cloaked = self.sanitize_array(dataset.flat())
+        return GeolocatedDataset.from_array(cloaked)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialCloaking(k={self.k}, base_cell_m={self.base_cell_m}, "
+            f"window_s={self.window_s}, max_levels={self.max_levels})"
+        )

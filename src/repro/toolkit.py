@@ -1,0 +1,243 @@
+"""GEPETO — the GEoPrivacy-Enhancing TOolkit facade.
+
+The public API a data curator uses: load or synthesize a geolocated
+dataset, sanitize it, run inference attacks, measure the privacy/utility
+trade-off, visualize — locally or on a simulated Hadoop deployment.
+
+Typical session::
+
+    from repro import Gepeto
+    from repro.sanitization import GaussianMask
+
+    gep, truth = Gepeto.synthetic(n_users=10, days=3, seed=7)
+    sanitized = gep.sanitize(GaussianMask(sigma_m=120))
+    pois = sanitized.poi_attack_all()
+    print(sanitized.utility_versus(gep))
+
+    cluster = gep.deploy(n_workers=5, chunk_size_mb=64)
+    result = cluster.kmeans(k=11, distance="haversine")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.djcluster import (
+    DJClusterParams,
+    DJClusterResult,
+    djcluster_sequential,
+    run_djcluster_mapreduce,
+)
+from repro.algorithms.kmeans import KMeansResult, kmeans_sequential, run_kmeans_mapreduce
+from repro.algorithms.sampling import SamplingTechnique, run_sampling_job, sample_dataset
+from repro.attacks.deanonymization import DeanonymizationResult, deanonymization_attack
+from repro.attacks.poi import PointOfInterestEstimate, poi_attack
+from repro.geo.geolife import read_geolife_dataset, write_geolife_dataset
+from repro.geo.synthetic import SyntheticConfig, SyntheticUser, generate_dataset
+from repro.geo.trace import GeolocatedDataset, TraceArray
+from repro.index.rtree_mr import RTreeBuildResult, build_rtree_mapreduce
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import MB, SimulatedHDFS
+from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.simtime import CostModel
+from repro.metrics.utility import UtilityReport, utility_report
+from repro.sanitization.base import Sanitizer
+from repro.viz import ascii_density_map
+
+__all__ = ["Gepeto", "GepetoCluster"]
+
+
+class Gepeto:
+    """A geolocated dataset plus GEPETO's operations over it."""
+
+    def __init__(self, dataset: GeolocatedDataset):
+        self.dataset = dataset
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_geolife(cls, root: str | Path, user_ids=None) -> "Gepeto":
+        """Load a GeoLife-layout directory tree."""
+        return cls(read_geolife_dataset(root, user_ids))
+
+    @classmethod
+    def synthetic(cls, **config) -> tuple["Gepeto", list[SyntheticUser]]:
+        """Generate a synthetic GeoLife-like corpus.
+
+        Keyword arguments are :class:`~repro.geo.synthetic.SyntheticConfig`
+        fields.  Returns the toolkit plus the per-user ground truth used
+        to score attacks.
+        """
+        dataset, users = generate_dataset(SyntheticConfig(**config))
+        return cls(dataset), users
+
+    def save_geolife(self, root: str | Path) -> list[Path]:
+        """Serialize in GeoLife PLT layout."""
+        return write_geolife_dataset(self.dataset, root)
+
+    # -- local (sequential) operations --------------------------------------
+    def sample(self, window_s: float, technique: "str | SamplingTechnique" = "upper") -> "Gepeto":
+        """Temporal down-sampling (Section V), sequential path."""
+        return Gepeto(sample_dataset(self.dataset, window_s, technique))
+
+    def sanitize(self, sanitizer: Sanitizer) -> "Gepeto":
+        """Apply a geo-sanitization mechanism."""
+        return Gepeto(sanitizer.sanitize_dataset(self.dataset))
+
+    def kmeans(self, k: int, distance: str = "squared_euclidean", **kwargs) -> KMeansResult:
+        """Cluster all traces with sequential k-means (Section VI)."""
+        return kmeans_sequential(self.dataset.flat().coordinates(), k, distance, **kwargs)
+
+    def djcluster(self, params: DJClusterParams = DJClusterParams()) -> DJClusterResult:
+        """DJ-Cluster over the full dataset (Section VII), sequential."""
+        return djcluster_sequential(self.dataset.flat(), params)
+
+    def poi_attack_all(
+        self, params: DJClusterParams = DJClusterParams()
+    ) -> dict[str, list[PointOfInterestEstimate]]:
+        """Run the POI inference attack on every user."""
+        return {
+            trail.user_id: poi_attack(trail, params)
+            for trail in self.dataset.trails()
+        }
+
+    def deanonymize(
+        self,
+        target: "Gepeto",
+        ground_truth: dict[str, str],
+        params: DJClusterParams = DJClusterParams(),
+    ) -> DeanonymizationResult:
+        """Link ``target``'s pseudonymized trails back to this dataset."""
+        return deanonymization_attack(self.dataset, target.dataset, ground_truth, params)
+
+    def utility_versus(self, original: "Gepeto", cell_m: float = 500.0) -> UtilityReport:
+        """Utility of this (sanitized) dataset relative to ``original``."""
+        return utility_report(original.dataset, self.dataset, cell_m)
+
+    def social_graph(self, params=None):
+        """Co-location social-relation discovery over all users."""
+        from repro.attacks.social import ColocationParams, colocation_graph
+
+        return colocation_graph(self.dataset, params or ColocationParams())
+
+    def semantic_places(self, user_id: str, **kwargs):
+        """Semantic place labelling for one user; see
+        :func:`repro.attacks.semantics.label_places`."""
+        from repro.attacks.semantics import label_places
+
+        return label_places(self.dataset.trail(user_id), **kwargs)
+
+    def predictability(self, user_id: str, poi_coords, attach_radius_m: float = 200.0):
+        """Song-et-al. predictability report of one user's visit sequence."""
+        import numpy as np
+
+        from repro.attacks.mmc import visit_sequence
+        from repro.metrics.predictability import predictability_report
+
+        visits = visit_sequence(
+            self.dataset.trail(user_id).traces,
+            np.asarray(poi_coords, dtype=float),
+            attach_radius_m,
+        )
+        return predictability_report(visits)
+
+    def visualize(self, width: int = 72, height: int = 24, markers=()) -> str:
+        """ASCII density map of the dataset."""
+        return ascii_density_map(self.dataset, width, height, markers)
+
+    # -- distribution ---------------------------------------------------------
+    def deploy(
+        self,
+        n_workers: int = 5,
+        chunk_size_mb: int = 64,
+        map_slots: int = 2,
+        executor: str = "serial",
+        cost_model: CostModel | None = None,
+        path: str = "input/traces",
+    ) -> "GepetoCluster":
+        """Stand up a simulated Hadoop deployment and upload the dataset.
+
+        Mirrors the paper's setup: the deployment overhead (~25 s of HDFS
+        install + upload) is charged once and reported on the cluster.
+        """
+        cluster = paper_cluster(n_workers=n_workers, map_slots=map_slots)
+        hdfs = SimulatedHDFS(cluster, chunk_size=chunk_size_mb * MB)
+        runner = JobRunner(hdfs, cost_model=cost_model, executor=executor)
+        hdfs.put_trace_array(path, self.dataset.flat().sort_by_time())
+        return GepetoCluster(runner, path)
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __repr__(self) -> str:
+        return f"Gepeto({self.dataset!r})"
+
+
+@dataclass
+class GepetoCluster:
+    """GEPETO operations running on a simulated Hadoop deployment."""
+
+    runner: JobRunner
+    input_path: str
+
+    @property
+    def deploy_overhead_s(self) -> float:
+        """One-time HDFS deployment + upload cost (paper: ~25 s)."""
+        return self.runner.deploy_overhead_s
+
+    def sample(
+        self,
+        window_s: float,
+        technique: "str | SamplingTechnique" = "upper",
+        output_path: str | None = None,
+    ):
+        """MapReduce sampling job; returns the :class:`JobResult`."""
+        out = output_path or f"output/sampled-{int(window_s)}s-{SamplingTechnique.parse(technique).value}"
+        self.runner.hdfs.delete(out, missing_ok=True)
+        return run_sampling_job(self.runner, self.input_path, out, window_s, technique)
+
+    def kmeans(self, k: int, distance: str = "squared_euclidean", **kwargs) -> KMeansResult:
+        """MapReduced k-means over the uploaded dataset."""
+        return run_kmeans_mapreduce(self.runner, self.input_path, k, distance, **kwargs)
+
+    def djcluster(
+        self, params: DJClusterParams = DJClusterParams(), input_path: str | None = None, **kwargs
+    ) -> DJClusterResult:
+        """MapReduced DJ-Cluster over the uploaded dataset."""
+        return run_djcluster_mapreduce(
+            self.runner, input_path or self.input_path, params, **kwargs
+        )
+
+    def build_rtree(
+        self, n_partitions: int = 4, curve: str = "hilbert", **kwargs
+    ) -> RTreeBuildResult:
+        """Three-phase MapReduce R-tree construction (Figure 6)."""
+        return build_rtree_mapreduce(
+            self.runner, self.input_path, n_partitions, curve=curve, **kwargs
+        )
+
+    def learn_mmcs(self, poi_coords, input_path: str | None = None, **kwargs):
+        """MapReduced per-user Mobility Markov Chain learning (the
+        paper's planned MMC extension); see
+        :func:`repro.attacks.mmc_mr.run_mmc_mapreduce`."""
+        from repro.attacks.mmc_mr import run_mmc_mapreduce
+
+        return run_mmc_mapreduce(
+            self.runner, input_path or self.input_path, poi_coords, **kwargs
+        )
+
+    def sanitize(self, sanitizer, input_path: str | None = None, output_path: str = "output/sanitized"):
+        """Map-only sanitization job over the uploaded dataset."""
+        from repro.sanitization.base import run_sanitization_job
+
+        self.runner.hdfs.delete(output_path, missing_ok=True)
+        return run_sanitization_job(
+            self.runner, sanitizer, input_path or self.input_path, output_path
+        )
+
+    def read_traces(self, path: str) -> TraceArray:
+        """Fetch a job's trace output from HDFS."""
+        return self.runner.hdfs.read_trace_array(path)

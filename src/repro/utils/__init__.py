@@ -1,0 +1,5 @@
+"""Shared utilities (deterministic hashing RNG, misc helpers)."""
+
+from repro.utils.hashrng import splitmix64, trace_keys, hash_uniform, hash_normal
+
+__all__ = ["splitmix64", "trace_keys", "hash_uniform", "hash_normal"]

@@ -1,0 +1,248 @@
+"""Unit tests for k-means (Section VI, Figure 4, Tables II-III)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.kmeans import (
+    assign_points,
+    kmeans_sequential,
+    run_kmeans_mapreduce,
+)
+from repro.geo.trace import TraceArray
+from repro.mapreduce.counters import STANDARD
+
+
+def three_blobs(n_per=100, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[39.90, 116.40], [39.95, 116.50], [39.85, 116.30]])
+    pts = np.vstack(
+        [c + rng.normal(0, 0.004, (n_per, 2)) for c in centers]
+    )
+    return pts, centers
+
+
+class TestAssign:
+    def test_assigns_to_nearest(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        pts = np.array([[1.0, 1.0], [9.0, 9.0]])
+        assert list(assign_points(pts, centroids, "squared_euclidean")) == [0, 1]
+
+    def test_tie_breaks_to_lowest_index(self):
+        centroids = np.array([[0.0, 0.0], [2.0, 0.0]])
+        pts = np.array([[1.0, 0.0]])
+        assert assign_points(pts, centroids, "euclidean")[0] == 0
+
+    def test_haversine_and_euclidean_can_agree_on_blobs(self):
+        pts, centers = three_blobs()
+        a = assign_points(pts, centers, "haversine")
+        b = assign_points(pts, centers, "squared_euclidean")
+        # Tight, well-separated blobs: both metrics give the same answer.
+        assert np.array_equal(a, b)
+
+
+class TestSequential:
+    def test_recovers_blob_centers(self):
+        pts, centers = three_blobs()
+        res = kmeans_sequential(pts, 3, seed=7, max_iter=100)
+        assert res.converged
+        # Each true centre has a recovered centroid within ~0.002 degrees.
+        d = np.abs(res.centroids[:, None, :] - centers[None, :, :]).sum(axis=2)
+        assert d.min(axis=0).max() < 0.002
+
+    def test_respects_max_iter(self):
+        pts, _ = three_blobs()
+        res = kmeans_sequential(pts, 3, seed=1, max_iter=2, convergence_delta=0.0)
+        assert res.n_iterations <= 2
+
+    def test_convergence_delta_zero_runs_until_stable(self):
+        pts, _ = three_blobs(n_per=50)
+        res = kmeans_sequential(pts, 3, seed=3, convergence_delta=0.0, max_iter=300)
+        assert res.converged
+
+    def test_initial_centroids_respected(self):
+        pts, centers = three_blobs()
+        res = kmeans_sequential(pts, 3, initial_centroids=centers, max_iter=50)
+        assert res.converged
+        assert res.n_iterations < 10  # warm start converges fast
+
+    def test_k_larger_than_points_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_sequential(np.zeros((2, 2)), 5)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_sequential(np.zeros(10), 2)
+        with pytest.raises(ValueError):
+            kmeans_sequential(np.zeros((10, 2)), 2, initial_centroids=np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            kmeans_sequential(np.zeros((10, 2)), 2, max_iter=0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            kmeans_sequential(np.zeros((10, 2)), 2, metric="cosine")
+
+    def test_empty_cluster_keeps_centroid(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0]])
+        far = np.array([[0.0, 0.0], [50.0, 50.0]])
+        res = kmeans_sequential(pts, 2, initial_centroids=far, max_iter=5)
+        # The far centroid attracts nothing and must survive unchanged.
+        assert np.allclose(res.centroids[1], [50.0, 50.0])
+
+    def test_inertia_decreases_with_more_clusters(self):
+        pts, _ = three_blobs()
+        r1 = kmeans_sequential(pts, 1, seed=0)
+        r3 = kmeans_sequential(pts, 3, seed=0)
+        assert r3.inertia < r1.inertia
+
+    def test_deterministic_given_seed(self):
+        pts, _ = three_blobs()
+        a = kmeans_sequential(pts, 3, seed=5)
+        b = kmeans_sequential(pts, 3, seed=5)
+        assert np.array_equal(a.centroids, b.centroids)
+
+
+class TestKMeansPlusPlus:
+    def test_deterministic_and_valid(self):
+        pts, _ = three_blobs()
+        a = kmeans_sequential(pts, 3, seed=5, init="kmeans++")
+        b = kmeans_sequential(pts, 3, seed=5, init="kmeans++")
+        assert np.array_equal(a.centroids, b.centroids)
+        assert a.converged
+
+    def test_seeds_spread_across_blobs(self):
+        from repro.algorithms.kmeans import _init_centroids, assign_points
+
+        pts, centers = three_blobs(n_per=200, seed=1)
+        # With k=3 on three well-separated blobs, D^2-seeding lands one
+        # seed per blob in the vast majority of draws.
+        hits = 0
+        for seed in range(20):
+            init = _init_centroids(pts, 3, seed, "kmeans++")
+            blob_of_seed = assign_points(init, centers, "squared_euclidean")
+            hits += len(set(blob_of_seed.tolist())) == 3
+        assert hits >= 16
+
+    def test_no_worse_than_random_on_average(self):
+        pts, _ = three_blobs(n_per=100, seed=2)
+        rand = np.mean(
+            [kmeans_sequential(pts, 3, seed=s, max_iter=30).inertia for s in range(12)]
+        )
+        pp = np.mean(
+            [
+                kmeans_sequential(pts, 3, seed=s, max_iter=30, init="kmeans++").inertia
+                for s in range(12)
+            ]
+        )
+        assert pp <= rand * 1.05
+
+    def test_degenerate_duplicate_points(self):
+        pts = np.zeros((10, 2))
+        res = kmeans_sequential(pts, 3, seed=0, init="kmeans++", max_iter=5)
+        assert res.centroids.shape == (3, 2)
+
+    def test_unknown_init_rejected(self):
+        pts, _ = three_blobs()
+        with pytest.raises(ValueError, match="unknown init"):
+            kmeans_sequential(pts, 3, init="farthest")
+
+    def test_mr_driver_accepts_init(self, kmeans_env):
+        runner, pts, _ = kmeans_env
+        res = run_kmeans_mapreduce(
+            runner, "traces", 3, seed=7, init="kmeans++", max_iter=5, workdir="w/pp"
+        )
+        assert res.centroids.shape == (3, 2)
+
+
+@pytest.fixture()
+def kmeans_env(runner):
+    pts, centers = three_blobs(n_per=200, seed=4)
+    arr = TraceArray.from_columns(
+        ["u"], pts[:, 0], pts[:, 1], np.arange(len(pts), dtype=float)
+    )
+    runner.hdfs.chunk_size = 64 * 150  # 4 chunks
+    runner.hdfs.put_trace_array("traces", arr)
+    return runner, pts, centers
+
+
+class TestMapReduce:
+    def test_matches_sequential_exactly(self, kmeans_env):
+        runner, pts, centers = kmeans_env
+        init = pts[[0, 200, 400]]
+        seq = kmeans_sequential(
+            pts, 3, "squared_euclidean", 1e-12, 50, initial_centroids=init
+        )
+        mr = run_kmeans_mapreduce(
+            runner, "traces", 3, "squared_euclidean", 1e-12, 50, initial_centroids=init
+        )
+        assert mr.converged == seq.converged
+        assert mr.n_iterations == seq.n_iterations
+        assert np.abs(mr.centroids - seq.centroids).max() < 1e-9
+
+    def test_combiner_preserves_centroids(self, kmeans_env):
+        runner, pts, _ = kmeans_env
+        init = pts[[0, 200, 400]]
+        plain = run_kmeans_mapreduce(
+            runner, "traces", 3, initial_centroids=init, workdir="w/plain"
+        )
+        combined = run_kmeans_mapreduce(
+            runner, "traces", 3, initial_centroids=init, use_combiner=True, workdir="w/comb"
+        )
+        assert np.abs(plain.centroids - combined.centroids).max() < 1e-9
+
+    def test_combiner_shrinks_shuffle(self, kmeans_env):
+        runner, pts, _ = kmeans_env
+        init = pts[[0, 200, 400]]
+        plain = run_kmeans_mapreduce(
+            runner, "traces", 3, initial_centroids=init, max_iter=1, workdir="w/p"
+        )
+        combined = run_kmeans_mapreduce(
+            runner, "traces", 3, initial_centroids=init, max_iter=1,
+            use_combiner=True, workdir="w/c",
+        )
+        assert combined.history[0].shuffle_bytes < plain.history[0].shuffle_bytes / 10
+
+    def test_iteration_history_recorded(self, kmeans_env):
+        runner, pts, _ = kmeans_env
+        res = run_kmeans_mapreduce(
+            runner, "traces", 3, seed=2, max_iter=5, convergence_delta=0.0, workdir="w/h"
+        )
+        assert len(res.history) == res.n_iterations
+        for i, stats in enumerate(res.history, start=1):
+            assert stats.iteration == i
+            assert stats.sim_seconds > 0
+            assert stats.map_tasks == 4
+        assert res.total_sim_seconds == pytest.approx(
+            sum(s.sim_seconds for s in res.history)
+        )
+
+    def test_clusters_files_written_per_iteration(self, kmeans_env):
+        """Figure 4's workflow: each iteration writes a clusters-i dir."""
+        runner, pts, _ = kmeans_env
+        res = run_kmeans_mapreduce(
+            runner, "traces", 3, seed=2, max_iter=4, convergence_delta=0.0, workdir="w/f"
+        )
+        for i in range(1, res.n_iterations + 1):
+            assert runner.hdfs.exists(f"w/f/clusters-{i}")
+        records = runner.hdfs.read_records(f"w/f/clusters-{res.n_iterations}")
+        assert {int(k) for k, _ in records} <= {0, 1, 2}
+        for _, (lat, lon, count) in records:
+            assert count > 0
+
+    def test_haversine_iteration_costs_more_sim_time(self, kmeans_env):
+        """Table III's metric effect, reproduced via the cost model."""
+        runner, pts, _ = kmeans_env
+        init = pts[[0, 200, 400]]
+        sq = run_kmeans_mapreduce(
+            runner, "traces", 3, "squared_euclidean", initial_centroids=init,
+            max_iter=1, workdir="w/sq",
+        )
+        hv = run_kmeans_mapreduce(
+            runner, "traces", 3, "haversine", initial_centroids=init,
+            max_iter=1, workdir="w/hv",
+        )
+        assert hv.history[0].sim_seconds > sq.history[0].sim_seconds
+
+    def test_unknown_distance_rejected(self, kmeans_env):
+        runner, _, _ = kmeans_env
+        with pytest.raises(KeyError):
+            run_kmeans_mapreduce(runner, "traces", 3, distance="cosine")

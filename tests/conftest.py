@@ -1,0 +1,54 @@
+"""Shared fixtures: small synthetic corpora and simulated deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo.synthetic import SyntheticConfig, generate_dataset
+from repro.geo.trace import TraceArray
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.runner import JobRunner
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small deterministic synthetic corpus (4 users, 2 days)."""
+    cfg = SyntheticConfig(n_users=4, days=2, seed=42)
+    dataset, users = generate_dataset(cfg)
+    return dataset, users
+
+
+@pytest.fixture(scope="session")
+def small_array(small_corpus) -> TraceArray:
+    dataset, _ = small_corpus
+    return dataset.flat().sort_by_time()
+
+
+@pytest.fixture()
+def cluster():
+    return paper_cluster(n_workers=5)
+
+
+@pytest.fixture()
+def hdfs(cluster) -> SimulatedHDFS:
+    return SimulatedHDFS(cluster, chunk_size=256 * 1024, seed=1)
+
+
+@pytest.fixture()
+def runner(hdfs) -> JobRunner:
+    return JobRunner(hdfs)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+def city_points(n: int, seed: int = 0, spread: float = 0.05) -> np.ndarray:
+    """Random (lat, lon) points around Beijing, for index tests."""
+    gen = np.random.default_rng(seed)
+    return np.column_stack(
+        [39.9 + gen.normal(0, spread, n), 116.4 + gen.normal(0, spread, n)]
+    )

@@ -1,0 +1,63 @@
+"""Tests for the vectorized radius self-join."""
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import RTree
+from repro.index.selfjoin import radius_self_join
+
+from tests.conftest import city_points
+
+
+class TestEquivalenceWithRTree:
+    @pytest.mark.parametrize("radius", [30.0, 150.0, 1500.0])
+    def test_matches_per_point_rtree_queries(self, radius):
+        pts = city_points(1200, seed=31)
+        tree = RTree.bulk_load(pts)
+        hoods = radius_self_join(pts, radius)
+        assert len(hoods) == len(pts)
+        for i in range(0, len(pts), 37):  # sampled spot checks
+            want = tree.query_radius(pts[i, 0], pts[i, 1], radius)
+            assert np.array_equal(hoods[i], want), f"point {i} differs"
+
+    def test_full_equivalence_small(self):
+        pts = city_points(300, seed=32)
+        tree = RTree.bulk_load(pts)
+        hoods = radius_self_join(pts, 200.0)
+        for i, hood in enumerate(hoods):
+            assert np.array_equal(hood, tree.query_radius(pts[i, 0], pts[i, 1], 200.0))
+
+
+class TestSemantics:
+    def test_self_inclusion(self):
+        pts = city_points(100, seed=33)
+        for i, hood in enumerate(radius_self_join(pts, 100.0)):
+            assert i in hood
+
+    def test_symmetry(self):
+        pts = city_points(400, seed=34)
+        hoods = radius_self_join(pts, 300.0)
+        sets = [set(h.tolist()) for h in hoods]
+        for i, s in enumerate(sets):
+            for j in s:
+                assert i in sets[j], f"asymmetric pair ({i}, {j})"
+
+    def test_zero_radius_exact_duplicates_only(self):
+        pts = np.array([[39.9, 116.4], [39.9, 116.4], [39.90001, 116.4]])
+        hoods = radius_self_join(pts, 0.0)
+        assert set(hoods[0].tolist()) == {0, 1}
+        assert set(hoods[2].tolist()) == {2}
+
+    def test_empty_input(self):
+        assert radius_self_join(np.empty((0, 2)), 100.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radius_self_join(np.zeros((3, 3)), 10.0)
+        with pytest.raises(ValueError):
+            radius_self_join(np.zeros((3, 2)), -1.0)
+
+    def test_isolated_point_alone(self):
+        pts = np.vstack([city_points(50, seed=35), [[45.0, 10.0]]])
+        hoods = radius_self_join(pts, 100.0)
+        assert list(hoods[-1]) == [50]

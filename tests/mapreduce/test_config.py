@@ -1,0 +1,79 @@
+"""Unit tests for the Hadoop-style Configuration."""
+
+import pytest
+
+from repro.mapreduce.config import Configuration
+
+
+class TestConfiguration:
+    def test_basic_access(self):
+        conf = Configuration({"a": 1}, b="x")
+        assert conf["a"] == 1
+        assert conf.get("b") == "x"
+        assert conf.get("missing", 7) == 7
+        assert "a" in conf and "missing" not in conf
+        assert len(conf) == 2
+        assert sorted(conf) == ["a", "b"]
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Configuration()["nope"]
+
+    def test_copy_with_overrides(self):
+        base = Configuration({"a": 1, "b": 2})
+        derived = base.copy(b=3, c=4)
+        assert derived["a"] == 1 and derived["b"] == 3 and derived["c"] == 4
+        assert base["b"] == 2  # original untouched
+
+    def test_equality(self):
+        assert Configuration({"a": 1}) == Configuration(a=1)
+        assert Configuration({"a": 1}) != Configuration(a=2)
+
+    def test_as_dict_is_copy(self):
+        conf = Configuration(a=1)
+        d = conf.as_dict()
+        d["a"] = 99
+        assert conf["a"] == 1
+
+
+class TestTypedGetters:
+    def test_int_coercion(self):
+        conf = Configuration({"k": "11"})
+        assert conf.get_int("k") == 11
+
+    def test_int_default(self):
+        assert Configuration().get_int("k", 5) == 5
+
+    def test_int_missing_required(self):
+        with pytest.raises(KeyError, match="missing required"):
+            Configuration().get_int("k")
+
+    def test_int_bad_value(self):
+        with pytest.raises(ValueError, match="'k'"):
+            Configuration({"k": "eleven"}).get_int("k")
+
+    def test_float(self):
+        assert Configuration({"d": "0.5"}).get_float("d") == 0.5
+
+    def test_bool_from_strings(self):
+        conf = Configuration(t="true", f="False", one="1", zero="no")
+        assert conf.get_bool("t") is True
+        assert conf.get_bool("f") is False
+        assert conf.get_bool("one") is True
+        assert conf.get_bool("zero") is False
+
+    def test_bool_bad_string(self):
+        with pytest.raises(ValueError):
+            Configuration(x="maybe").get_bool("x")
+
+    def test_bool_passthrough(self):
+        assert Configuration(x=True).get_bool("x") is True
+
+    def test_str(self):
+        assert Configuration(x=42).get_str("x") == "42"
+
+    def test_require(self):
+        conf = Configuration(a=1)
+        conf.require("a")
+        with pytest.raises(KeyError, match=r"\['b', 'c'\]"):
+            conf.require("a", "b", "c")

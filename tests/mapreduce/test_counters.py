@@ -1,0 +1,53 @@
+"""Unit tests for job counters."""
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_increment_and_value(self):
+        c = Counters()
+        c.increment("task", "maps", 3)
+        c.increment("task", "maps")
+        assert c.value("task", "maps") == 4
+
+    def test_zero_increment_creates_nothing(self):
+        c = Counters()
+        c.increment("g", "n", 0)
+        assert c.as_dict() == {}
+
+    def test_unknown_counter_is_zero(self):
+        assert Counters().value("g", "n") == 0
+
+    def test_group_is_copy(self):
+        c = Counters()
+        c.increment("g", "n", 1)
+        g = c.group("g")
+        g["n"] = 99
+        assert c.value("g", "n") == 1
+
+    def test_merge(self):
+        a = Counters()
+        a.increment("g", "x", 1)
+        a.increment("g", "y", 2)
+        b = Counters()
+        b.increment("g", "x", 10)
+        b.increment("h", "z", 5)
+        a.merge(b)
+        assert a.value("g", "x") == 11
+        assert a.value("g", "y") == 2
+        assert a.value("h", "z") == 5
+        # merge does not mutate the source
+        assert b.value("g", "x") == 10
+
+    def test_iteration_sorted(self):
+        c = Counters()
+        c.increment("b", "y", 1)
+        c.increment("a", "x", 1)
+        c.increment("a", "w", 1)
+        assert list(c) == [("a", "w", 1), ("a", "x", 1), ("b", "y", 1)]
+
+    def test_negative_amounts_allowed(self):
+        c = Counters()
+        c.increment("g", "n", 5)
+        c.increment("g", "n", -2)
+        assert c.value("g", "n") == 3

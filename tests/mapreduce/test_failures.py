@@ -1,0 +1,128 @@
+"""Failure injection and retry-policy tests."""
+
+import pytest
+
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.counters import STANDARD
+from repro.mapreduce.failures import FailureInjector, MAX_TASK_ATTEMPTS, TaskFailure
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import JobSpec, Mapper, Reducer
+from repro.mapreduce.runner import JobRunner
+
+
+class EchoMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key, value)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+@pytest.fixture()
+def loaded_hdfs():
+    hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=64, seed=0)
+    hdfs.put_records("in", [(i, 1) for i in range(12)], record_bytes=16)
+    return hdfs
+
+
+class TestInjector:
+    def test_scripted_failure_fires(self):
+        inj = FailureInjector(scripted={("map-0000", 1)})
+        with pytest.raises(TaskFailure):
+            inj.fail_attempt("map-0000", 1)
+        inj.fail_attempt("map-0000", 2)  # second attempt survives
+        inj.fail_attempt("map-0001", 1)  # other tasks unaffected
+
+    def test_script_failures_helper(self):
+        inj = FailureInjector()
+        inj.script_failures("map-0003", attempts=2)
+        assert ("map-0003", 1) in inj.scripted
+        assert ("map-0003", 2) in inj.scripted
+        assert ("map-0003", 3) not in inj.scripted
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            FailureInjector(probability=1.5)
+
+    def test_probability_deterministic_with_seed(self):
+        hits_a = []
+        inj = FailureInjector(probability=0.5, seed=7)
+        for i in range(20):
+            try:
+                inj.fail_attempt(f"t{i}", 1)
+                hits_a.append(False)
+            except TaskFailure:
+                hits_a.append(True)
+        inj2 = FailureInjector(probability=0.5, seed=7)
+        hits_b = []
+        for i in range(20):
+            try:
+                inj2.fail_attempt(f"t{i}", 1)
+                hits_b.append(False)
+            except TaskFailure:
+                hits_b.append(True)
+        assert hits_a == hits_b
+        assert any(hits_a) and not all(hits_a)
+
+
+class TestRunnerRetries:
+    def test_map_retry_succeeds_and_is_counted(self, loaded_hdfs):
+        inj = FailureInjector()
+        inj.script_failures("map-0000", attempts=2)
+        runner = JobRunner(loaded_hdfs, failure_injector=inj)
+        res = runner.run(JobSpec("j", EchoMapper, ["in"], "out", reducer=SumReducer))
+        assert dict(loaded_hdfs.read_records("out"))  # output produced
+        assert res.counters.value(STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS) == 2
+        assert res.timing.retry_penalty_s > 0
+
+    def test_output_identical_with_and_without_failures(self, loaded_hdfs):
+        clean = JobRunner(loaded_hdfs)
+        clean.run(JobSpec("j", EchoMapper, ["in"], "clean", reducer=SumReducer))
+        inj = FailureInjector()
+        inj.script_failures("map-0000", attempts=1)
+        inj.script_failures("reduce-0000", attempts=1)
+        flaky = JobRunner(loaded_hdfs, failure_injector=inj)
+        flaky.run(JobSpec("j", EchoMapper, ["in"], "flaky", reducer=SumReducer))
+        assert dict(loaded_hdfs.read_records("clean")) == dict(
+            loaded_hdfs.read_records("flaky")
+        )
+
+    def test_task_exceeding_attempts_fails_job(self, loaded_hdfs):
+        inj = FailureInjector()
+        inj.script_failures("map-0000", attempts=MAX_TASK_ATTEMPTS)
+        runner = JobRunner(loaded_hdfs, failure_injector=inj)
+        with pytest.raises(RuntimeError, match="failed"):
+            runner.run(JobSpec("j", EchoMapper, ["in"], "out", reducer=SumReducer))
+
+    def test_reduce_retry(self, loaded_hdfs):
+        inj = FailureInjector()
+        inj.script_failures("reduce-0000", attempts=2)
+        runner = JobRunner(loaded_hdfs, failure_injector=inj)
+        res = runner.run(
+            JobSpec("j", EchoMapper, ["in"], "out", reducer=SumReducer, num_reducers=1)
+        )
+        assert res.counters.value(STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS) == 2
+
+    def test_random_failures_still_converge(self, loaded_hdfs):
+        inj = FailureInjector(probability=0.2, seed=11)
+        runner = JobRunner(loaded_hdfs, failure_injector=inj, max_attempts=10)
+        runner.run(JobSpec("j", EchoMapper, ["in"], "out", reducer=SumReducer))
+        assert sum(v for _, v in loaded_hdfs.read_records("out")) == 12
+
+    def test_max_attempts_validated(self, loaded_hdfs):
+        with pytest.raises(ValueError):
+            JobRunner(loaded_hdfs, max_attempts=0)
+
+
+class TestDatanodeLossDuringJob:
+    def test_job_runs_from_surviving_replicas(self):
+        hdfs = SimulatedHDFS(paper_cluster(6), chunk_size=64, replication=3, seed=2)
+        hdfs.put_records("in", [(i, 1) for i in range(12)], record_bytes=16)
+        victim = hdfs.chunks("in")[0].replicas[0]
+        hdfs.kill_datanode(victim)
+        runner = JobRunner(hdfs)
+        res = runner.run(JobSpec("j", EchoMapper, ["in"], "out", reducer=SumReducer))
+        assert sum(v for _, v in hdfs.read_records("out")) == 12
+        assert all(a.node != victim for a in res.map_plan.assignments)

@@ -1,0 +1,120 @@
+"""Unit tests for job primitives (contexts, partitioners, JobSpec)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.trace import TraceArray
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.config import Configuration
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import (
+    ARRAY_OUTPUT_KEY,
+    ConstantKeyPartitioner,
+    HashPartitioner,
+    JobSpec,
+    MapContext,
+    Mapper,
+    Reducer,
+)
+
+
+def _ctx():
+    return MapContext(Configuration(), Counters(), DistributedCache(), "map-0000", "w0")
+
+
+class TestContext:
+    def test_emit_accumulates(self):
+        ctx = _ctx()
+        ctx.emit("k", "vv")
+        ctx.emit("k2", "v", nbytes=100, n_records=5)
+        assert ctx.output == [("k", "vv"), ("k2", "v")]
+        assert ctx.output_records == 6
+        assert ctx.output_nbytes == (1 + 2) + 100
+
+    def test_emit_array_uses_sentinel(self):
+        ctx = _ctx()
+        arr = TraceArray.from_columns(["u"], np.zeros(3), np.zeros(3), np.arange(3.0))
+        ctx.emit_array(arr, record_bytes=64)
+        (key, value), = ctx.output
+        assert key == ARRAY_OUTPUT_KEY
+        assert value is arr
+        assert ctx.output_records == 3
+        assert ctx.output_nbytes == 192
+
+
+class TestPartitioners:
+    def test_hash_partitioner_stable_and_in_range(self):
+        p = HashPartitioner()
+        for key in ["a", 42, (1, "x"), 3.5]:
+            part = p.partition(key, 7)
+            assert 0 <= part < 7
+            assert p.partition(key, 7) == part  # stable
+
+    def test_hash_partitioner_spreads_keys(self):
+        p = HashPartitioner()
+        parts = {p.partition(f"key-{i}", 8) for i in range(100)}
+        assert len(parts) == 8
+
+    def test_hash_partitioner_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            HashPartitioner().partition("k", 0)
+
+    def test_constant_key_partitioner(self):
+        p = ConstantKeyPartitioner()
+        assert p.partition("anything", 5) == 0
+        assert p.partition(123, 1) == 0
+
+
+class _M(Mapper):
+    def map(self, k, v, ctx):
+        ctx.emit(k, v)
+
+
+class _R(Reducer):
+    def reduce(self, k, vs, ctx):
+        ctx.emit(k, len(vs))
+
+
+class TestJobSpec:
+    def test_requires_input(self):
+        with pytest.raises(ValueError, match="no input"):
+            JobSpec("j", _M, [], "out")
+
+    def test_rejects_bad_reducer_count(self):
+        with pytest.raises(ValueError):
+            JobSpec("j", _M, ["in"], "out", reducer=_R, num_reducers=0)
+
+    def test_combiner_requires_reducer(self):
+        with pytest.raises(ValueError, match="combiner"):
+            JobSpec("j", _M, ["in"], "out", combiner=_R)
+
+    def test_map_only_detection(self):
+        assert JobSpec("j", _M, ["in"], "out").map_only
+        assert not JobSpec("j", _M, ["in"], "out", reducer=_R).map_only
+
+    def test_accepts_factory_callable(self):
+        spec = JobSpec("j", lambda: _M(), ["in"], "out")
+        assert isinstance(spec.mapper(), _M)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            JobSpec("j", "not a mapper", ["in"], "out")
+
+
+class TestBaseClasses:
+    def test_mapper_without_map_raises(self):
+        class NoMap(Mapper):
+            pass
+
+        from repro.mapreduce.types import Chunk, RecordPayload
+
+        chunk = Chunk("c", RecordPayload([(1, 1)]))
+        with pytest.raises(NotImplementedError):
+            NoMap().run(chunk, _ctx())
+
+    def test_reducer_without_reduce_raises(self):
+        class NoReduce(Reducer):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            NoReduce().run([("k", [1])], _ctx())

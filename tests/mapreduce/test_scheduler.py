@@ -1,0 +1,159 @@
+"""Unit tests for the jobtracker scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.cluster import ClusterSpec, Node, paper_cluster
+from repro.mapreduce.scheduler import (
+    Locality,
+    plan_map_phase,
+    plan_reduce_phase,
+)
+from repro.mapreduce.types import Chunk, RecordPayload
+
+
+def _chunk(cid, replicas, n_bytes=64):
+    payload = RecordPayload([(i, "x" * 56) for i in range(max(1, n_bytes // 64))])
+    return Chunk(cid, payload, replicas=tuple(replicas))
+
+
+def _flat_time(chunk, locality):
+    return 10.0
+
+
+class TestLocalityPreference:
+    def test_all_node_local_when_replicas_everywhere(self):
+        cluster = paper_cluster(4)
+        workers = [n.name for n in cluster.tasktrackers()]
+        chunks = [_chunk(f"c{i}", [workers[i % len(workers)]]) for i in range(8)]
+        plan = plan_map_phase(chunks, cluster, _flat_time)
+        counts = plan.locality_counts()
+        assert counts[Locality.NODE_LOCAL] == 8
+        assert counts[Locality.REMOTE] == 0
+
+    def test_remote_when_no_replicas_on_workers(self):
+        cluster = paper_cluster(3)
+        chunks = [_chunk("c0", ["nonexistent-node"])]
+        plan = plan_map_phase(chunks, cluster, _flat_time)
+        assert plan.locality_counts()[Locality.REMOTE] == 1
+
+    def test_rack_local_classification(self):
+        cluster = paper_cluster(8, nodes_per_rack=4)
+        # Replica only on worker00 (rack1); with one chunk per slot on
+        # worker04..07 (rack2) busy, the scheduler can still pick rack.
+        chunk = _chunk("c0", ["worker01"])
+        # Force assignment to a same-rack node by making worker01 busy:
+        # simplest check — classification helper via single-node cluster.
+        from repro.mapreduce.scheduler import _classify_locality
+
+        assert _classify_locality(cluster, "worker01", chunk) == Locality.NODE_LOCAL
+        assert _classify_locality(cluster, "worker02", chunk) == Locality.RACK_LOCAL
+        assert _classify_locality(cluster, "worker05", chunk) == Locality.REMOTE
+
+    def test_disabling_locality_changes_preference(self):
+        cluster = paper_cluster(4)
+        workers = [n.name for n in cluster.tasktrackers()]
+        # All chunks live on one node; with locality on, that node's slots
+        # take them preferentially when free.
+        chunks = [_chunk(f"c{i}", [workers[0]]) for i in range(8)]
+        plan_on = plan_map_phase(chunks, cluster, _flat_time, prefer_locality=True)
+        plan_off = plan_map_phase(chunks, cluster, _flat_time, prefer_locality=False)
+        on_local = plan_on.locality_counts()[Locality.NODE_LOCAL]
+        off_local = plan_off.locality_counts()[Locality.NODE_LOCAL]
+        assert on_local >= off_local
+
+
+class TestMakespan:
+    def test_single_wave_makespan_is_longest_task(self):
+        cluster = paper_cluster(5)  # 10 map slots
+        chunks = [_chunk(f"c{i}", ["worker00"], n_bytes=64 * (i + 1)) for i in range(4)]
+        plan = plan_map_phase(
+            chunks, cluster, lambda c, loc: c.nbytes / 64.0
+        )
+        assert plan.waves == 1
+        assert plan.makespan == pytest.approx(4.0)  # largest chunk: 4 records
+
+    def test_two_waves_when_tasks_exceed_slots(self):
+        cluster = paper_cluster(2)  # 4 map slots
+        chunks = [_chunk(f"c{i}", []) for i in range(6)]
+        plan = plan_map_phase(chunks, cluster, _flat_time)
+        assert plan.waves == 2
+        assert plan.makespan == pytest.approx(20.0)
+
+    def test_slot_contention_serializes_on_one_node(self):
+        cluster = ClusterSpec([Node("solo", "r", map_slots=1)])
+        chunks = [_chunk(f"c{i}", ["solo"]) for i in range(3)]
+        plan = plan_map_phase(chunks, cluster, _flat_time)
+        assert plan.makespan == pytest.approx(30.0)
+        starts = sorted(a.start_time for a in plan.assignments)
+        assert starts == [0.0, 10.0, 20.0]
+
+    def test_negative_duration_rejected(self):
+        cluster = paper_cluster(2)
+        with pytest.raises(ValueError):
+            plan_map_phase([_chunk("c", [])], cluster, lambda c, l: -1.0)
+
+    def test_empty_chunk_list(self):
+        plan = plan_map_phase([], paper_cluster(2), _flat_time)
+        assert plan.assignments == []
+        assert plan.makespan == 0.0
+        assert plan.waves == 0
+
+
+class TestSpeculation:
+    def test_straggler_gets_duplicate(self):
+        cluster = paper_cluster(4)
+        # One huge chunk, several small ones.
+        chunks = [_chunk("c-big", ["worker00"], n_bytes=64 * 100)] + [
+            _chunk(f"c{i}", ["worker01"], n_bytes=64) for i in range(6)
+        ]
+        plan = plan_map_phase(
+            chunks,
+            cluster,
+            lambda c, loc: c.nbytes / 64.0,
+            speculative=True,
+            straggler_factor=1.5,
+        )
+        spec = [a for a in plan.assignments if a.speculative]
+        assert len(spec) >= 1
+        # Duplicate runs on a different node than the original attempt.
+        originals = {a.task_id: a.node for a in plan.assignments if not a.speculative}
+        for a in spec:
+            assert a.node != originals[a.task_id]
+
+    def test_no_speculation_when_balanced(self):
+        cluster = paper_cluster(4)
+        chunks = [_chunk(f"c{i}", []) for i in range(8)]
+        plan = plan_map_phase(chunks, cluster, _flat_time, speculative=True)
+        assert not any(a.speculative for a in plan.assignments)
+
+
+class TestDeadNodes:
+    def test_dead_nodes_receive_no_tasks(self):
+        cluster = paper_cluster(3)
+        chunks = [_chunk(f"c{i}", ["worker00"]) for i in range(6)]
+        plan = plan_map_phase(
+            chunks, cluster, _flat_time, dead_nodes=frozenset({"worker00"})
+        )
+        assert all(a.node != "worker00" for a in plan.assignments)
+
+    def test_all_dead_raises(self):
+        cluster = paper_cluster(2)
+        dead = frozenset(n.name for n in cluster.tasktrackers())
+        with pytest.raises(RuntimeError):
+            plan_map_phase([_chunk("c", [])], cluster, _flat_time, dead_nodes=dead)
+
+
+class TestReducePhase:
+    def test_lpt_packing(self):
+        cluster = ClusterSpec([Node("a", "r", reduce_slots=1), Node("b", "r", reduce_slots=1)])
+        durations = {0: 5.0, 1: 4.0, 2: 3.0, 3: 3.0}
+        placements, makespan = plan_reduce_phase(4, cluster, lambda r: durations[r])
+        assert len(placements) == 4
+        # LPT: {5, 3} and {4, 3} -> makespan 8.
+        assert makespan == pytest.approx(8.0)
+
+    def test_single_reducer(self):
+        placements, makespan = plan_reduce_phase(1, paper_cluster(3), lambda r: 2.0)
+        assert len(placements) == 1
+        assert makespan == pytest.approx(2.0)

@@ -1,0 +1,80 @@
+"""Unit tests for shuffle and sort."""
+
+import pytest
+
+from repro.mapreduce.job import ConstantKeyPartitioner, HashPartitioner, Partitioner
+from repro.mapreduce.shuffle import ShuffleResult, group_sorted, shuffle
+
+
+class TestGroupSorted:
+    def test_groups_and_sorts_keys(self):
+        pairs = [("b", 1), ("a", 2), ("b", 3), ("a", 4)]
+        groups = group_sorted(pairs)
+        assert groups == [("a", [2, 4]), ("b", [1, 3])]
+
+    def test_value_arrival_order_preserved(self):
+        pairs = [("k", 3), ("k", 1), ("k", 2)]
+        assert group_sorted(pairs) == [("k", [3, 1, 2])]
+
+    def test_numeric_keys_natural_order(self):
+        pairs = [(10, "a"), (2, "b"), (1, "c")]
+        assert [k for k, _ in group_sorted(pairs)] == [1, 2, 10]
+
+    def test_mixed_key_types_do_not_crash(self):
+        pairs = [("a", 1), (1, 2), (2.5, 3)]
+        groups = group_sorted(pairs)
+        assert len(groups) == 3
+
+    def test_empty(self):
+        assert group_sorted([]) == []
+
+
+class TestShuffle:
+    def test_all_records_delivered_once(self):
+        outputs = [[(i % 5, i) for i in range(20)], [(i % 5, -i) for i in range(15)]]
+        result = shuffle(outputs, HashPartitioner(), 3)
+        delivered = [
+            (k, v)
+            for part in result.partitions
+            for k, vs in part
+            for v in vs
+        ]
+        flat = [p for out in outputs for p in out]
+        assert sorted(map(repr, delivered)) == sorted(map(repr, flat))
+
+    def test_same_key_single_partition(self):
+        outputs = [[("x", 1)], [("x", 2)], [("x", 3)]]
+        result = shuffle(outputs, HashPartitioner(), 4)
+        non_empty = [p for p in result.partitions if p]
+        assert len(non_empty) == 1
+        assert non_empty[0] == [("x", [1, 2, 3])]
+
+    def test_constant_partitioner_collects_everything_at_zero(self):
+        outputs = [[("a", 1), ("b", 2)], [("c", 3)]]
+        result = shuffle(outputs, ConstantKeyPartitioner(), 3)
+        assert result.records_for(0) == 3
+        assert result.partitions[1] == [] and result.partitions[2] == []
+
+    def test_byte_accounting(self):
+        outputs = [[("k", "1234")]]  # key 1 byte + value 4 bytes
+        result = shuffle(outputs, HashPartitioner(), 2)
+        assert result.shuffled_bytes == 5
+        assert sum(result.partition_bytes) == 5
+
+    def test_out_of_range_partitioner_rejected(self):
+        class Bad(Partitioner):
+            def partition(self, key, n):
+                return n  # off by one
+
+        with pytest.raises(ValueError):
+            shuffle([[("k", 1)]], Bad(), 2)
+
+    def test_zero_reducers_rejected(self):
+        with pytest.raises(ValueError):
+            shuffle([], HashPartitioner(), 0)
+
+    def test_records_for(self):
+        result = ShuffleResult([[("a", [1, 2])], []], 0)
+        assert result.records_for(0) == 2
+        assert result.records_for(1) == 0
+        assert result.n_reducers == 2

@@ -1,0 +1,107 @@
+"""Tests for the text-line (record-at-a-time) GeoLife path."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sampling import sample_array
+from repro.geo.trace import GeolocatedDataset, MobilityTrace, Trail, TraceArray
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.textio import (
+    GeoLifeTextMapper,
+    put_geolife_text,
+    read_geolife_text,
+    run_text_sampling_job,
+)
+
+
+def _array(n=200, seed=0, user="u"):
+    rng = np.random.default_rng(seed)
+    return TraceArray.from_columns(
+        [user],
+        39.9 + rng.normal(0, 0.01, n),
+        116.4 + rng.normal(0, 0.01, n),
+        np.sort(rng.uniform(1.2e9, 1.2e9 + 7200, n)),
+        np.full(n, 120.0),
+    )
+
+
+@pytest.fixture()
+def hdfs():
+    return SimulatedHDFS(paper_cluster(4), chunk_size=4096, seed=0)
+
+
+class TestTextRoundtrip:
+    def test_put_read_roundtrip(self, hdfs):
+        arr = _array(100)
+        put_geolife_text(hdfs, "text", arr)
+        back = read_geolife_text(hdfs, "text")
+        assert len(back) == 100
+        assert np.allclose(np.sort(back.latitude), np.sort(arr.latitude), atol=1e-6)
+
+    def test_chunks_reflect_text_bytes(self, hdfs):
+        arr = _array(300)
+        put_geolife_text(hdfs, "text", arr)
+        chunks = hdfs.chunks("text")
+        assert len(chunks) > 1
+        # ~60-70 bytes per line, 4 KB chunks -> ~55-65 records each.
+        for chunk in chunks[:-1]:
+            assert 40 <= chunk.n_records <= 80
+
+    def test_dataset_input_accepted(self, hdfs):
+        ds = GeolocatedDataset([Trail("a", _array(10, user="a"))])
+        put_geolife_text(hdfs, "text", ds)
+        assert hdfs.file_records("text") == 10
+
+
+class TestGeoLifeTextMapper:
+    def test_malformed_lines_counted_and_skipped(self, hdfs):
+        hdfs.put_records(
+            "in",
+            [("u", "39.9,116.4,0,120,39173.5,2007-04-01,12:00:00"), ("u", "garbage")],
+        )
+
+        class CollectMapper(GeoLifeTextMapper):
+            def map_trace(self, trace, ctx):
+                ctx.emit(trace.user_id, trace.timestamp)
+
+        runner = JobRunner(hdfs)
+        res = runner.run(JobSpec("parse", CollectMapper, ["in"], "out"))
+        assert len(hdfs.read_records("out")) == 1
+        assert res.counters.value("textio", "malformed_lines") == 1
+
+
+class TestTextSampling:
+    @pytest.mark.parametrize("technique", ["upper", "middle"])
+    def test_text_path_equals_vectorized_path(self, technique):
+        """The paper's record-at-a-time algorithm and the columnar kernel
+        are the same algorithm: identical representatives on one chunk."""
+        arr = _array(500, seed=3)
+        hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=10**7, seed=0)
+        put_geolife_text(hdfs, "text", arr)
+        runner = JobRunner(hdfs)
+        run_text_sampling_job(runner, "text", "out", 300.0, technique)
+        text_result = read_geolife_text(hdfs, "out").sort_by_time()
+        vec_result = sample_array(arr, 300.0, technique).sort_by_time()
+        assert len(text_result) == len(vec_result)
+        assert np.allclose(text_result.timestamp, vec_result.timestamp, atol=0.01)
+        assert np.allclose(text_result.latitude, vec_result.latitude, atol=1e-6)
+
+    def test_multi_chunk_artifact_bounded(self):
+        arr = _array(500, seed=4)
+        hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=4096, seed=0)
+        put_geolife_text(hdfs, "text", arr)
+        n_chunks = len(hdfs.chunks("text"))
+        assert n_chunks > 2
+        runner = JobRunner(hdfs)
+        run_text_sampling_job(runner, "text", "out", 300.0)
+        seq = sample_array(arr, 300.0)
+        got = hdfs.file_records("out")
+        assert len(seq) <= got <= len(seq) + n_chunks
+
+    def test_window_parameter_validated(self, hdfs):
+        put_geolife_text(hdfs, "text", _array(10))
+        with pytest.raises(ValueError):
+            run_text_sampling_job(JobRunner(hdfs), "text", "out", 0.0)

@@ -1,0 +1,71 @@
+"""Property-based tests: cost-model monotonicity laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.trace import TraceArray
+from repro.mapreduce.scheduler import Locality
+from repro.mapreduce.simtime import CostModel
+from repro.mapreduce.types import ArrayPayload, Chunk
+
+
+def _chunk(n_traces: int) -> Chunk:
+    arr = TraceArray.from_columns(
+        ["u"], np.zeros(n_traces), np.zeros(n_traces), np.arange(n_traces, dtype=float)
+    )
+    return Chunk("c", ArrayPayload(arr, record_bytes=64))
+
+
+sizes = st.integers(min_value=1, max_value=2_000_000)
+factors = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, sizes, factors)
+def test_map_time_monotone_in_chunk_size(n1, n2, factor):
+    model = CostModel()
+    small, big = sorted((n1, n2))
+    t_small = model.map_task_time(_chunk(small), Locality.NODE_LOCAL, factor)
+    t_big = model.map_task_time(_chunk(big), Locality.NODE_LOCAL, factor)
+    assert t_small <= t_big + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, factors)
+def test_map_time_monotone_in_locality(n, factor):
+    model = CostModel()
+    chunk = _chunk(n)
+    local = model.map_task_time(chunk, Locality.NODE_LOCAL, factor)
+    rack = model.map_task_time(chunk, Locality.RACK_LOCAL, factor)
+    remote = model.map_task_time(chunk, Locality.REMOTE, factor)
+    assert local <= rack <= remote
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, factors, factors)
+def test_map_time_monotone_in_cost_factor(n, f1, f2):
+    model = CostModel()
+    chunk = _chunk(n)
+    lo, hi = sorted((f1, f2))
+    assert model.map_task_time(chunk, Locality.NODE_LOCAL, lo) <= model.map_task_time(
+        chunk, Locality.NODE_LOCAL, hi
+    ) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=2**31))
+def test_reduce_time_monotone_in_input(b1, b2):
+    model = CostModel()
+    lo, hi = sorted((b1, b2))
+    assert model.reduce_task_time(lo) <= model.reduce_task_time(hi) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, factors)
+def test_all_times_positive(n, factor):
+    model = CostModel()
+    chunk = _chunk(n)
+    for locality in (Locality.NODE_LOCAL, Locality.RACK_LOCAL, Locality.REMOTE):
+        assert model.map_task_time(chunk, locality, factor) > 0
+    assert model.reduce_task_time(n * 64, factor) > 0

@@ -1,0 +1,84 @@
+"""Property-based tests: space-filling curve invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.spacefilling import (
+    hilbert_key,
+    hilbert_xy_from_key,
+    normalize_to_grid,
+    zorder_key,
+)
+
+orders = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def grid_points(draw):
+    order = draw(orders)
+    n_cells = 1 << order
+    n = draw(st.integers(min_value=1, max_value=64))
+    xs = draw(
+        st.lists(st.integers(0, n_cells - 1), min_size=n, max_size=n)
+    )
+    ys = draw(
+        st.lists(st.integers(0, n_cells - 1), min_size=n, max_size=n)
+    )
+    return order, np.array(xs, dtype=float), np.array(ys, dtype=float)
+
+
+@given(grid_points())
+def test_hilbert_key_in_range(data):
+    order, xs, ys = data
+    n_cells = 1 << order
+    bounds = (0.0, 0.0, float(n_cells - 1), float(n_cells - 1))
+    keys = hilbert_key(xs, ys, bounds, order)
+    assert np.all(keys < n_cells * n_cells)
+
+
+@given(grid_points())
+def test_hilbert_roundtrip(data):
+    order, xs, ys = data
+    n_cells = 1 << order
+    bounds = (0.0, 0.0, float(n_cells - 1), float(n_cells - 1))
+    gx, gy = normalize_to_grid(xs, ys, bounds, order)
+    keys = hilbert_key(xs, ys, bounds, order)
+    bx, by = hilbert_xy_from_key(keys, order)
+    assert np.array_equal(bx, gx)
+    assert np.array_equal(by, gy)
+
+
+@given(grid_points())
+def test_zorder_injective_on_distinct_cells(data):
+    order, xs, ys = data
+    n_cells = 1 << order
+    bounds = (0.0, 0.0, float(n_cells - 1), float(n_cells - 1))
+    keys = zorder_key(xs, ys, bounds, order)
+    cells = set(zip(xs.astype(int).tolist(), ys.astype(int).tolist()))
+    assert len(np.unique(keys)) == len(cells)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-80, max_value=80, allow_nan=False),
+            st.floats(min_value=-170, max_value=170, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=50,
+    )
+)
+def test_curves_accept_arbitrary_float_coordinates(points):
+    pts = np.array(points)
+    bounds = (
+        float(pts[:, 0].min()),
+        float(pts[:, 1].min()),
+        float(pts[:, 0].max()),
+        float(pts[:, 1].max()),
+    )
+    for curve in (zorder_key, hilbert_key):
+        keys = curve(pts[:, 0], pts[:, 1], bounds, 10)
+        assert len(keys) == len(pts)
+        assert np.all(keys <= np.uint64((1 << 20) - 1) * np.uint64(1 << 20))

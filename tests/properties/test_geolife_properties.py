@@ -1,0 +1,47 @@
+"""Property-based tests: GeoLife PLT line round-trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geolife import (
+    format_plt_line,
+    ole_days_to_unix,
+    parse_plt_line,
+    unix_to_ole_days,
+)
+
+lat = st.floats(min_value=-89.999, max_value=89.999, allow_nan=False)
+lon = st.floats(min_value=-179.999, max_value=179.999, allow_nan=False)
+alt = st.floats(min_value=-777.0, max_value=30_000.0, allow_nan=False)
+# Timestamps within GeoLife's plausible era (1990..2035).
+ts = st.floats(min_value=631_152_000.0, max_value=2_051_222_400.0, allow_nan=False)
+
+
+@settings(max_examples=300)
+@given(lat, lon, alt, ts)
+def test_line_roundtrip(latitude, longitude, altitude, timestamp):
+    line = format_plt_line(latitude, longitude, altitude, timestamp)
+    got_lat, got_lon, got_alt, got_ts = parse_plt_line(line)
+    assert got_lat == round(latitude, 6) or abs(got_lat - latitude) <= 5e-7
+    assert abs(got_lon - longitude) <= 5e-7
+    assert got_alt == round(altitude)
+    # The days field carries ~millisecond precision at this era.
+    assert abs(got_ts - timestamp) <= 0.01
+
+
+@settings(max_examples=300)
+@given(ts)
+def test_epoch_conversion_roundtrip(timestamp):
+    assert abs(float(ole_days_to_unix(unix_to_ole_days(timestamp))) - timestamp) < 1e-4
+
+
+@settings(max_examples=200)
+@given(lat, lon, alt, ts)
+def test_line_shape(latitude, longitude, altitude, timestamp):
+    line = format_plt_line(latitude, longitude, altitude, timestamp)
+    parts = line.split(",")
+    assert len(parts) == 7
+    assert parts[2] == "0"  # the meaningless third field
+    assert len(parts[5].split("-")) == 3  # yyyy-mm-dd
+    assert len(parts[6].split(":")) == 3  # HH:MM:SS

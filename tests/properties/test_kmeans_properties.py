@@ -1,0 +1,73 @@
+"""Property-based tests: k-means invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.kmeans import (
+    _update_centroids,
+    assign_points,
+    kmeans_sequential,
+)
+
+
+@st.composite
+def point_sets(draw):
+    n = draw(st.integers(min_value=3, max_value=120))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return 39.9 + rng.normal(0, 0.05, (n, 2))
+
+
+@settings(max_examples=50, deadline=None)
+@given(point_sets(), st.integers(min_value=1, max_value=3), st.integers(0, 100))
+def test_inertia_never_worse_than_single_cluster(points, k, seed):
+    k = min(k, len(points))
+    single = kmeans_sequential(points, 1, seed=seed)
+    multi = kmeans_sequential(points, k, seed=seed)
+    assert multi.inertia <= single.inertia + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(point_sets(), st.integers(0, 100))
+def test_lloyd_step_never_increases_inertia(points, seed):
+    """One assignment+update step is monotone in the k-means objective
+    (the convergence argument)."""
+    rng = np.random.default_rng(seed)
+    k = min(3, len(points))
+    centroids = points[rng.choice(len(points), k, replace=False)]
+    for _ in range(4):
+        assignment = assign_points(points, centroids, "squared_euclidean")
+        before = sum(
+            np.sum((points[assignment == c] - centroids[c]) ** 2)
+            for c in range(k)
+        )
+        centroids = _update_centroids(points, assignment, centroids)
+        after_assignment = assign_points(points, centroids, "squared_euclidean")
+        after = sum(
+            np.sum((points[after_assignment == c] - centroids[c]) ** 2)
+            for c in range(k)
+        )
+        assert after <= before + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(point_sets(), st.integers(0, 100))
+def test_converged_means_fixed_point(points, seed):
+    k = min(3, len(points))
+    res = kmeans_sequential(points, k, seed=seed, convergence_delta=0.0, max_iter=300)
+    if not res.converged:
+        return
+    assignment = assign_points(points, res.centroids, "squared_euclidean")
+    again = _update_centroids(points, assignment, res.centroids)
+    assert np.allclose(again, res.centroids, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(point_sets(), st.integers(1, 4), st.integers(0, 100))
+def test_assignment_total_and_range(points, k, seed):
+    k = min(k, len(points))
+    res = kmeans_sequential(points, k, seed=seed, max_iter=5)
+    assignment = assign_points(points, res.centroids, "squared_euclidean")
+    assert len(assignment) == len(points)
+    assert assignment.min() >= 0 and assignment.max() < k

@@ -1,0 +1,71 @@
+"""Property-based tests: Mobility Markov Chain invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.mmc import build_mmc, visit_sequence
+from repro.geo.trace import TraceArray
+
+POIS = np.array(
+    [[39.90, 116.40], [39.95, 116.50], [39.85, 116.30], [40.00, 116.60]]
+)
+
+
+@st.composite
+def visit_trails(draw):
+    seq = draw(st.lists(st.integers(0, 3), min_size=0, max_size=60))
+    lat, lon, ts = [], [], []
+    t = 0.0
+    for s in seq:
+        lat.append(POIS[s, 0])
+        lon.append(POIS[s, 1])
+        ts.append(t)
+        t += 600.0
+    if not seq:
+        return TraceArray.empty(), seq
+    return (
+        TraceArray.from_columns(["u"], np.array(lat), np.array(lon), np.array(ts)),
+        seq,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(visit_trails(), st.floats(min_value=0.0, max_value=2.0))
+def test_rows_always_stochastic(data, smoothing):
+    arr, seq = data
+    mmc = build_mmc(arr, POIS, smoothing=smoothing)
+    assert np.allclose(mmc.transitions.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(mmc.transitions >= 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(visit_trails())
+def test_visit_sequence_collapses_repeats(data):
+    arr, seq = data
+    got = visit_sequence(arr, POIS)
+    # Expected: seq with consecutive duplicates collapsed.
+    want = [s for i, s in enumerate(seq) if i == 0 or s != seq[i - 1]]
+    assert list(got) == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(visit_trails())
+def test_stationary_distribution_is_probability_vector(data):
+    arr, _ = data
+    mmc = build_mmc(arr, POIS, smoothing=0.05)
+    pi = mmc.stationary_distribution()
+    assert np.isclose(pi.sum(), 1.0, atol=1e-6)
+    assert np.all(pi >= -1e-12)
+    # Fixed point property.
+    assert np.allclose(pi @ mmc.transitions, pi, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(visit_trails())
+def test_visit_counts_match_sequence(data):
+    arr, seq = data
+    mmc = build_mmc(arr, POIS)
+    collapsed = [s for i, s in enumerate(seq) if i == 0 or s != seq[i - 1]]
+    want = np.bincount(collapsed, minlength=4) if collapsed else np.zeros(4)
+    assert np.array_equal(mmc.visit_counts, want)

@@ -1,0 +1,92 @@
+"""Property-based tests: R-tree equals brute force on arbitrary data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import haversine_m
+from repro.index.rtree import Rect, RTree
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=39.0, max_value=41.0, allow_nan=False),
+        st.floats(min_value=115.0, max_value=118.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points_strategy, st.integers(min_value=2, max_value=16))
+def test_bulk_load_invariants(points, fanout):
+    pts = np.array(points)
+    tree = RTree.bulk_load(pts, max_entries=fanout)
+    tree.check_invariants()
+    assert len(tree) == len(pts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    points_strategy,
+    st.floats(min_value=39.0, max_value=41.0),
+    st.floats(min_value=115.0, max_value=118.0),
+    st.floats(min_value=0.0, max_value=50_000.0),
+)
+def test_radius_query_equals_brute_force(points, qlat, qlon, radius):
+    pts = np.array(points)
+    tree = RTree.bulk_load(pts)
+    got = set(tree.query_radius(qlat, qlon, radius).tolist())
+    d = np.asarray(haversine_m(qlat, qlon, pts[:, 0], pts[:, 1]))
+    want = set(np.flatnonzero(d <= radius).tolist())
+    assert got == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    points_strategy,
+    st.floats(min_value=39.0, max_value=41.0),
+    st.floats(min_value=115.0, max_value=118.0),
+    st.floats(min_value=0.0, max_value=2.0),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_rect_query_equals_brute_force(points, lo_lat, lo_lon, dlat, dlon):
+    pts = np.array(points)
+    tree = RTree.bulk_load(pts)
+    rect = Rect(lo_lat, lo_lon, lo_lat + dlat, lo_lon + dlon)
+    got = set(tree.query_rect(rect).tolist())
+    want = set(
+        np.flatnonzero(
+            (pts[:, 0] >= rect.min_lat)
+            & (pts[:, 0] <= rect.max_lat)
+            & (pts[:, 1] >= rect.min_lon)
+            & (pts[:, 1] <= rect.max_lon)
+        ).tolist()
+    )
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(points_strategy, st.integers(min_value=1, max_value=20))
+def test_knn_matches_brute_force(points, k):
+    pts = np.array(points)
+    tree = RTree.bulk_load(pts)
+    got = [i for i, _ in tree.knn(40.0, 116.5, k)]
+    d = np.asarray(haversine_m(40.0, 116.5, pts[:, 0], pts[:, 1]))
+    want_dists = np.sort(d)[: min(k, len(pts))]
+    got_dists = np.sort(d[got])
+    # Compare by distance (ids may tie); sets of distances must agree.
+    assert np.allclose(got_dists, want_dists)
+
+
+@settings(max_examples=30, deadline=None)
+@given(points_strategy)
+def test_insert_path_equals_bulk_load(points):
+    pts = np.array(points)
+    dynamic = RTree(max_entries=6)
+    for i, p in enumerate(pts):
+        dynamic.insert(i, p[0], p[1])
+    dynamic.check_invariants()
+    bulk = RTree.bulk_load(pts, max_entries=6)
+    rect = Rect(39.5, 115.5, 40.5, 117.5)
+    assert set(dynamic.query_rect(rect).tolist()) == set(bulk.query_rect(rect).tolist())

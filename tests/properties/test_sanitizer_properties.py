@@ -1,0 +1,73 @@
+"""Property-based tests: sanitizer contracts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import haversine_m
+from repro.geo.trace import TraceArray
+from repro.sanitization.aggregation import SpatialAggregator
+from repro.sanitization.masks import GaussianMask, RoundingMask, UniformNoiseMask
+
+
+@st.composite
+def arrays(draw):
+    n = draw(st.integers(min_value=0, max_value=150))
+    if n == 0:
+        return TraceArray.empty()
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    return TraceArray.from_columns(
+        ["u"],
+        39.9 + rng.normal(0, 0.02, n),
+        116.4 + rng.normal(0, 0.02, n),
+        np.sort(rng.uniform(0, 1e5, n)),
+    )
+
+
+masks = st.one_of(
+    st.builds(GaussianMask, st.floats(0.0, 500.0), st.integers(0, 100)),
+    st.builds(UniformNoiseMask, st.floats(0.0, 500.0), st.integers(0, 100)),
+    st.builds(RoundingMask, st.floats(1.0, 2000.0)),
+    st.builds(SpatialAggregator, st.floats(1.0, 2000.0)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrays(), masks)
+def test_sanitizers_preserve_counts_and_metadata(arr, sanitizer):
+    out = sanitizer.sanitize_array(arr)
+    assert len(out) == len(arr)
+    assert np.array_equal(out.timestamp, arr.timestamp)
+    assert np.array_equal(out.user_index, arr.user_index)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrays(), masks)
+def test_sanitizers_keep_coordinates_valid(arr, sanitizer):
+    out = sanitizer.sanitize_array(arr)
+    assert np.all(out.latitude >= -90.0) and np.all(out.latitude <= 90.0)
+    assert np.all(out.longitude >= -180.0) and np.all(out.longitude <= 180.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(), st.floats(1.0, 300.0), st.integers(0, 50))
+def test_uniform_mask_respects_radius_bound(arr, radius, seed):
+    out = UniformNoiseMask(radius, seed).sanitize_array(arr)
+    if len(arr):
+        d = np.asarray(
+            haversine_m(arr.latitude, arr.longitude, out.latitude, out.longitude)
+        )
+        assert d.max() <= radius * 1.02
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(), st.integers(0, 20), st.integers(1, 149))
+def test_gaussian_mask_chunk_invariance(arr, seed, cut):
+    """The MapReduce contract: per-chunk noise equals whole-array noise."""
+    mask = GaussianMask(100.0, seed)
+    whole = mask.sanitize_array(arr)
+    cut = min(cut, len(arr))
+    a = mask.sanitize_array(arr[:cut])
+    b = mask.sanitize_array(arr[cut:])
+    recombined = np.concatenate([a.latitude, b.latitude])
+    assert np.allclose(whole.latitude, recombined)

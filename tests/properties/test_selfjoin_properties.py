@@ -1,0 +1,52 @@
+"""Property-based tests: the radius self-join equals per-point R-tree
+queries for arbitrary point sets and radii."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.rtree import RTree
+from repro.index.selfjoin import radius_self_join
+
+point_sets = st.lists(
+    st.tuples(
+        st.floats(min_value=35.0, max_value=45.0, allow_nan=False),
+        st.floats(min_value=110.0, max_value=120.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+radii = st.floats(min_value=0.0, max_value=100_000.0, allow_nan=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(point_sets, radii)
+def test_equals_rtree_queries(points, radius):
+    pts = np.array(points)
+    hoods = radius_self_join(pts, radius)
+    tree = RTree.bulk_load(pts)
+    for i, hood in enumerate(hoods):
+        want = tree.query_radius(pts[i, 0], pts[i, 1], radius)
+        assert np.array_equal(hood, want)
+
+
+@settings(max_examples=80, deadline=None)
+@given(point_sets, st.floats(min_value=1.0, max_value=50_000.0))
+def test_reflexive_and_symmetric(points, radius):
+    pts = np.array(points)
+    hoods = radius_self_join(pts, radius)
+    sets = [set(h.tolist()) for h in hoods]
+    for i, s in enumerate(sets):
+        assert i in s
+        for j in s:
+            assert i in sets[j]
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets, st.floats(min_value=1.0, max_value=10_000.0))
+def test_monotone_in_radius(points, radius):
+    pts = np.array(points)
+    small = radius_self_join(pts, radius)
+    big = radius_self_join(pts, radius * 2)
+    for s, b in zip(small, big):
+        assert set(s.tolist()) <= set(b.tolist())

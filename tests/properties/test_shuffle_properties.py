@@ -1,0 +1,83 @@
+"""Property-based tests: shuffle/sort and MapReduce-vs-sequential laws."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import HashPartitioner, JobSpec, Mapper, Reducer
+from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.shuffle import group_sorted, shuffle
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(min_value=-50, max_value=50), st.integers()),
+    max_size=200,
+)
+
+
+@given(pairs_strategy)
+def test_group_sorted_loses_nothing(pairs):
+    groups = group_sorted(pairs)
+    regrouped = [(k, v) for k, vs in groups for v in vs]
+    assert Counter(regrouped) == Counter(pairs)
+
+
+@given(pairs_strategy)
+def test_group_sorted_keys_unique_and_sorted(pairs):
+    groups = group_sorted(pairs)
+    keys = [k for k, _ in groups]
+    assert len(keys) == len(set(keys))
+    assert keys == sorted(keys)
+
+
+@given(st.lists(pairs_strategy, max_size=5), st.integers(min_value=1, max_value=8))
+def test_shuffle_conserves_records(map_outputs, n_reducers):
+    result = shuffle(map_outputs, HashPartitioner(), n_reducers)
+    delivered = Counter(
+        (k, v) for part in result.partitions for k, vs in part for v in vs
+    )
+    sent = Counter(p for out in map_outputs for p in out)
+    assert delivered == sent
+
+
+@given(st.lists(pairs_strategy, max_size=5), st.integers(min_value=1, max_value=8))
+def test_shuffle_key_disjointness(map_outputs, n_reducers):
+    """No key appears in two partitions: the defining shuffle contract."""
+    result = shuffle(map_outputs, HashPartitioner(), n_reducers)
+    seen: dict[int, int] = {}
+    for pid, part in enumerate(result.partitions):
+        for k, _ in part:
+            assert seen.setdefault(k, pid) == pid
+    assert sum(result.partition_bytes) == result.shuffled_bytes
+
+
+class _TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value % 7, 1)
+
+
+class _CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=150),
+    st.integers(min_value=1, max_value=5),
+)
+def test_mapreduce_equals_sequential_histogram(values, n_reducers):
+    """Full-engine law: MR histogram == sequential histogram, for any
+    input and any reducer count."""
+    hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=128, seed=0)
+    hdfs.put_records("in", list(enumerate(values)), record_bytes=16)
+    runner = JobRunner(hdfs)
+    runner.run(
+        JobSpec("hist", _TokenMapper, ["in"], "out", reducer=_CountReducer, num_reducers=n_reducers)
+    )
+    got = dict(hdfs.read_records("out"))
+    want = Counter(v % 7 for v in values)
+    assert got == dict(want)

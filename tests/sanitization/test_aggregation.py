@@ -1,0 +1,72 @@
+"""Unit tests for aggregation sanitizers."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import haversine_m
+from repro.geo.trace import TraceArray
+from repro.sanitization.aggregation import SpatialAggregator, TemporalAggregator
+
+
+def _array(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return TraceArray.from_columns(
+        ["u"],
+        39.9 + rng.normal(0, 0.005, n),
+        116.4 + rng.normal(0, 0.005, n),
+        np.sort(rng.uniform(0, 3600, n)),
+    )
+
+
+class TestSpatialAggregator:
+    def test_collapses_cells_to_shared_coordinate(self):
+        arr = _array()
+        out = SpatialAggregator(cell_m=300.0).sanitize_array(arr)
+        assert len(out) == len(arr)
+        distinct = len(set(zip(out.latitude.tolist(), out.longitude.tolist())))
+        assert distinct < len(arr) / 3
+
+    def test_aggregate_is_cell_centroid(self):
+        # Two tight groups of traces -> each replaced by its own mean.
+        lat = np.array([39.90000, 39.90002, 39.95000, 39.95002])
+        lon = np.array([116.4, 116.4, 116.5, 116.5])
+        arr = TraceArray.from_columns(["u"], lat, lon, np.arange(4.0))
+        out = SpatialAggregator(cell_m=500.0).sanitize_array(arr)
+        assert out.latitude[0] == pytest.approx(lat[:2].mean())
+        assert out.latitude[2] == pytest.approx(lat[2:].mean())
+
+    def test_distortion_bounded_by_cell(self):
+        arr = _array()
+        out = SpatialAggregator(cell_m=300.0).sanitize_array(arr)
+        d = np.asarray(haversine_m(arr.latitude, arr.longitude, out.latitude, out.longitude))
+        assert d.max() <= 300.0 * np.sqrt(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpatialAggregator(0.0)
+
+    def test_empty(self):
+        assert len(SpatialAggregator(100.0).sanitize_array(TraceArray.empty())) == 0
+
+
+class TestTemporalAggregator:
+    def test_equivalent_to_sampling(self):
+        from repro.algorithms.sampling import sample_array
+
+        arr = _array()
+        out = TemporalAggregator(window_s=300.0).sanitize_array(arr)
+        ref = sample_array(arr, 300.0, "upper")
+        assert len(out) == len(ref)
+        assert np.array_equal(out.timestamp, ref.timestamp)
+
+    def test_technique_forwarded(self):
+        arr = _array()
+        upper = TemporalAggregator(300.0, "upper").sanitize_array(arr)
+        middle = TemporalAggregator(300.0, "middle").sanitize_array(arr)
+        assert not np.array_equal(upper.timestamp, middle.timestamp)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalAggregator(0.0)
+        with pytest.raises(ValueError):
+            TemporalAggregator(60.0, "bogus")

@@ -1,0 +1,92 @@
+"""Tests for MapReduced spatial cloaking."""
+
+import numpy as np
+import pytest
+
+from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.counters import STANDARD
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.runner import JobRunner
+from repro.sanitization.cloaking import SpatialCloaking
+from repro.sanitization.cloaking_mr import run_cloaking_mapreduce
+
+
+def _population(n_users=6, n=40, seed=0):
+    """Users in two distinct districts, same hours."""
+    rng = np.random.default_rng(seed)
+    trails = []
+    for u in range(n_users):
+        # Half the users downtown, half in the suburb (~5 km away).
+        base = (39.90, 116.40) if u % 2 == 0 else (39.945, 116.45)
+        trails.append(
+            Trail(
+                f"u{u}",
+                TraceArray.from_columns(
+                    [f"u{u}"],
+                    base[0] + rng.normal(0, 0.001, n),
+                    base[1] + rng.normal(0, 0.001, n),
+                    np.sort(rng.uniform(0, 7200, n)),
+                ),
+            )
+        )
+    return GeolocatedDataset(trails)
+
+
+CLOAK = SpatialCloaking(k=3, base_cell_m=400.0, window_s=3600.0, max_levels=4)
+
+
+def _signature(array: TraceArray) -> set:
+    return {
+        (u, round(float(lat), 9), round(float(lon), 9), float(ts))
+        for u, lat, lon, ts in zip(
+            array.user_ids(), array.latitude, array.longitude, array.timestamp
+        )
+    }
+
+
+class TestExactness:
+    @pytest.mark.parametrize("chunk_traces", [10_000, 37])
+    @pytest.mark.parametrize("num_reducers", [1, 4])
+    def test_mr_equals_sequential(self, chunk_traces, num_reducers):
+        """The quadtree buckets are closed worlds: MR == sequential for
+        any chunking and any reducer count."""
+        ds = _population()
+        seq = CLOAK.sanitize_dataset(ds).flat()
+        hdfs = SimulatedHDFS(paper_cluster(5), chunk_size=64 * chunk_traces, seed=0)
+        hdfs.put_trace_array("in", ds.flat().sort_by_time())
+        runner = JobRunner(hdfs)
+        run_cloaking_mapreduce(runner, CLOAK, "in", "out", num_reducers=num_reducers)
+        mr = hdfs.read_trace_array("out")
+        assert _signature(mr) == _signature(seq)
+
+    def test_shuffle_carries_all_traces(self):
+        ds = _population()
+        hdfs = SimulatedHDFS(paper_cluster(5), chunk_size=64 * 50, seed=0)
+        hdfs.put_trace_array("in", ds.flat().sort_by_time())
+        runner = JobRunner(hdfs)
+        res = run_cloaking_mapreduce(runner, CLOAK, "in", "out")
+        mapped = res.counters.value(STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_RECORDS)
+        assert mapped == len(ds.flat())
+        assert res.counters.value(STANDARD.GROUP_TASK, STANDARD.SHUFFLE_BYTES) > 0
+
+
+class TestCloakingSemanticsThroughMR:
+    def test_lone_users_suppressed(self):
+        """One user alone in their district with k=3 must be suppressed."""
+        ds = _population(n_users=1)
+        hdfs = SimulatedHDFS(paper_cluster(4), seed=0)
+        hdfs.put_trace_array("in", ds.flat())
+        runner = JobRunner(hdfs)
+        run_cloaking_mapreduce(runner, CLOAK, "in", "out")
+        assert len(hdfs.read_trace_array("out")) == 0
+
+    def test_dense_district_released(self):
+        ds = _population(n_users=6)
+        hdfs = SimulatedHDFS(paper_cluster(4), seed=0)
+        hdfs.put_trace_array("in", ds.flat().sort_by_time())
+        runner = JobRunner(hdfs)
+        run_cloaking_mapreduce(runner, CLOAK, "in", "out")
+        out = hdfs.read_trace_array("out")
+        # 3 users per district >= k: everything is released (cloaked).
+        assert len(out) == len(ds.flat())

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_mechanism
+from repro.sanitization import (
+    DonutMask,
+    GaussianMask,
+    PlanarLaplaceMask,
+    Pseudonymizer,
+    RoundingMask,
+    SpatialAggregator,
+    SpatialCloaking,
+    TemporalAggregator,
+    UniformNoiseMask,
+)
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    root = tmp_path / "corpus"
+    assert main(["generate", "--out", str(root), "--users", "2", "--days", "1", "--seed", "5"]) == 0
+    return root
+
+
+class TestParseMechanism:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("gaussian:200", GaussianMask),
+            ("uniform:100", UniformNoiseMask),
+            ("donut:50-150", DonutMask),
+            ("laplace:0.01", PlanarLaplaceMask),
+            ("rounding:500", RoundingMask),
+            ("aggregate:300", SpatialAggregator),
+            ("sample:600", TemporalAggregator),
+            ("cloak:3", SpatialCloaking),
+            ("pseudonymize:7", Pseudonymizer),
+            ("pseudonymize", Pseudonymizer),
+        ],
+    )
+    def test_specs(self, spec, cls):
+        assert isinstance(parse_mechanism(spec), cls)
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(SystemExit, match="unknown mechanism"):
+            parse_mechanism("teleport:1")
+
+    def test_bad_parameter(self):
+        with pytest.raises(SystemExit, match="bad mechanism parameter"):
+            parse_mechanism("gaussian:soft")
+
+
+class TestCommands:
+    def test_generate_writes_geolife_layout(self, corpus_dir):
+        plt_files = list(corpus_dir.glob("*/Trajectory/*.plt"))
+        assert len(plt_files) == 2
+
+    def test_info(self, corpus_dir, capsys):
+        assert main(["info", "--in", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "users:  2" in out
+        assert "traces:" in out
+        assert "user 000" in out
+
+    def test_info_detailed(self, corpus_dir, capsys):
+        assert main(["info", "--in", str(corpus_dir), "--detailed"]) == 0
+        out = capsys.readouterr().out
+        assert "median r_g" in out
+        assert "interval" in out
+
+    def test_visualize(self, corpus_dir, capsys):
+        assert main(["visualize", "--in", str(corpus_dir), "--width", "30", "--height", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "lat [" in out
+
+    def test_sample_roundtrip(self, corpus_dir, tmp_path, capsys):
+        out_dir = tmp_path / "sampled"
+        assert main(
+            ["sample", "--in", str(corpus_dir), "--out", str(out_dir), "--window", "300"]
+        ) == 0
+        msg = capsys.readouterr().out
+        assert "->" in msg
+        assert list(out_dir.glob("*/Trajectory/*.plt"))
+
+    def test_attack(self, corpus_dir, tmp_path, capsys):
+        sampled = tmp_path / "sampled"
+        main(["sample", "--in", str(corpus_dir), "--out", str(sampled), "--window", "60"])
+        capsys.readouterr()
+        assert main(
+            ["attack", "--in", str(sampled), "--radius", "80", "--min-pts", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "POIs" in out
+        assert "home" in out
+
+    def test_attack_single_user(self, corpus_dir, tmp_path, capsys):
+        sampled = tmp_path / "s"
+        main(["sample", "--in", str(corpus_dir), "--out", str(sampled), "--window", "60"])
+        capsys.readouterr()
+        assert main(
+            ["attack", "--in", str(sampled), "--user", "000", "--radius", "80", "--min-pts", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "user 000" in out
+        assert "user 001" not in out
+
+    def test_attack_semantic_flag(self, corpus_dir, capsys):
+        assert main(
+            [
+                "attack", "--in", str(corpus_dir), "--user", "000",
+                "--radius", "80", "--min-pts", "5", "--semantic",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "semantic places" in out
+        assert "home" in out
+
+    def test_attack_unknown_user(self, corpus_dir):
+        with pytest.raises(SystemExit, match="unknown user"):
+            main(["attack", "--in", str(corpus_dir), "--user", "zzz"])
+
+    def test_sanitize(self, corpus_dir, tmp_path, capsys):
+        out_dir = tmp_path / "masked"
+        assert main(
+            [
+                "sanitize",
+                "--in", str(corpus_dir),
+                "--out", str(out_dir),
+                "--mechanism", "gaussian:150",
+            ]
+        ) == 0
+        msg = capsys.readouterr().out
+        assert "GaussianMask" in msg
+        assert list(out_dir.glob("*/Trajectory/*.plt"))
+
+    def test_missing_input(self, tmp_path):
+        with pytest.raises((SystemExit, FileNotFoundError)):
+            main(["info", "--in", str(tmp_path / "absent")])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,169 @@
+"""Tests for the GEPETO facade."""
+
+import numpy as np
+import pytest
+
+from repro import Gepeto
+from repro.algorithms.djcluster import DJClusterParams
+from repro.sanitization import GaussianMask
+
+
+@pytest.fixture(scope="module")
+def gep():
+    toolkit, truth = Gepeto.synthetic(n_users=3, days=2, seed=31)
+    return toolkit, truth
+
+
+class TestConstruction:
+    def test_synthetic_returns_ground_truth(self, gep):
+        toolkit, truth = gep
+        assert len(truth) == 3
+        assert toolkit.dataset.num_users() == 3
+        assert len(toolkit) == len(toolkit.dataset)
+
+    def test_geolife_roundtrip(self, gep, tmp_path):
+        toolkit, _ = gep
+        small = Gepeto(toolkit.dataset.subset([toolkit.dataset.user_ids[0]]))
+        small.save_geolife(tmp_path)
+        back = Gepeto.from_geolife(tmp_path)
+        assert len(back) == len(small)
+
+
+class TestLocalOperations:
+    def test_sample_reduces(self, gep):
+        toolkit, _ = gep
+        sampled = toolkit.sample(60.0)
+        assert len(sampled) < len(toolkit) / 5
+
+    def test_sanitize_and_utility(self, gep):
+        toolkit, _ = gep
+        sampled = toolkit.sample(60.0)
+        masked = sampled.sanitize(GaussianMask(100.0, seed=1))
+        report = masked.utility_versus(sampled)
+        assert report.volume_ratio == 1.0
+        assert report.mean_distortion_m > 50.0
+
+    def test_kmeans(self, gep):
+        toolkit, _ = gep
+        res = toolkit.sample(300.0).kmeans(k=4, seed=1, max_iter=30)
+        assert res.centroids.shape == (4, 2)
+
+    def test_djcluster_and_poi_attack(self, gep):
+        toolkit, truth = gep
+        sampled = toolkit.sample(60.0)
+        params = DJClusterParams(radius_m=80, min_pts=5)
+        res = sampled.djcluster(params)
+        assert res.n_clusters > 0
+        pois = sampled.poi_attack_all(params)
+        assert set(pois) == set(sampled.dataset.user_ids)
+
+    def test_visualize(self, gep):
+        toolkit, _ = gep
+        out = toolkit.visualize(width=40, height=10)
+        assert "lat [" in out
+
+    def test_social_graph(self, gep):
+        toolkit, _ = gep
+        graph = toolkit.social_graph()
+        assert set(graph.nodes) == set(toolkit.dataset.user_ids)
+
+    def test_semantic_places(self, gep):
+        toolkit, truth = gep
+        places, visits = toolkit.semantic_places(truth[0].user_id, min_stay_s=600)
+        assert places and visits
+        assert any(p.label == "home" for p in places)
+
+    def test_predictability(self, gep):
+        import numpy as np
+
+        toolkit, truth = gep
+        user = truth[0]
+        coords = np.array([(p.latitude, p.longitude) for p in user.pois])
+        report = toolkit.predictability(user.user_id, coords)
+        assert report.n_states >= 1
+        assert 0.0 <= report.pi_max <= 1.0
+
+
+class TestDeployment:
+    def test_deploy_uploads_dataset(self, gep):
+        toolkit, _ = gep
+        cluster = toolkit.sample(60.0).deploy(n_workers=4, chunk_size_mb=1)
+        assert cluster.runner.hdfs.exists("input/traces")
+        assert cluster.deploy_overhead_s == pytest.approx(25.0)
+
+    def test_mr_sampling_roundtrip(self, gep):
+        toolkit, _ = gep
+        cluster = toolkit.deploy(n_workers=4, chunk_size_mb=64)
+        result = cluster.sample(60.0)
+        sampled = cluster.read_traces(result.output_path)
+        seq = toolkit.sample(60.0)
+        assert len(sampled) == len(seq)
+
+    def test_mr_kmeans(self, gep):
+        toolkit, _ = gep
+        cluster = toolkit.sample(300.0).deploy(n_workers=4, chunk_size_mb=1)
+        res = cluster.kmeans(k=3, seed=5, max_iter=10)
+        assert res.centroids.shape == (3, 2)
+        assert res.history
+
+    def test_mr_djcluster(self, gep):
+        toolkit, _ = gep
+        cluster = toolkit.sample(300.0).deploy(n_workers=4, chunk_size_mb=64)
+        res = cluster.djcluster(DJClusterParams(radius_m=100, min_pts=4))
+        assert res.sim_seconds > 0
+
+    def test_mr_rtree(self, gep):
+        toolkit, _ = gep
+        sampled = toolkit.sample(300.0)
+        cluster = sampled.deploy(n_workers=4, chunk_size_mb=1)
+        res = cluster.build_rtree(n_partitions=3)
+        assert len(res.tree) == len(sampled)
+
+    def test_mr_mmc_learning(self, gep):
+        import numpy as np
+
+        toolkit, truth = gep
+        sampled = toolkit.sample(60.0)
+        cluster = sampled.deploy(n_workers=4, chunk_size_mb=1)
+        pois = np.array(
+            [(p.latitude, p.longitude) for u in truth for p in u.pois]
+        )
+        models = cluster.learn_mmcs(pois)
+        assert set(models) == set(sampled.dataset.user_ids)
+
+    def test_mr_sanitize(self, gep):
+        from repro.sanitization import GaussianMask
+
+        toolkit, _ = gep
+        cluster = toolkit.sample(300.0).deploy(n_workers=4, chunk_size_mb=64)
+        res = cluster.sanitize(GaussianMask(100.0, seed=2))
+        out = cluster.read_traces(res.output_path)
+        assert len(out) == len(toolkit.sample(300.0))
+
+
+class TestDeanonymization:
+    def test_facade_links_users(self):
+        toolkit, _ = Gepeto.synthetic(n_users=3, days=4, seed=55)
+        sampled = toolkit.sample(60.0)
+        # Pseudonymize a copy as the "released" dataset.
+        from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
+
+        target = GeolocatedDataset()
+        truth_map = {}
+        for trail in sampled.dataset.trails():
+            pseud = f"x-{trail.user_id}"
+            arr = trail.traces
+            target.add_trail(
+                Trail(
+                    pseud,
+                    TraceArray.from_columns(
+                        [pseud], arr.latitude.copy(), arr.longitude.copy(), arr.timestamp.copy()
+                    ),
+                )
+            )
+            truth_map[pseud] = trail.user_id
+        result = sampled.deanonymize(
+            Gepeto(target), truth_map, DJClusterParams(radius_m=80, min_pts=5)
+        )
+        # Identical data: the fingerprints must match their own user.
+        assert result.success_rate == 1.0

@@ -1,0 +1,70 @@
+"""Unit tests for the counter-based hashing RNG."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashrng import hash_normal, hash_uniform, splitmix64, trace_keys
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_mixes_consecutive_inputs(self):
+        out = splitmix64(np.arange(1000, dtype=np.uint64))
+        assert len(np.unique(out)) == 1000
+        # Consecutive outputs should be decorrelated: check top-bit balance.
+        top = (out >> np.uint64(63)).astype(int)
+        assert 0.4 < top.mean() < 0.6
+
+
+class TestTraceKeys:
+    def test_depends_on_every_component(self):
+        lat = np.array([39.9])
+        lon = np.array([116.4])
+        ts = np.array([1000.0])
+        base = trace_keys(lat, lon, ts, seed=0)[0]
+        assert trace_keys(lat + 1e-9, lon, ts, 0)[0] != base
+        assert trace_keys(lat, lon + 1e-9, ts, 0)[0] != base
+        assert trace_keys(lat, lon, ts + 1e-3, 0)[0] != base
+        assert trace_keys(lat, lon, ts, seed=1)[0] != base
+
+    def test_chunk_invariant(self):
+        rng = np.random.default_rng(0)
+        lat, lon, ts = rng.normal(size=(3, 100))
+        whole = trace_keys(lat, lon, ts, 7)
+        parts = np.concatenate(
+            [trace_keys(lat[:30], lon[:30], ts[:30], 7), trace_keys(lat[30:], lon[30:], ts[30:], 7)]
+        )
+        assert np.array_equal(whole, parts)
+
+
+class TestDraws:
+    def _keys(self, n=20000):
+        rng = np.random.default_rng(1)
+        lat, lon, ts = rng.normal(size=(3, n))
+        return trace_keys(lat, lon, ts, 0)
+
+    def test_uniform_in_open_unit_interval(self):
+        u = hash_uniform(self._keys())
+        assert u.min() > 0.0
+        assert u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.01
+
+    def test_streams_decorrelated(self):
+        keys = self._keys()
+        u0 = hash_uniform(keys, stream=0)
+        u1 = hash_uniform(keys, stream=1)
+        assert abs(np.corrcoef(u0, u1)[0, 1]) < 0.02
+
+    def test_normal_moments(self):
+        z = hash_normal(self._keys())
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_normal_streams_independent(self):
+        keys = self._keys()
+        z0 = hash_normal(keys, stream=0)
+        z1 = hash_normal(keys, stream=1)
+        assert abs(np.corrcoef(z0, z1)[0, 1]) < 0.02

@@ -1,0 +1,146 @@
+"""Unit tests for visualization/export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks.poi import PointOfInterestEstimate
+from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
+from repro.viz import ascii_density_map, cluster_summary_table, to_csv, to_geojson
+
+
+def _ds(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return GeolocatedDataset(
+        [
+            Trail(
+                "u",
+                TraceArray.from_columns(
+                    ["u"],
+                    39.9 + rng.normal(0, 0.01, n),
+                    116.4 + rng.normal(0, 0.01, n),
+                    np.arange(n, dtype=float),
+                ),
+            )
+        ]
+    )
+
+
+def _poi():
+    return PointOfInterestEstimate(39.9, 116.4, 42, 7200.0, np.zeros(24, dtype=int), "home")
+
+
+class TestAsciiMap:
+    def test_dimensions(self):
+        out = ascii_density_map(_ds(), width=40, height=10)
+        lines = out.splitlines()
+        assert lines[0] == "+" + "-" * 40 + "+"
+        body = lines[1:-2]
+        assert len(body) == 10
+        assert all(len(line) == 42 for line in body)
+
+    def test_legend_shows_bounds_and_count(self):
+        out = ascii_density_map(_ds(50))
+        assert "n=50" in out
+        assert "lat [" in out and "lon [" in out
+
+    def test_markers_overlaid(self):
+        out = ascii_density_map(_ds(), markers=[(39.9, 116.4, "H")])
+        assert "H" in out
+
+    def test_empty_dataset(self):
+        assert "empty" in ascii_density_map(GeolocatedDataset())
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_density_map(_ds(), width=1)
+
+    def test_dense_cells_darker_than_sparse(self):
+        out = ascii_density_map(_ds(2000, seed=1), width=30, height=10)
+        # Both dense-ramp and blank characters should appear.
+        body = "".join(out.splitlines()[1:-2])
+        assert "@" in body or "%" in body or "#" in body
+        assert " " in body
+
+
+class TestGeoJson:
+    def test_valid_geojson_with_traces(self):
+        doc = json.loads(to_geojson(_ds(10)))
+        assert doc["type"] == "FeatureCollection"
+        assert len(doc["features"]) == 10
+        feat = doc["features"][0]
+        # GeoJSON order: [lon, lat].
+        assert feat["geometry"]["coordinates"][0] == pytest.approx(116.4, abs=0.1)
+        assert feat["properties"]["kind"] == "trace"
+
+    def test_subsampling_bound(self):
+        doc = json.loads(to_geojson(_ds(500), max_traces=50))
+        assert len(doc["features"]) == 50
+
+    def test_pois_exported(self):
+        doc = json.loads(to_geojson(pois=[_poi()]))
+        (feat,) = doc["features"]
+        assert feat["properties"]["kind"] == "poi"
+        assert feat["properties"]["label"] == "home"
+
+    def test_clusters_require_points(self):
+        with pytest.raises(ValueError):
+            to_geojson(clusters=[np.array([0, 1])])
+
+    def test_clusters_exported_as_multipoints(self):
+        flat = _ds(10).flat()
+        doc = json.loads(
+            to_geojson(clusters=[np.array([0, 1, 2])], cluster_points=flat)
+        )
+        (feat,) = doc["features"]
+        assert feat["geometry"]["type"] == "MultiPoint"
+        assert feat["properties"]["size"] == 3
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = to_csv(_ds(5))
+        lines = csv.splitlines()
+        assert lines[0] == "user,latitude,longitude,timestamp,altitude"
+        assert len(lines) == 6
+        assert lines[1].startswith("u,")
+
+
+class TestSummaryTable:
+    def test_table_contains_poi_fields(self):
+        table = cluster_summary_table([_poi()])
+        assert "home" in table
+        assert "42" in table
+        assert "2.00" in table  # dwell hours
+
+
+class TestMmcTable:
+    def test_transition_table_renders(self):
+        from repro.attacks.mmc import build_mmc
+        from repro.viz import mmc_transition_table
+
+        pois = np.array([[39.9, 116.4], [39.95, 116.5]])
+        arr = TraceArray.from_columns(
+            ["u"],
+            np.array([39.9, 39.95, 39.9, 39.95]),
+            np.array([116.4, 116.5, 116.4, 116.5]),
+            np.arange(4.0) * 600,
+        )
+        mmc = build_mmc(arr, pois, labels=["home", "work"])
+        table = mmc_transition_table(mmc)
+        assert "home" in table and "work" in table
+        assert "1.00" in table  # deterministic alternation
+
+    def test_max_states_respected(self):
+        from repro.attacks.mmc import MobilityMarkovChain
+        from repro.viz import mmc_transition_table
+
+        n = 6
+        mmc = MobilityMarkovChain(
+            states=np.zeros((n, 2)),
+            transitions=np.full((n, n), 1.0 / n),
+            visit_counts=np.arange(n, dtype=float),
+        )
+        table = mmc_transition_table(mmc, max_states=3)
+        assert len(table.splitlines()) == 5  # header + rule + 3 rows
