@@ -61,3 +61,17 @@ def write_report(name: str, lines: list[str]) -> str:
     text = "\n".join(lines) + "\n"
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     return text
+
+
+def write_history(name: str, runner: JobRunner) -> Path:
+    """Persist a deployment's job-history trace next to its report.
+
+    Saves ``benchmarks/results/<name>_history.json`` — renderable with
+    ``python -m repro history`` (see docs/OBSERVABILITY.md) — so the
+    per-task structure behind a reproduction table can be inspected
+    without re-running the benchmark.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}_history.json"
+    runner.history.save(path)
+    return path

@@ -1,8 +1,18 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Report output is routinely piped into `head`/`less`; behave
+        # like a Unix filter instead of dumping a traceback.  Redirect
+        # stdout to devnull so the interpreter's final flush of the
+        # closed pipe cannot raise again (python.org BrokenPipeError
+        # recipe), and exit with SIGPIPE's conventional status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -39,6 +39,7 @@ from repro.mapreduce.job import ConstantKeyPartitioner, JobSpec, Mapper, Reducer
 from repro.mapreduce.pipeline import JobPipeline, PipelineResult
 from repro.mapreduce.runner import JobRunner
 from repro.mapreduce.types import ArrayPayload, Chunk
+from repro.observability.events import EventKind
 
 __all__ = [
     "DJClusterParams",
@@ -365,7 +366,8 @@ def run_preprocessing_pipeline(
     runner.hdfs.delete(f"{workdir}/stationary", missing_ok=True)
     runner.hdfs.delete(f"{workdir}/preprocessed", missing_ok=True)
     pipeline = JobPipeline(
-        [
+        name="dj-preprocessing",
+        stages=[
             lambda src: JobSpec(
                 name="dj-filter-moving",
                 mapper=SpeedFilterMapper,
@@ -394,11 +396,16 @@ def run_djcluster_mapreduce(
     n_rtree_partitions: int | None = None,
     rtree_curve: str = "hilbert",
     workdir: str = "tmp/djcluster",
+    history_path: str | None = None,
 ) -> DJClusterResult:
     """The full MapReduced DJ-Cluster: preprocessing, R-tree build,
     neighborhood map phase and single-reducer merge.
 
     Cluster ids reference rows of the returned ``preprocessed`` array.
+    Every constituent job traces into ``runner.history`` and the driver
+    annotates each stage boundary, so the exported history (via
+    ``history_path`` or ``runner.history.save``) shows where the three
+    phases spend their simulated time.
     """
     hdfs = runner.hdfs
     pre = run_preprocessing_pipeline(runner, input_path, params, workdir)
@@ -406,6 +413,8 @@ def run_djcluster_mapreduce(
     prepared = hdfs.read_trace_array(preprocessed_path)
     n = len(prepared)
     if n == 0:
+        if history_path is not None:
+            runner.history.save(history_path)
         return DJClusterResult(
             prepared, [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), params,
             sim_seconds=pre.sim_seconds, stage_sim_seconds={"preprocessing": pre.sim_seconds},
@@ -452,6 +461,17 @@ def run_djcluster_mapreduce(
         "rtree_build": build.sim_seconds,
         "neighborhood_merge": res.sim_seconds,
     }
+    runner.history.emit(
+        EventKind.DRIVER_ANNOTATION,
+        res.job_name,
+        runner.history.clock,
+        driver="djcluster",
+        n_clusters=len(clusters),
+        n_noise=int(len(noise)),
+        stage_sim_seconds={k: float(v) for k, v in stage_sim.items()},
+    )
+    if history_path is not None:
+        runner.history.save(history_path)
     return DJClusterResult(
         prepared,
         clusters,

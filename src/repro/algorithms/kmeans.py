@@ -36,6 +36,7 @@ from repro.mapreduce.job import JobSpec, Mapper, Reducer
 from repro.mapreduce.runner import JobRunner
 from repro.mapreduce.counters import STANDARD
 from repro.mapreduce.types import Chunk
+from repro.observability.events import EventKind
 
 __all__ = [
     "assign_points",
@@ -297,12 +298,19 @@ def run_kmeans_mapreduce(
     use_combiner: bool = False,
     num_reducers: int | None = None,
     workdir: str = "tmp/kmeans",
+    history_path: str | None = None,
 ) -> KMeansResult:
     """The k-means driver (Algorithm 3): one MapReduce job per iteration.
 
     Each iteration writes a ``{workdir}/clusters-{i}`` file holding the
     new centroids (Figure 4's per-iteration clusters directory) and
     republished them in the distributed cache for the next map phase.
+
+    Every iteration's job emits its full event stream into
+    ``runner.history`` and the driver adds one ``driver_annotation``
+    event per iteration (centroid movement, convergence), so the history
+    file is the per-iteration trace Table III's analysis needs; pass
+    ``history_path`` to export it (``.json``/``.jsonl``).
     """
     get_metric(distance)
     hdfs = runner.hdfs
@@ -353,9 +361,22 @@ def run_kmeans_mapreduce(
                 map_tasks=result.n_map_tasks,
             )
         )
-        if move <= convergence_delta:
+        converged_now = move <= convergence_delta
+        runner.history.emit(
+            EventKind.DRIVER_ANNOTATION,
+            result.job_name,
+            runner.history.clock,
+            driver="kmeans",
+            iteration=iteration,
+            max_centroid_move=float(move),
+            converged=converged_now,
+            sim_seconds=result.sim_seconds,
+        )
+        if converged_now:
             converged = True
             break
+    if history_path is not None:
+        runner.history.save(history_path)
     return KMeansResult(
         centroids=centroids,
         n_iterations=iteration,

@@ -137,11 +137,15 @@ def run_sampling_job(
     window_s: float,
     technique: "str | SamplingTechnique" = SamplingTechnique.UPPER,
     name: str = "sampling",
+    history_path: "str | None" = None,
 ) -> JobResult:
     """Run the MapReduce sampling job (Section V's Hadoop application).
 
     The user specifies the window size, the technique and the input and
-    output folders — exactly the parameters the paper lists.
+    output folders — exactly the parameters the paper lists.  The run's
+    structured trace accumulates in ``runner.history``; pass
+    ``history_path`` to also export it as a JSON/JSONL history file
+    readable by ``python -m repro history``.
     """
     technique = SamplingTechnique.parse(technique)
     if window_s <= 0:
@@ -160,4 +164,7 @@ def run_sampling_job(
         conf=conf,
         map_cost_factor=0.6,  # cheaper per byte than a clustering map
     )
-    return runner.run(spec)
+    result = runner.run(spec)
+    if history_path is not None:
+        runner.history.save(history_path)
+    return result

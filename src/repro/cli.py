@@ -13,6 +13,7 @@ Commands
 ``sample``     temporal down-sampling (Section V)
 ``attack``     the POI inference attack (Section VII + labelling)
 ``sanitize``   apply a geo-sanitization mechanism
+``history``    render a job-history trace report (docs/OBSERVABILITY.md)
 """
 
 from __future__ import annotations
@@ -131,6 +132,40 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="e.g. gaussian:200, rounding:500, sample:600, cloak:3, pseudonymize:7",
     )
+
+    hist = sub.add_parser(
+        "history",
+        help="render a Gantt/summary report from a job-history file",
+        description=(
+            "Reads a .json/.jsonl job-history file written by "
+            "JobHistory.save (every JobRunner records one; algorithm "
+            "drivers expose history_path=...) and renders per-job "
+            "summaries: phase breakdown, critical path, straggler "
+            "ranking, locality mix, combiner effectiveness, per-reducer "
+            "shuffle bytes, and a per-task text Gantt timeline."
+        ),
+    )
+    hist.add_argument(
+        "file", nargs="?", help="history file (.json or .jsonl)"
+    )
+    hist.add_argument("--job", action="append", help="restrict to job name(s)")
+    hist.add_argument(
+        "--no-gantt", action="store_true", help="omit the per-task timeline"
+    )
+    hist.add_argument(
+        "--width", type=int, default=48, help="Gantt bar width in characters"
+    )
+    hist.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="only check the event-ordering guarantees, print nothing else",
+    )
+    hist.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="trace a miniature deployment end to end and verify the "
+        "history invariants (used by the CI smoke step)",
+    )
     return parser
 
 
@@ -238,6 +273,37 @@ def main(argv: list[str] | None = None) -> int:
             f"applied {sanitizer!r}: {len(dataset):,} -> "
             f"{len(released.flat()):,} traces -> {args.out}"
         )
+        return 0
+
+    if args.command == "history":
+        if args.selfcheck:
+            from repro.observability.selfcheck import run_selfcheck
+
+            return run_selfcheck()
+        if not args.file:
+            raise SystemExit("history: provide a history file or --selfcheck")
+        from repro.observability.history import load_history
+        from repro.observability.report import render_report
+
+        try:
+            history = load_history(args.file)
+        except FileNotFoundError:
+            raise SystemExit(f"no such history file: {args.file}")
+        except ValueError as exc:
+            raise SystemExit(f"cannot read {args.file}: {exc}")
+        violations = history.validate()
+        if args.validate_only:
+            for violation in violations:
+                print(f"violation: {violation}")
+            print(
+                f"{len(history)} events, {len(history.jobs())} jobs, "
+                f"{len(violations)} ordering violation(s)"
+            )
+            return 1 if violations else 0
+        print(render_report(history, jobs=args.job, gantt=not args.no_gantt, width=args.width))
+        if violations:
+            print(f"\nWARNING: {len(violations)} ordering violation(s); run --validate-only")
+            return 1
         return 0
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -22,6 +22,12 @@ depends on —
   DAG (chunk sizes, locality, shuffle bytes, slot contention) into
   simulated wall-clock seconds so chunk-size and distance-function effects
   (Table III) are measurable and deterministic.
+* **Tracing** (:mod:`repro.observability`): every runner owns a
+  :class:`~repro.observability.history.JobHistory` that receives typed
+  lifecycle events (job/phase/task start+finish, attempt failures,
+  speculative launches, shuffle transfers, cache loads) aligned to the
+  cost-model clock; export it with ``runner.history.save(path)`` and
+  render it with ``python -m repro history <file>``.
 """
 
 from repro.mapreduce.config import Configuration
@@ -43,6 +49,7 @@ from repro.mapreduce.pipeline import JobPipeline
 from repro.mapreduce.simtime import CostModel
 from repro.mapreduce.failures import FailureInjector, TaskFailure
 from repro.mapreduce.cache import DistributedCache
+from repro.observability.history import JobHistory, load_history
 
 # NOTE: repro.mapreduce.textio is intentionally not imported here — it
 # depends on repro.algorithms (which depends back on this package);
@@ -73,4 +80,6 @@ __all__ = [
     "FailureInjector",
     "TaskFailure",
     "DistributedCache",
+    "JobHistory",
+    "load_history",
 ]

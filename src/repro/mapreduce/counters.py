@@ -70,8 +70,33 @@ class Counters:
             for name in sorted(self._groups[group]):
                 yield group, name, self._groups[group][name]
 
-    def as_dict(self) -> dict[str, dict[str, int]]:
-        return {g: dict(names) for g, names in self._groups.items()}
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        """Sorted plain-dict snapshot (the job-history export format).
+
+        Groups and names are emitted in sorted order so serialized
+        histories are byte-stable across runs and Python hash seeds.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for group, name, value in self:
+            out.setdefault(group, {})[name] = value
+        return out
+
+    # Backwards-compatible alias; ``to_dict`` is the canonical spelling.
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict[str, dict[str, int]]) -> "Counters":
+        """Inverse of :meth:`to_dict`: ``from_dict(c.to_dict()) == c``."""
+        counters = cls()
+        for group, names in data.items():
+            for name, amount in names.items():
+                counters.increment(group, name, int(amount))
+        return counters
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
 
     def __repr__(self) -> str:
         lines = [f"{g}.{n}={v}" for g, n, v in self]

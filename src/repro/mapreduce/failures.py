@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TaskFailure", "FailureInjector", "MAX_TASK_ATTEMPTS"]
+__all__ = [
+    "TaskFailure",
+    "FailureInjector",
+    "MAX_TASK_ATTEMPTS",
+    "emit_attempt_failures",
+]
 
 #: Hadoop's default maximum attempts per task before the job fails.
 MAX_TASK_ATTEMPTS = 4
@@ -73,3 +78,35 @@ class FailureInjector:
         """Schedule the first ``attempts`` attempts of a task to fail."""
         for attempt in range(1, attempts + 1):
             self.scripted.add((task_id, attempt))
+
+
+def emit_attempt_failures(
+    history,
+    job_name: str,
+    task_id: str,
+    failures: list[tuple[int, str, str]],
+    t_start: float,
+    attempt_duration: float,
+) -> None:
+    """Record a task's failed attempts in a job history.
+
+    ``failures`` holds ``(attempt, node, reason)`` triples in attempt
+    order.  Attempts occupy the task's slot back to back, so the *i*-th
+    attempt crashes at ``t_start + i * attempt_duration`` — which keeps
+    every ``attempt_failed`` event strictly before the successful
+    attempt's ``task_finish`` (the ordering guarantee the history layer
+    validates).  The history object is duck-typed (anything with
+    ``emit``) so this module stays import-light.
+    """
+    from repro.observability.events import EventKind
+
+    for attempt, node, reason in failures:
+        history.emit(
+            EventKind.ATTEMPT_FAILED,
+            job_name,
+            t_start + attempt * attempt_duration,
+            task=task_id,
+            node=node,
+            attempt=attempt,
+            reason=reason,
+        )

@@ -35,13 +35,17 @@ from repro.mapreduce.job import (
 from repro.mapreduce.scheduler import (
     MapPhasePlan,
     TaskAssignment,
+    emit_map_phase_events,
+    emit_reduce_phase_events,
     plan_map_phase,
     plan_reduce_phase,
     record_locality,
 )
-from repro.mapreduce.shuffle import group_sorted, shuffle
+from repro.mapreduce.shuffle import emit_shuffle_events, group_sorted, shuffle
 from repro.mapreduce.simtime import CostModel, JobTiming
 from repro.mapreduce.types import Chunk
+from repro.observability.events import EventKind, Phase
+from repro.observability.history import JobHistory
 
 __all__ = ["JobRunner", "JobResult"]
 
@@ -105,6 +109,13 @@ class JobRunner:
     prefer_locality / speculative:
         Scheduler knobs (DESIGN.md locality ablation; straggler
         speculation).
+    history:
+        The :class:`~repro.observability.history.JobHistory` receiving
+        this deployment's structured trace events.  One collector spans
+        every job the runner executes (successive jobs stack on one
+        cumulative simulated clock), so a driver's per-iteration jobs
+        land in a single exportable history.  Defaults to a fresh
+        collector; pass one explicitly to share a history across runners.
     """
 
     def __init__(
@@ -118,6 +129,7 @@ class JobRunner:
         max_workers: int | None = None,
         prefer_locality: bool = True,
         speculative: bool = False,
+        history: JobHistory | None = None,
     ):
         if executor not in ("serial", "threads"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -133,6 +145,7 @@ class JobRunner:
         self.max_workers = max_workers
         self.prefer_locality = prefer_locality
         self.speculative = speculative
+        self.history = history if history is not None else JobHistory()
         #: Simulated one-time deployment overhead (HDFS install + upload);
         #: reported separately, as the paper does (~25 s).
         self.deploy_overhead_s = self.cost_model.deploy_overhead_s
@@ -153,17 +166,18 @@ class JobRunner:
 
     def _run_map_task(
         self, job: JobSpec, assignment: TaskAssignment
-    ) -> tuple[list[tuple[Any, Any]], Counters, float, int]:
+    ) -> tuple[list[tuple[Any, Any]], Counters, float, int, list[tuple[int, str, str]]]:
         """Run one map task with the retry policy.
 
         Returns (output pairs, local counters, simulated retry penalty,
-        records emitted).
+        records emitted, failed attempts as (attempt, node, reason)).
         """
         chunk = assignment.chunk
         retry_penalty = 0.0
         tried: set[str] = set()
         node = assignment.node
         last_error: TaskFailure | None = None
+        failures: list[tuple[int, str, str]] = []
         for attempt in range(1, self.max_attempts + 1):
             tried.add(node)
             counters = Counters()
@@ -177,6 +191,7 @@ class JobRunner:
                 mapper.cleanup(ctx)
             except TaskFailure as exc:
                 last_error = exc
+                failures.append((attempt, node, exc.reason))
                 retry_penalty += assignment.duration  # the wasted attempt
                 node = self._retry_node(chunk, tried)
                 continue
@@ -192,7 +207,7 @@ class JobRunner:
             counters.increment(
                 STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1
             )
-            return ctx.output, counters, retry_penalty, ctx.output_records
+            return ctx.output, counters, retry_penalty, ctx.output_records, failures
         raise RuntimeError(
             f"task {assignment.task_id} failed {self.max_attempts} attempts"
         ) from last_error
@@ -266,10 +281,15 @@ class JobRunner:
 
         map_outputs: list[list[tuple[Any, Any]]] = []
         retry_penalty = 0.0
-        for output, task_counters, penalty, _ in results:
+        map_failures: dict[str, list[tuple[int, str, str]]] = {}
+        for assignment, (output, task_counters, penalty, _, failures) in zip(
+            primary, results
+        ):
             counters.merge(task_counters)
             retry_penalty += penalty
             map_outputs.append(output)
+            if failures:
+                map_failures[assignment.task_id] = failures
 
         if job.combiner is not None:
             combined = []
@@ -289,6 +309,10 @@ class JobRunner:
             flat = [pair for output in map_outputs for pair in output]
             self._write_output(job.output_path, flat)
             timing = JobTiming(setup_s, plan.makespan, 0.0, retry_penalty)
+            self._emit_history(
+                job, len(chunks), plan, map_failures, None, None, None,
+                timing, counters, len(primary), 0,
+            )
             return JobResult(
                 job.name, job.output_path, counters, timing, plan, len(primary), 0
             )
@@ -300,13 +324,16 @@ class JobRunner:
         )
 
         reduce_output: list[tuple[Any, Any]] = []
+        reduce_failures: dict[str, list[tuple[int, str, str]]] = {}
         for r, groups in enumerate(sh.partitions):
             task_id = f"reduce-{r:04d}"
-            out, r_counters = self._run_reduce_task(job, task_id, groups)
+            out, r_counters, r_failed = self._run_reduce_task(job, task_id, groups)
             counters.merge(r_counters)
             reduce_output.extend(out)
+            if r_failed:
+                reduce_failures[task_id] = r_failed
 
-        _, reduce_makespan = plan_reduce_phase(
+        reduce_placements, reduce_makespan = plan_reduce_phase(
             job.num_reducers,
             self.cluster,
             lambda r: self.cost_model.reduce_task_time(
@@ -316,6 +343,10 @@ class JobRunner:
         )
         self._write_output(job.output_path, reduce_output)
         timing = JobTiming(setup_s, plan.makespan, reduce_makespan, retry_penalty)
+        self._emit_history(
+            job, len(chunks), plan, map_failures, sh, reduce_placements,
+            reduce_failures, timing, counters, len(primary), job.num_reducers,
+        )
         return JobResult(
             job.name,
             job.output_path,
@@ -326,9 +357,102 @@ class JobRunner:
             job.num_reducers,
         )
 
+    def _emit_history(
+        self,
+        job: JobSpec,
+        n_chunks: int,
+        plan: MapPhasePlan,
+        map_failures: dict[str, list[tuple[int, str, str]]],
+        sh,
+        reduce_placements,
+        reduce_failures: dict[str, list[tuple[int, str, str]]] | None,
+        timing: JobTiming,
+        counters: Counters,
+        n_map_tasks: int,
+        n_reduce_tasks: int,
+    ) -> None:
+        """Emit the job's full event stream onto the cumulative sim clock.
+
+        The execution is simulated, so events are materialized post-hoc in
+        chronological order: job/setup at the clock origin, the map-phase
+        task timeline, shuffle transfers, the reduce-phase timeline, and
+        the closing ``job_finish`` carrying the timing breakdown and the
+        final counter snapshot.  Phase durations exactly mirror
+        :class:`JobTiming` (the acceptance invariant the history tests
+        pin down); per-task retry extensions are charged to the job-wide
+        retry penalty, not the phase clock.
+        """
+        h = self.history
+        t0 = h.clock
+        h.emit(
+            EventKind.JOB_START,
+            job.name,
+            t0,
+            input_paths=list(job.input_paths),
+            output_path=job.output_path,
+            n_chunks=n_chunks,
+            map_only=job.map_only,
+            num_reducers=0 if job.map_only else job.num_reducers,
+            combiner=job.combiner is not None,
+        )
+        h.emit(EventKind.PHASE_START, job.name, t0, phase=Phase.SETUP)
+        if len(self.cache):
+            cache_nbytes = self.cache.nbytes()
+            h.emit(
+                EventKind.CACHE_LOAD,
+                job.name,
+                t0,
+                entries=sorted(self.cache),
+                nbytes=cache_nbytes,
+                broadcast_s=self.cost_model.cache_broadcast_time(cache_nbytes),
+            )
+        h.emit(
+            EventKind.PHASE_FINISH, job.name, t0 + timing.setup_s,
+            phase=Phase.SETUP, duration_s=timing.setup_s,
+        )
+        t_map = t0 + timing.setup_s
+        h.emit(EventKind.PHASE_START, job.name, t_map, phase=Phase.MAP)
+        emit_map_phase_events(h, job.name, plan, t_map, map_failures)
+        h.emit(
+            EventKind.PHASE_FINISH, job.name, t_map + timing.map_s,
+            phase=Phase.MAP, duration_s=timing.map_s,
+        )
+        if sh is not None:
+            t_reduce = t_map + timing.map_s
+            emit_shuffle_events(h, job.name, sh, t_reduce)
+            h.emit(EventKind.PHASE_START, job.name, t_reduce, phase=Phase.REDUCE)
+            records = {
+                f"reduce-{r:04d}": sh.records_for(r) for r in range(sh.n_reducers)
+            }
+            emit_reduce_phase_events(
+                h, job.name, reduce_placements, t_reduce,
+                reduce_failures or {}, records,
+            )
+            h.emit(
+                EventKind.PHASE_FINISH, job.name, t_reduce + timing.reduce_s,
+                phase=Phase.REDUCE, duration_s=timing.reduce_s,
+            )
+        h.emit(
+            EventKind.JOB_FINISH,
+            job.name,
+            t0 + timing.total_s,
+            timing={
+                "setup_s": timing.setup_s,
+                "map_s": timing.map_s,
+                "reduce_s": timing.reduce_s,
+                "retry_penalty_s": timing.retry_penalty_s,
+                "total_s": timing.total_s,
+            },
+            counters=counters.to_dict(),
+            n_map_tasks=n_map_tasks,
+            n_reduce_tasks=n_reduce_tasks,
+            output_path=job.output_path,
+        )
+        h.advance(t0 + timing.total_s)
+
     def _run_reduce_task(
         self, job: JobSpec, task_id: str, groups: list[tuple[Any, list[Any]]]
-    ) -> tuple[list[tuple[Any, Any]], Counters]:
+    ) -> tuple[list[tuple[Any, Any]], Counters, list[tuple[int, str, str]]]:
         """Run one reduce task with the same retry policy as map tasks."""
         alive = [
             n.name
@@ -336,6 +460,7 @@ class JobRunner:
             if n.name not in self.hdfs.dead_nodes
         ]
         last_error: TaskFailure | None = None
+        failures: list[tuple[int, str, str]] = []
         for attempt in range(1, self.max_attempts + 1):
             node = alive[(attempt - 1) % len(alive)]
             counters = Counters()
@@ -349,6 +474,7 @@ class JobRunner:
                 reducer.cleanup(ctx)
             except TaskFailure as exc:
                 last_error = exc
+                failures.append((attempt, node, exc.reason))
                 counters = Counters()
                 continue
             n_values = sum(len(v) for _, v in groups)
@@ -358,7 +484,7 @@ class JobRunner:
                 STANDARD.GROUP_TASK, STANDARD.REDUCE_OUTPUT_RECORDS, ctx.output_records
             )
             counters.increment(STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1)
-            return ctx.output, counters
+            return ctx.output, counters, failures
         raise RuntimeError(
             f"task {task_id} failed {self.max_attempts} attempts"
         ) from last_error

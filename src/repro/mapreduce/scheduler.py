@@ -18,9 +18,22 @@ from typing import Callable, Sequence
 
 from repro.mapreduce.cluster import ClusterSpec, Node
 from repro.mapreduce.counters import Counters, STANDARD
+from repro.mapreduce.failures import emit_attempt_failures
 from repro.mapreduce.types import Chunk
+from repro.observability.events import EventKind, Phase
+from repro.observability.history import JobHistory
 
-__all__ = ["TaskAssignment", "MapPhasePlan", "plan_map_phase", "plan_reduce_phase", "Locality"]
+__all__ = [
+    "TaskAssignment",
+    "MapPhasePlan",
+    "ReduceAssignment",
+    "plan_map_phase",
+    "plan_reduce_phase",
+    "emit_map_phase_events",
+    "emit_reduce_phase_events",
+    "record_locality",
+    "Locality",
+]
 
 
 class Locality:
@@ -40,6 +53,20 @@ class TaskAssignment:
     start_time: float
     duration: float
     speculative: bool = False
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+
+@dataclass(frozen=True)
+class ReduceAssignment:
+    """One planned reduce task: which partition runs where, and when."""
+
+    task_id: str
+    node: str
+    start_time: float
+    duration: float
 
     @property
     def end_time(self) -> float:
@@ -191,12 +218,14 @@ def plan_reduce_phase(
     cluster: ClusterSpec,
     task_time_fn: Callable[[int], float],
     dead_nodes: frozenset[str] = frozenset(),
-) -> tuple[list[tuple[str, str]], float]:
+) -> tuple[list[ReduceAssignment], float]:
     """Plan reduce tasks over reduce slots; returns (placements, makespan).
 
     Reducers "are spread across the same nodes as the mappers"
     (Section III); placement is round-robin over alive tasktrackers, and
-    the makespan is an LPT list-schedule over the reduce slots.
+    the makespan is an LPT list-schedule over the reduce slots.  Each
+    placement carries its slot-packed start time and duration so the
+    job-history layer can materialize per-reducer timelines.
     """
     workers = [n for n in cluster.tasktrackers() if n.name not in dead_nodes]
     if not workers:
@@ -208,18 +237,150 @@ def plan_reduce_phase(
             heapq.heappush(slots, (0.0, next(counter), node.name))
     if not slots:
         raise RuntimeError("cluster has zero reduce slots")
-    placements: list[tuple[str, str]] = []
+    placements: list[ReduceAssignment] = []
     makespan = 0.0
     durations = sorted(
         ((task_time_fn(r), r) for r in range(n_reducers)), reverse=True
     )
     for duration, r in durations:
         free_time, _, node_name = heapq.heappop(slots)
-        placements.append((f"reduce-{r:04d}", node_name))
+        placements.append(
+            ReduceAssignment(f"reduce-{r:04d}", node_name, free_time, duration)
+        )
         end = free_time + duration
         makespan = max(makespan, end)
         heapq.heappush(slots, (end, next(counter), node_name))
+    placements.sort(key=lambda p: p.task_id)
     return placements, makespan
+
+
+def emit_map_phase_events(
+    history: JobHistory,
+    job_name: str,
+    plan: MapPhasePlan,
+    t0: float,
+    failures_by_task: dict[str, list[tuple[int, str, str]]] | None = None,
+) -> None:
+    """Emit the map phase's task timeline into a job history.
+
+    ``t0`` is the phase start on the history's simulated clock; planned
+    start/end times are relative to it.  ``failures_by_task`` maps a task
+    id to its failed attempts ``(attempt, node, reason)``; attempts are
+    modelled as back-to-back occupations of the task's slot, so a retried
+    task finishes ``(attempts - 1) * duration`` later than planned — the
+    same quantity the cost model charges as the job's retry penalty.
+    """
+    failures_by_task = failures_by_task or {}
+    primary = sorted(
+        (a for a in plan.assignments if not a.speculative),
+        key=lambda a: (a.start_time, a.task_id),
+    )
+    for a in primary:
+        history.emit(
+            EventKind.TASK_START,
+            job_name,
+            t0 + a.start_time,
+            task=a.task_id,
+            node=a.node,
+            phase=Phase.MAP,
+            locality=a.locality,
+            input_bytes=a.chunk.nbytes,
+            input_records=a.chunk.n_records,
+        )
+        failures = failures_by_task.get(a.task_id, [])
+        emit_attempt_failures(
+            history, job_name, a.task_id, failures,
+            t_start=t0 + a.start_time, attempt_duration=a.duration,
+        )
+        attempts = 1 + len(failures)
+        history.emit(
+            EventKind.TASK_FINISH,
+            job_name,
+            t0 + a.start_time + attempts * a.duration,
+            task=a.task_id,
+            node=a.node,
+            phase=Phase.MAP,
+            duration_s=a.duration,
+            attempts=attempts,
+            wasted_s=(attempts - 1) * a.duration,
+            locality=a.locality,
+        )
+    for a in plan.assignments:
+        if not a.speculative:
+            continue
+        original = next(
+            (p for p in primary if p.task_id == a.task_id), None
+        )
+        history.emit(
+            EventKind.SPECULATIVE_LAUNCH,
+            job_name,
+            t0 + a.start_time,
+            task=a.task_id,
+            node=a.node,
+            original_node=original.node if original else None,
+            duration_s=a.duration,
+        )
+        history.emit(
+            EventKind.TASK_START,
+            job_name,
+            t0 + a.start_time,
+            task=a.task_id,
+            node=a.node,
+            phase=Phase.MAP,
+            locality=a.locality,
+            speculative=True,
+        )
+        history.emit(
+            EventKind.TASK_FINISH,
+            job_name,
+            t0 + a.end_time,
+            task=a.task_id,
+            node=a.node,
+            phase=Phase.MAP,
+            duration_s=a.duration,
+            locality=a.locality,
+            speculative=True,
+        )
+
+
+def emit_reduce_phase_events(
+    history: JobHistory,
+    job_name: str,
+    placements: Sequence[ReduceAssignment],
+    t0: float,
+    failures_by_task: dict[str, list[tuple[int, str, str]]] | None = None,
+    records_by_task: dict[str, int] | None = None,
+) -> None:
+    """Emit the reduce phase's task timeline (same model as the map side)."""
+    failures_by_task = failures_by_task or {}
+    records_by_task = records_by_task or {}
+    for p in sorted(placements, key=lambda p: (p.start_time, p.task_id)):
+        history.emit(
+            EventKind.TASK_START,
+            job_name,
+            t0 + p.start_time,
+            task=p.task_id,
+            node=p.node,
+            phase=Phase.REDUCE,
+            input_records=records_by_task.get(p.task_id, 0),
+        )
+        failures = failures_by_task.get(p.task_id, [])
+        emit_attempt_failures(
+            history, job_name, p.task_id, failures,
+            t_start=t0 + p.start_time, attempt_duration=p.duration,
+        )
+        attempts = 1 + len(failures)
+        history.emit(
+            EventKind.TASK_FINISH,
+            job_name,
+            t0 + p.start_time + attempts * p.duration,
+            task=p.task_id,
+            node=p.node,
+            phase=Phase.REDUCE,
+            duration_s=p.duration,
+            attempts=attempts,
+            wasted_s=(attempts - 1) * p.duration,
+        )
 
 
 def record_locality(counters: Counters, plan: MapPhasePlan) -> None:

@@ -15,7 +15,7 @@ from typing import Any, Sequence
 from repro.mapreduce.job import Partitioner
 from repro.mapreduce.types import estimate_nbytes
 
-__all__ = ["shuffle", "group_sorted", "ShuffleResult"]
+__all__ = ["shuffle", "group_sorted", "ShuffleResult", "emit_shuffle_events"]
 
 
 def _sort_key(key: Any) -> tuple[str, repr]:
@@ -94,3 +94,27 @@ def shuffle(
             partition_bytes[part] += estimate_nbytes(key) + estimate_nbytes(value)
     partitions = [group_sorted(bucket) for bucket in buckets]
     return ShuffleResult(partitions, sum(partition_bytes), partition_bytes)
+
+
+def emit_shuffle_events(history, job_name: str, result: ShuffleResult, ts: float) -> None:
+    """Record per-reducer shuffle transfers in a job history.
+
+    One ``shuffle_transfer`` event per reduce partition, stamped at the
+    map-phase end (the shuffle overlaps the reduce fetch in the cost
+    model), carrying the bytes/records/groups routed to that reducer —
+    the inputs of the report layer's shuffle-skew metric.  The history
+    object is duck-typed (anything with ``emit``).
+    """
+    from repro.observability.events import EventKind
+
+    for r in range(result.n_reducers):
+        history.emit(
+            EventKind.SHUFFLE_TRANSFER,
+            job_name,
+            ts,
+            task=f"reduce-{r:04d}",
+            reducer=f"reduce-{r:04d}",
+            bytes=result.partition_bytes[r],
+            records=result.records_for(r),
+            groups=len(result.partitions[r]),
+        )

@@ -1,0 +1,158 @@
+"""The typed event vocabulary of the job-history layer.
+
+An :class:`Event` is one observation about the MapReduce lifecycle, with a
+timestamp on the **simulated clock** (the same cost-model seconds the
+paper's Table III reports).  Events are intentionally plain data — a kind,
+a job name, optional task/node, and a JSON-safe ``data`` payload — so a
+history file written today stays readable regardless of how the engine's
+internal classes evolve.  The full schema is documented in
+``docs/OBSERVABILITY.md``; :data:`SCHEMA_VERSION` gates compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Event", "EventKind", "Phase", "SCHEMA_VERSION"]
+
+#: Version stamp written into every history file.
+SCHEMA_VERSION = 1
+
+
+class EventKind:
+    """Well-known event kinds (the closed vocabulary of the schema)."""
+
+    #: A job was submitted; data: input_paths, output_path, n_chunks,
+    #: map_only, num_reducers, combiner.
+    JOB_START = "job_start"
+    #: A job completed; data: timing {setup_s, map_s, reduce_s,
+    #: retry_penalty_s, total_s}, counters (nested group->name->int),
+    #: n_map_tasks, n_reduce_tasks.
+    JOB_FINISH = "job_finish"
+    #: A lifecycle phase (see :class:`Phase`) began; data: phase.
+    PHASE_START = "phase_start"
+    #: A phase ended; data: phase, duration_s.
+    PHASE_FINISH = "phase_finish"
+    #: A task attempt chain began on its planned node; data: phase,
+    #: locality (map tasks), input_bytes, input_records, speculative.
+    TASK_START = "task_start"
+    #: A task's successful attempt finished; data: phase, duration_s,
+    #: attempts, wasted_s, locality, speculative.
+    TASK_FINISH = "task_finish"
+    #: One attempt of a task crashed and will be retried; data: attempt,
+    #: reason.  Always emitted before the owning task's TASK_FINISH.
+    ATTEMPT_FAILED = "attempt_failed"
+    #: The scheduler duplicated a straggler onto another node; data:
+    #: original_node, duration_s.
+    SPECULATIVE_LAUNCH = "speculative_launch"
+    #: Intermediate data crossed the network to one reducer; data:
+    #: reducer, bytes, records, groups.
+    SHUFFLE_TRANSFER = "shuffle_transfer"
+    #: The distributed cache was broadcast to the tasktrackers; data:
+    #: entries, nbytes, broadcast_s.
+    CACHE_LOAD = "cache_load"
+    #: A multi-job pipeline began; data: n_stages.
+    PIPELINE_START = "pipeline_start"
+    #: A pipeline finished; data: stages (job names), sim_seconds.
+    PIPELINE_FINISH = "pipeline_finish"
+    #: A free-form annotation from an algorithm driver (e.g. one k-means
+    #: iteration converging); data: driver-specific.
+    DRIVER_ANNOTATION = "driver_annotation"
+
+    @classmethod
+    def all(cls) -> tuple[str, ...]:
+        """Every known kind, in declaration order."""
+        return tuple(
+            v
+            for k, v in vars(cls).items()
+            if not k.startswith("_") and isinstance(v, str)
+        )
+
+
+class Phase:
+    """Lifecycle phase names used by PHASE_* and TASK_* events."""
+
+    SETUP = "setup"
+    MAP = "map"
+    REDUCE = "reduce"
+
+    ORDER = (SETUP, MAP, REDUCE)
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a payload value to JSON-serializable plain data."""
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    # numpy scalars and anything else with .item(); fall back to str.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observation in a job history.
+
+    ``seq`` is the collector-assigned emission index — the authoritative
+    order for the guarantees tested in ``tests/observability`` (ties on
+    ``ts`` are broken by ``seq``).  ``ts`` is simulated seconds since the
+    history's epoch (the runner's deployment), *not* wall clock.
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    job: str
+    task: str | None = None
+    node: str | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EventKind.all():
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.ts < 0:
+            raise ValueError(f"event timestamp must be >= 0, got {self.ts}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe plain-dict form (the on-disk record)."""
+        out: dict[str, Any] = {
+            "seq": self.seq,
+            "ts": round(float(self.ts), 6),
+            "kind": self.kind,
+            "job": self.job,
+        }
+        if self.task is not None:
+            out["task"] = self.task
+        if self.node is not None:
+            out["node"] = self.node
+        if self.data:
+            out["data"] = _json_safe(self.data)
+        return out
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "Event":
+        try:
+            return cls(
+                seq=int(record["seq"]),
+                ts=float(record["ts"]),
+                kind=str(record["kind"]),
+                job=str(record["job"]),
+                task=record.get("task"),
+                node=record.get("node"),
+                data=dict(record.get("data", {})),
+            )
+        except KeyError as exc:
+            raise ValueError(f"event record missing field {exc}") from None

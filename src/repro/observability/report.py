@@ -1,0 +1,326 @@
+"""Derived metrics and the text report behind ``repro history``.
+
+The summary layer turns a raw event stream into the quantities the
+paper's evaluation reasons about: where simulated time went (phase
+critical path), which tasks dragged the makespan (straggler ranking),
+how well the scheduler placed work (locality mix), what the combiner
+saved (record reduction), and how evenly the shuffle spread over the
+reducers (per-reducer bytes + skew).
+
+Counter names are read from the serialized history with the literal
+strings of the schema (``docs/OBSERVABILITY.md``) — this module never
+imports the engine, so a saved history file is self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.observability.events import EventKind, Phase
+from repro.observability.history import JobHistory, TaskSpan
+
+__all__ = [
+    "JobSummary",
+    "summarize",
+    "summarize_job",
+    "render_gantt",
+    "render_report",
+]
+
+#: A task is ranked as a straggler when its duration exceeds the phase
+#: median by this factor (Hadoop's speculative-execution heuristic).
+STRAGGLER_FACTOR = 1.5
+
+
+@dataclass
+class JobSummary:
+    """Everything the report prints about one job."""
+
+    name: str
+    start_ts: float
+    timing: dict[str, float]
+    phases: dict[str, float]
+    n_map_tasks: int = 0
+    n_reduce_tasks: int = 0
+    locality: dict[str, int] = field(default_factory=dict)
+    stragglers: list[tuple[TaskSpan, float]] = field(default_factory=list)
+    shuffle_bytes_per_reducer: dict[str, int] = field(default_factory=dict)
+    combiner: dict[str, int] | None = None
+    failed_attempts: int = 0
+    speculative_launches: int = 0
+    critical_path: list[tuple[str, str, float]] = field(default_factory=list)
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return float(self.timing.get("total_s", 0.0))
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return sum(self.shuffle_bytes_per_reducer.values())
+
+    @property
+    def shuffle_skew(self) -> float:
+        """max/mean per-reducer shuffle bytes (1.0 = perfectly balanced)."""
+        loads = list(self.shuffle_bytes_per_reducer.values())
+        if not loads or sum(loads) == 0:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean
+
+    @property
+    def combiner_reduction(self) -> float | None:
+        """input/output record ratio of the combiner, if one ran."""
+        if not self.combiner or not self.combiner.get("output_records"):
+            return None
+        return self.combiner["input_records"] / self.combiner["output_records"]
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _rank_stragglers(spans: list[TaskSpan]) -> list[tuple[TaskSpan, float]]:
+    """(span, duration/median) for tasks beyond STRAGGLER_FACTOR, worst first."""
+    ranked: list[tuple[TaskSpan, float]] = []
+    for phase in (Phase.MAP, Phase.REDUCE):
+        durations = [
+            s.duration for s in spans if s.phase == phase and not s.speculative
+        ]
+        median = _median(durations)
+        if median <= 0:
+            continue
+        for span in spans:
+            if span.phase != phase or span.speculative:
+                continue
+            ratio = span.duration / median
+            if ratio >= STRAGGLER_FACTOR:
+                ranked.append((span, ratio))
+    ranked.sort(key=lambda item: -item[1])
+    return ranked
+
+
+def _critical_path(
+    timing: dict[str, float], spans: list[TaskSpan]
+) -> list[tuple[str, str, float]]:
+    """(phase, dominating element, seconds) chain that bounds the job.
+
+    The simulated job time is sequential over phases, so the critical
+    path is the setup block followed by each phase's longest task (the
+    task that defines the phase makespan under the slot packing).
+    """
+    path: list[tuple[str, str, float]] = []
+    if timing.get("setup_s"):
+        path.append((Phase.SETUP, "job setup + cache broadcast", timing["setup_s"]))
+    for phase in (Phase.MAP, Phase.REDUCE):
+        candidates = [s for s in spans if s.phase == phase and not s.speculative]
+        if not candidates:
+            continue
+        longest = max(candidates, key=lambda s: s.duration)
+        path.append((phase, f"{longest.task} on {longest.node}", longest.duration))
+    if timing.get("retry_penalty_s"):
+        path.append(("retries", "wasted failed attempts", timing["retry_penalty_s"]))
+    return path
+
+
+def summarize_job(history: JobHistory, job: str) -> JobSummary:
+    """Derive one job's metrics summary from its events."""
+    start = history.job_start(job)
+    finish = history.job_finish(job)
+    timing = {k: float(v) for k, v in finish.data.get("timing", {}).items()}
+    counters = finish.data.get("counters", {})
+    spans = history.task_spans(job)
+
+    locality: dict[str, int] = {}
+    for span in spans:
+        if span.phase == Phase.MAP and not span.speculative and span.locality:
+            locality[span.locality] = locality.get(span.locality, 0) + 1
+
+    shuffle: dict[str, int] = {}
+    failed = 0
+    speculative = 0
+    for event in history.events_for(job):
+        if event.kind == EventKind.SHUFFLE_TRANSFER:
+            shuffle[str(event.data.get("reducer", event.task))] = int(
+                event.data.get("bytes", 0)
+            )
+        elif event.kind == EventKind.ATTEMPT_FAILED:
+            failed += 1
+        elif event.kind == EventKind.SPECULATIVE_LAUNCH:
+            speculative += 1
+
+    task_group: dict[str, Any] = counters.get("task", {})
+    combiner = None
+    if task_group.get("combine_input_records"):
+        combiner = {
+            "input_records": int(task_group["combine_input_records"]),
+            "output_records": int(task_group.get("combine_output_records", 0)),
+        }
+
+    return JobSummary(
+        name=job,
+        start_ts=start.ts,
+        timing=timing,
+        phases=history.phase_durations(job),
+        n_map_tasks=int(finish.data.get("n_map_tasks", 0)),
+        n_reduce_tasks=int(finish.data.get("n_reduce_tasks", 0)),
+        locality=locality,
+        stragglers=_rank_stragglers(spans),
+        shuffle_bytes_per_reducer=shuffle,
+        combiner=combiner,
+        failed_attempts=failed,
+        speculative_launches=speculative,
+        critical_path=_critical_path(timing, spans),
+        counters={g: dict(names) for g, names in counters.items()},
+    )
+
+
+def summarize(history: JobHistory) -> list[JobSummary]:
+    """Summaries for every finished job, in submission order."""
+    out = []
+    for job in history.jobs():
+        try:
+            history.job_finish(job)
+        except KeyError:
+            continue  # job still running / truncated history
+        out.append(summarize_job(history, job))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1024 * 1024:
+        return f"{n / (1024 * 1024):.2f} MB"
+    if n >= 1024:
+        return f"{n / 1024:.1f} KB"
+    return f"{n} B"
+
+
+def render_gantt(history: JobHistory, job: str, width: int = 48) -> str:
+    """Text Gantt chart of one job's task timeline.
+
+    One row per task attempt; bars are positioned on the job's simulated
+    time axis (``#`` primary attempts, ``%`` speculative duplicates).
+    A retried task's bar covers all its attempts, so it may extend past
+    the phase makespan — the cost model charges that excess to the
+    job-level retry penalty rather than the phase clock.
+    """
+    spans = history.task_spans(job)
+    if not spans:
+        return "(no tasks)"
+    t0 = history.job_start(job).ts
+    t1 = max(max(s.end for s in spans), history.job_finish(job).ts)
+    extent = max(t1 - t0, 1e-9)
+    name_w = max(len(s.task) for s in spans)
+    node_w = max(len(s.node) for s in spans)
+    lines = []
+    for span in spans:
+        lo = int(round((span.start - t0) / extent * width))
+        hi = max(int(round((span.end - t0) / extent * width)), lo + 1)
+        hi = min(hi, width)
+        bar = " " * lo + ("%" if span.speculative else "#") * (hi - lo)
+        bar = bar.ljust(width)
+        suffix = f" {span.start - t0:>7.1f}s-{span.end - t0:.1f}s"
+        flags = ""
+        if span.attempts > 1:
+            flags += f" x{span.attempts} attempts"
+        if span.speculative:
+            flags += " (speculative)"
+        lines.append(
+            f"  {span.task:<{name_w}} {span.node:<{node_w}} |{bar}|{suffix}{flags}"
+        )
+    return "\n".join(lines)
+
+
+def _render_job(history: JobHistory, summary: JobSummary, gantt: bool, width: int) -> str:
+    t = summary.timing
+    lines = [
+        f"== {summary.name} " + "=" * max(4, 58 - len(summary.name)),
+        (
+            f"  total {summary.total_s:.1f} sim s"
+            f"  (setup {t.get('setup_s', 0.0):.1f}"
+            f" + map {t.get('map_s', 0.0):.1f}"
+            f" + reduce {t.get('reduce_s', 0.0):.1f}"
+            f"; retries +{t.get('retry_penalty_s', 0.0):.1f})"
+        ),
+    ]
+    loc = summary.locality
+    loc_txt = ", ".join(
+        f"{loc.get(kind, 0)} {label}"
+        for kind, label in (
+            ("node_local", "node-local"),
+            ("rack_local", "rack-local"),
+            ("remote", "remote"),
+        )
+    )
+    reduces = (
+        f"{summary.n_reduce_tasks} reduces" if summary.n_reduce_tasks else "map-only"
+    )
+    lines.append(f"  tasks: {summary.n_map_tasks} maps ({loc_txt}), {reduces}")
+    if summary.shuffle_bytes_per_reducer:
+        lines.append(
+            f"  shuffle: {_fmt_bytes(summary.shuffle_bytes)} across "
+            f"{len(summary.shuffle_bytes_per_reducer)} reducers "
+            f"(skew max/mean {summary.shuffle_skew:.2f})"
+        )
+    if summary.combiner_reduction is not None:
+        c = summary.combiner
+        lines.append(
+            f"  combiner: {c['input_records']:,} -> {c['output_records']:,} "
+            f"records ({summary.combiner_reduction:.0f}x reduction)"
+        )
+    if summary.failed_attempts or summary.speculative_launches:
+        lines.append(
+            f"  recovery: {summary.failed_attempts} failed attempts retried, "
+            f"{summary.speculative_launches} speculative launches"
+        )
+    if summary.critical_path:
+        chain = " -> ".join(
+            f"{what} ({phase} {seconds:.1f}s)"
+            for phase, what, seconds in summary.critical_path
+        )
+        lines.append(f"  critical path: {chain}")
+    if summary.stragglers:
+        lines.append("  stragglers (duration vs phase median):")
+        for span, ratio in summary.stragglers[:8]:
+            loc_note = f" [{span.locality}]" if span.locality else ""
+            lines.append(
+                f"    {span.task}  {ratio:.1f}x  {span.duration:.1f}s  "
+                f"{span.node}{loc_note}"
+            )
+    if gantt:
+        lines.append("  timeline:")
+        lines.append(render_gantt(history, summary.name, width=width))
+    return "\n".join(lines)
+
+
+def render_report(
+    history: JobHistory,
+    jobs: list[str] | None = None,
+    gantt: bool = True,
+    width: int = 48,
+) -> str:
+    """The full ``repro history`` report: one block per job + totals."""
+    summaries = summarize(history)
+    if jobs is not None:
+        wanted = set(jobs)
+        summaries = [s for s in summaries if s.name in wanted]
+    if not summaries:
+        return "history contains no finished jobs"
+    blocks = [_render_job(history, s, gantt, width) for s in summaries]
+    total = sum(s.total_s for s in summaries)
+    shuffle_total = sum(s.shuffle_bytes for s in summaries)
+    blocks.append(
+        f"{len(summaries)} job(s), {total:.1f} simulated s total, "
+        f"shuffle {_fmt_bytes(shuffle_total)}, {len(history)} events"
+    )
+    return "\n\n".join(blocks)

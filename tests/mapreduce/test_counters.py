@@ -51,3 +51,58 @@ class TestCounters:
         c.increment("g", "n", 5)
         c.increment("g", "n", -2)
         assert c.value("g", "n") == 3
+
+
+class TestCountersRoundTrip:
+    def _sample(self):
+        c = Counters()
+        c.increment("task", "map_input_records", 100)
+        c.increment("task", "shuffle_bytes", 2048)
+        c.increment("scheduler", "data_local_maps", 7)
+        return c
+
+    def test_to_dict_is_sorted(self):
+        c = Counters()
+        c.increment("zeta", "b", 1)
+        c.increment("zeta", "a", 2)
+        c.increment("alpha", "x", 3)
+        d = c.to_dict()
+        assert list(d) == ["alpha", "zeta"]
+        assert list(d["zeta"]) == ["a", "b"]
+
+    def test_from_dict_inverts_to_dict(self):
+        c = self._sample()
+        assert Counters.from_dict(c.to_dict()) == c
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        c = self._sample()
+        restored = Counters.from_dict(json.loads(json.dumps(c.to_dict())))
+        assert restored == c
+
+    def test_merge_round_trip(self):
+        a = self._sample()
+        b = Counters()
+        b.increment("task", "map_input_records", 50)
+        b.increment("extra", "n", 1)
+        merged = Counters.from_dict(a.to_dict())
+        merged.merge(Counters.from_dict(b.to_dict()))
+        direct = self._sample()
+        direct.merge(b)
+        assert merged == direct
+        assert merged.value("task", "map_input_records") == 150
+
+    def test_as_dict_alias(self):
+        c = self._sample()
+        assert c.as_dict() == c.to_dict()
+
+    def test_equality_ignores_insertion_order(self):
+        a = Counters()
+        a.increment("g", "x", 1)
+        a.increment("g", "y", 2)
+        b = Counters()
+        b.increment("g", "y", 2)
+        b.increment("g", "x", 1)
+        assert a == b
+        assert a != object()  # NotImplemented falls back to identity

@@ -1,0 +1,119 @@
+"""Regenerates ``golden_history.json`` (checked in next to this file).
+
+The golden trace is a small handcrafted job exercising every report
+feature at once: a retried task, a straggler with a speculative copy,
+skewed shuffle transfers and a combiner.  Regenerate with::
+
+    PYTHONPATH=src python tests/observability/make_golden.py
+
+and review the diff — the CLI tests assert against this file's content.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observability.events import EventKind, Phase
+from repro.observability.history import JobHistory
+
+GOLDEN = Path(__file__).parent / "golden_history.json"
+JOB = "poi-extraction"
+
+
+def build_golden() -> JobHistory:
+    h = JobHistory()
+    K = EventKind
+    h.emit(
+        K.JOB_START, JOB, 0.0,
+        input_paths=["input/traces"], output_path="out/pois",
+        n_chunks=4, map_only=False, num_reducers=2, combiner=True,
+    )
+    h.emit(K.PHASE_START, JOB, 0.0, phase=Phase.SETUP)
+    h.emit(K.CACHE_LOAD, JOB, 0.0, entries=["rtree.index"], nbytes=4096,
+           broadcast_s=0.5)
+    h.emit(K.PHASE_FINISH, JOB, 25.0, phase=Phase.SETUP, duration_s=25.0)
+
+    h.emit(K.PHASE_START, JOB, 25.0, phase=Phase.MAP)
+    # map-0000: clean node-local task.
+    h.emit(K.TASK_START, JOB, 25.0, task="map-0000", node="worker00",
+           phase=Phase.MAP, locality="node_local",
+           input_bytes=65536, input_records=1024)
+    h.emit(K.TASK_FINISH, JOB, 35.0, task="map-0000", node="worker00",
+           phase=Phase.MAP, duration_s=10.0, attempts=1, wasted_s=0.0,
+           locality="node_local")
+    # map-0001: first attempt crashes, retry succeeds.
+    h.emit(K.TASK_START, JOB, 25.0, task="map-0001", node="worker01",
+           phase=Phase.MAP, locality="node_local",
+           input_bytes=65536, input_records=1024)
+    h.emit(K.ATTEMPT_FAILED, JOB, 35.0, task="map-0001", node="worker01",
+           attempt=1, reason="injected crash")
+    h.emit(K.TASK_FINISH, JOB, 45.0, task="map-0001", node="worker01",
+           phase=Phase.MAP, duration_s=10.0, attempts=2, wasted_s=10.0,
+           locality="node_local")
+    # map-0002: rack-local straggler, speculatively duplicated.
+    h.emit(K.TASK_START, JOB, 25.0, task="map-0002", node="worker02",
+           phase=Phase.MAP, locality="rack_local",
+           input_bytes=65536, input_records=1024)
+    h.emit(K.SPECULATIVE_LAUNCH, JOB, 40.0, task="map-0002", node="worker03",
+           original_node="worker02", duration_s=10.0)
+    h.emit(K.TASK_START, JOB, 40.0, task="map-0002", node="worker03",
+           phase=Phase.MAP, locality="remote", speculative=True,
+           input_bytes=65536, input_records=1024)
+    h.emit(K.TASK_FINISH, JOB, 50.0, task="map-0002", node="worker03",
+           phase=Phase.MAP, duration_s=10.0, attempts=1, wasted_s=0.0,
+           locality="remote", speculative=True)
+    h.emit(K.TASK_FINISH, JOB, 55.0, task="map-0002", node="worker02",
+           phase=Phase.MAP, duration_s=30.0, attempts=1, wasted_s=0.0,
+           locality="rack_local")
+    h.emit(K.PHASE_FINISH, JOB, 55.0, phase=Phase.MAP, duration_s=30.0)
+
+    # Skewed shuffle: reducer 1 receives 3x the bytes of reducer 0.
+    h.emit(K.SHUFFLE_TRANSFER, JOB, 55.0, task="reduce-0000",
+           reducer="reduce-0000", bytes=2000, records=100, groups=10)
+    h.emit(K.SHUFFLE_TRANSFER, JOB, 55.0, task="reduce-0001",
+           reducer="reduce-0001", bytes=6000, records=300, groups=30)
+
+    h.emit(K.PHASE_START, JOB, 55.0, phase=Phase.REDUCE)
+    h.emit(K.TASK_START, JOB, 55.0, task="reduce-0000", node="worker00",
+           phase=Phase.REDUCE, input_records=100)
+    h.emit(K.TASK_FINISH, JOB, 60.0, task="reduce-0000", node="worker00",
+           phase=Phase.REDUCE, duration_s=5.0, attempts=1, wasted_s=0.0)
+    h.emit(K.TASK_START, JOB, 55.0, task="reduce-0001", node="worker01",
+           phase=Phase.REDUCE, input_records=300)
+    h.emit(K.TASK_FINISH, JOB, 65.0, task="reduce-0001", node="worker01",
+           phase=Phase.REDUCE, duration_s=10.0, attempts=1, wasted_s=0.0)
+    h.emit(K.PHASE_FINISH, JOB, 65.0, phase=Phase.REDUCE, duration_s=10.0)
+
+    h.emit(
+        K.JOB_FINISH, JOB, 75.0,
+        timing={"setup_s": 25.0, "map_s": 30.0, "reduce_s": 10.0,
+                "retry_penalty_s": 10.0, "total_s": 75.0},
+        counters={
+            "task": {
+                "map_input_records": 3072,
+                "map_output_records": 3072,
+                "combine_input_records": 3072,
+                "combine_output_records": 400,
+                "reduce_input_records": 400,
+                "reduce_output_records": 40,
+                "shuffle_bytes": 8000,
+            },
+            "scheduler": {
+                "data_local_maps": 2,
+                "rack_local_maps": 1,
+                "failed_tasks": 1,
+                "speculative_tasks": 1,
+            },
+        },
+        n_map_tasks=3, n_reduce_tasks=2, output_path="out/pois",
+    )
+    h.advance(75.0)
+    return h
+
+
+if __name__ == "__main__":
+    history = build_golden()
+    violations = history.validate()
+    assert not violations, violations
+    history.save(GOLDEN)
+    print(f"wrote {GOLDEN} ({len(history)} events)")

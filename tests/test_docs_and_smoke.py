@@ -1,0 +1,69 @@
+"""CI smoke + documentation health checks.
+
+Two cheap gates that keep the repo's surfaces honest:
+
+* the observability selfcheck (``python -m repro history --selfcheck``)
+  runs a miniature traced deployment end to end, so the tracing layer
+  cannot silently rot;
+* the docs link/schema checks verify that every relative markdown link
+  resolves and that docs/OBSERVABILITY.md documents the full event
+  vocabulary.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.observability.events import EventKind, Phase
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOCS = sorted(
+    p
+    for p in [
+        *REPO.glob("*.md"),
+        *(REPO / "docs").glob("*.md"),
+        REPO / "benchmarks" / "README.md",
+    ]
+    if p.name not in {"ISSUE.md", "CHANGES.md", "SNIPPETS.md", "PAPERS.md"}
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_history_selfcheck_smoke(capsys):
+    """The CI smoke step: `pytest -q` runs the selfcheck too."""
+    assert main(["history", "--selfcheck"]) == 0
+    assert "history selfcheck: ok" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: str(p.relative_to(REPO)))
+def test_markdown_links_resolve(doc):
+    broken = []
+    for target in _LINK.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (doc.parent / path).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative links {broken}"
+
+
+def test_observability_doc_covers_every_event_kind():
+    text = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+    missing = [kind for kind in EventKind.all() if f"`{kind}`" not in text]
+    assert not missing, f"docs/OBSERVABILITY.md missing event kinds {missing}"
+    for phase in Phase.ORDER:
+        assert phase in text
+
+
+def test_golden_history_in_sync_with_generator():
+    """`make_golden.py` and the checked-in golden file must agree."""
+    from tests.observability.make_golden import GOLDEN, build_golden
+
+    assert json.loads(GOLDEN.read_text()) == build_golden().to_json_obj()
