@@ -131,6 +131,9 @@ class KMeansIterationStats:
     shuffle_bytes: int
     max_centroid_move: float
     map_tasks: int
+    #: Task attempts that crashed and were retried this iteration
+    #: (nonzero only under failure injection / chaos schedules).
+    failed_attempts: int = 0
 
 
 @dataclass
@@ -359,6 +362,9 @@ def run_kmeans_mapreduce(
                 ),
                 max_centroid_move=move,
                 map_tasks=result.n_map_tasks,
+                failed_attempts=result.counters.value(
+                    STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS
+                ),
             )
         )
         converged_now = move <= convergence_delta

@@ -28,9 +28,11 @@ import numpy as np
 
 from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
 from repro.mapreduce.config import Configuration
+from repro.mapreduce.counters import STANDARD
 from repro.mapreduce.job import JobSpec, Mapper
 from repro.mapreduce.runner import JobResult, JobRunner
 from repro.mapreduce.types import Chunk
+from repro.observability.events import EventKind
 
 __all__ = [
     "SamplingTechnique",
@@ -165,6 +167,17 @@ def run_sampling_job(
         map_cost_factor=0.6,  # cheaper per byte than a clustering map
     )
     result = runner.run(spec)
+    runner.history.emit(
+        EventKind.DRIVER_ANNOTATION,
+        result.job_name,
+        runner.history.clock,
+        driver="sampling",
+        technique=technique.value,
+        window_s=float(window_s),
+        records_kept=result.counters.value(
+            STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_RECORDS
+        ),
+    )
     if history_path is not None:
         runner.history.save(history_path)
     return result

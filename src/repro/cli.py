@@ -14,6 +14,7 @@ Commands
 ``attack``     the POI inference attack (Section VII + labelling)
 ``sanitize``   apply a geo-sanitization mechanism
 ``history``    render a job-history trace report (docs/OBSERVABILITY.md)
+``chaos``      seeded fault-injection campaign over a driver (docs/CHAOS.md)
 """
 
 from __future__ import annotations
@@ -166,6 +167,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace a miniature deployment end to end and verify the "
         "history invariants (used by the CI smoke step)",
     )
+
+    from repro.mapreduce.chaos import driver_names
+
+    cha = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign over a MapReduce driver",
+        description=(
+            "Runs a driver three times on fresh simulated deployments — "
+            "clean, under a seeded ChaosSchedule, and a same-seed replay "
+            "— then reports whether the output stayed byte-identical "
+            "under faults and the chaotic run is bit-reproducible "
+            "(docs/CHAOS.md)."
+        ),
+    )
+    cha.add_argument(
+        "--driver",
+        action="append",
+        choices=driver_names(),
+        help="driver(s) to campaign over (default: all)",
+    )
+    cha.add_argument("--seed", type=int, default=0, help="chaos schedule seed")
+    cha.add_argument(
+        "--crash-prob", type=float, default=0.15, help="per-attempt crash probability"
+    )
+    cha.add_argument(
+        "--cache-prob", type=float, default=0.1,
+        help="per-attempt distributed-cache load-failure probability",
+    )
+    cha.add_argument(
+        "--shuffle-prob", type=float, default=0.1,
+        help="per-reducer shuffle fetch-failure probability",
+    )
+    cha.add_argument(
+        "--slow-prob", type=float, default=0.25,
+        help="per-node straggler probability",
+    )
+    cha.add_argument(
+        "--slow-factor", type=float, default=3.0,
+        help="slowdown multiplier for straggler nodes",
+    )
+    cha.add_argument(
+        "--node-loss", action="store_true",
+        help="also kill one tasktracker+datanode mid-map-phase",
+    )
+    cha.add_argument("--users", type=int, default=3, help="synthetic corpus users")
+    cha.add_argument("--days", type=int, default=1, help="synthetic corpus days")
+    cha.add_argument("--workers", type=int, default=3, help="simulated worker nodes")
+    cha.add_argument(
+        "--history", help="export the chaotic run's job history (.json/.jsonl)"
+    )
+    cha.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run the fixed fault-heavy campaign over all drivers and "
+        "verify equivalence + reproducibility (used by the CI smoke step)",
+    )
     return parser
 
 
@@ -305,6 +362,41 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\nWARNING: {len(violations)} ordering violation(s); run --validate-only")
             return 1
         return 0
+
+    if args.command == "chaos":
+        from repro.mapreduce.chaos import (
+            ChaosSchedule,
+            run_chaos_campaign,
+            run_chaos_selfcheck,
+        )
+
+        if args.selfcheck:
+            return run_chaos_selfcheck()
+        try:
+            schedule = ChaosSchedule(
+                seed=args.seed,
+                crash_prob=args.crash_prob,
+                cache_load_prob=args.cache_prob,
+                shuffle_fetch_prob=args.shuffle_prob,
+                slow_node_prob=args.slow_prob,
+                slow_factor=args.slow_factor,
+                node_loss_prob=1.0 if args.node_loss else 0.0,
+            )
+            report = run_chaos_campaign(
+                drivers=args.driver,
+                seed=args.seed,
+                schedule=schedule,
+                n_users=args.users,
+                days=args.days,
+                n_workers=args.workers,
+                history_path=args.history,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"chaos: {exc}")
+        print(report.render())
+        if args.history:
+            print(f"chaotic run history exported to {args.history}")
+        return 0 if report.ok else 1
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
 

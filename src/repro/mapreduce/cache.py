@@ -13,7 +13,7 @@ from typing import Any, Iterator
 
 from repro.mapreduce.types import estimate_nbytes
 
-__all__ = ["DistributedCache"]
+__all__ = ["DistributedCache", "FaultyCacheView"]
 
 
 class DistributedCache:
@@ -48,3 +48,36 @@ class DistributedCache:
     def nbytes(self) -> int:
         """Modelled broadcast payload size (for the cost model)."""
         return sum(estimate_nbytes(v) for v in self._entries.values())
+
+
+class FaultyCacheView:
+    """A per-attempt cache facade whose first ``get`` fails.
+
+    Models a tasktracker that could not localize the distributed cache
+    (disk full, fetch timeout): the doomed attempt crashes in its mapper's
+    ``setup`` with :class:`~repro.mapreduce.failures.CacheLoadFailure`, and
+    the retry gets the real cache again.  Read-only protocol only — the
+    runner never hands mappers a writable cache.
+    """
+
+    def __init__(self, cache: DistributedCache, task_id: str, attempt: int):
+        self._cache = cache
+        self._task_id = task_id
+        self._attempt = attempt
+
+    def get(self, name: str) -> Any:
+        from repro.mapreduce.failures import CacheLoadFailure
+
+        raise CacheLoadFailure(self._task_id, self._attempt, entry=name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cache
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cache)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def nbytes(self) -> int:
+        return self._cache.nbytes()

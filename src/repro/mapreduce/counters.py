@@ -36,6 +36,10 @@ class STANDARD:
     SPECULATIVE_TASKS = "speculative_tasks"
     MAP_TASKS = "map_tasks_launched"
     REDUCE_TASKS = "reduce_tasks_launched"
+    NODES_LOST = "nodes_lost"
+    NODES_BLACKLISTED = "nodes_blacklisted"
+    REPLICAS_HEALED = "replicas_healed"
+    SHUFFLE_REFETCHES = "shuffle_refetches"
 
 
 class Counters:

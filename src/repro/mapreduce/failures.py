@@ -1,22 +1,48 @@
-"""Failure injection and the task-retry policy.
+"""Failure injection: the deterministic chaos engine of the substrate.
 
 Hadoop's jobtracker monitors tasks and re-executes failed attempts (up to
 ``mapred.map.max.attempts``, default 4), preferring a different node that
 holds a replica of the input chunk.  This module provides the injection
-half: a deterministic :class:`FailureInjector` the tests and ablation
-benches use to crash chosen task attempts, and the :class:`TaskFailure`
-exception the runner's retry loop catches.
+half in two tiers:
+
+* :class:`FailureInjector` — the original scripted/probabilistic
+  task-crash injector the unit tests and ablation benches use;
+* :class:`ChaosSchedule` — a seeded, *counter-hashed* chaos schedule
+  covering the full fault taxonomy of a real deployment
+  (:class:`FaultKind`): task-attempt crashes, slow-node stragglers,
+  mid-phase node loss (tasktracker + its datanode), shuffle-fetch
+  failures, and distributed-cache load errors.
+
+Determinism model (docs/CHAOS.md): every ChaosSchedule decision is a pure
+hash of ``(seed, fault kind, stable identifiers)`` through the same
+splitmix64 pipeline as :mod:`repro.utils.hashrng` — never a sequential
+RNG draw.  Whether ``map-0003``'s second attempt crashes does not depend
+on how many other faults fired before it, so a schedule is reproducible
+event-for-event under the same seed and is unperturbed by executor
+interleaving ("threads" vs "serial").
+
+The runner's retry loop catches :class:`TaskFailure` (and its subclass
+:class:`CacheLoadFailure`); a task exhausting its attempt budget raises
+:class:`JobFailedError` carrying the full failure chain.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.utils.hashrng import hash_uniform
+
 __all__ = [
     "TaskFailure",
+    "CacheLoadFailure",
+    "JobFailedError",
+    "FaultKind",
+    "Fault",
+    "ChaosSchedule",
     "FailureInjector",
     "MAX_TASK_ATTEMPTS",
     "emit_attempt_failures",
@@ -25,15 +51,283 @@ __all__ = [
 #: Hadoop's default maximum attempts per task before the job fails.
 MAX_TASK_ATTEMPTS = 4
 
+#: FNV-1a 64-bit offset basis / prime (the token-string hash feeding
+#: splitmix64; any good 64-bit string hash would do, FNV is dependency-free).
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+class FaultKind:
+    """The closed fault taxonomy a :class:`ChaosSchedule` can inject."""
+
+    TASK_CRASH = "task_crash"
+    SLOW_NODE = "slow_node"
+    NODE_LOSS = "node_loss"
+    SHUFFLE_FETCH = "shuffle_fetch"
+    CACHE_LOAD = "cache_load"
+
+    ALL = (TASK_CRASH, SLOW_NODE, NODE_LOSS, SHUFFLE_FETCH, CACHE_LOAD)
+
 
 class TaskFailure(RuntimeError):
     """Raised inside a task attempt to simulate a crash."""
 
-    def __init__(self, task_id: str, attempt: int, reason: str = "injected failure"):
+    def __init__(
+        self,
+        task_id: str,
+        attempt: int,
+        reason: str = "injected failure",
+        kind: str = FaultKind.TASK_CRASH,
+    ):
         super().__init__(f"task {task_id} attempt {attempt}: {reason}")
         self.task_id = task_id
         self.attempt = attempt
         self.reason = reason
+        self.kind = kind
+
+
+class CacheLoadFailure(TaskFailure):
+    """A task attempt could not localize the distributed cache."""
+
+    def __init__(self, task_id: str, attempt: int, entry: str | None = None):
+        what = f" ({entry!r})" if entry else ""
+        super().__init__(
+            task_id,
+            attempt,
+            reason=f"distributed cache load error{what}",
+            kind=FaultKind.CACHE_LOAD,
+        )
+        self.entry = entry
+
+
+class JobFailedError(RuntimeError):
+    """A task exhausted its retry budget and took the job down.
+
+    Subclasses ``RuntimeError`` (the exception contract the runner always
+    had) and carries the machine-readable failure chain so tests and the
+    chaos report can show *why* the job failed, attempt by attempt.
+    """
+
+    def __init__(
+        self,
+        task_id: str,
+        max_attempts: int,
+        failures: Sequence[tuple] = (),
+    ):
+        chain = "; ".join(
+            f"attempt {f[0]} on {f[1]}: {f[2]}" for f in failures
+        )
+        message = f"task {task_id} failed {max_attempts} attempts"
+        if chain:
+            message += f" [{chain}]"
+        super().__init__(message)
+        self.task_id = task_id
+        self.max_attempts = max_attempts
+        #: ``(attempt, node, reason[, fault kind])`` per failed attempt.
+        self.failures = [tuple(f) for f in failures]
+
+    @property
+    def failure_chain(self) -> list[str]:
+        return [f"attempt {f[0]} on {f[1]}: {f[2]}" for f in self.failures]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault in a :class:`ChaosSchedule`.
+
+    ``task``/``node``/``job``/``attempt`` scope the fault to its target:
+    task-scoped kinds (crash, cache load, shuffle fetch) match on
+    ``(task, attempt)``; ``slow_node`` matches on ``node``; ``node_loss``
+    matches on ``node`` and optionally restricts to one ``job`` name
+    (``job=None`` = the first job where the node is still alive).
+    """
+
+    kind: str
+    task: str | None = None
+    node: str | None = None
+    attempt: int = 1
+    job: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FaultKind.ALL}"
+            )
+
+
+def _hash_u01(seed: int, *tokens) -> float:
+    """Uniform (0, 1) draw from a seed and stable identifier tokens.
+
+    FNV-1a over the token string feeds the splitmix64 pipeline of
+    :func:`repro.utils.hashrng.hash_uniform` — a counter-based draw whose
+    value depends only on its inputs, never on draw order.
+    """
+    text = "\x1f".join(str(t) for t in (seed, *tokens))
+    h = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        h = ((h ^ byte) * _FNV_PRIME) & _U64
+    return float(hash_uniform(np.array([h], dtype=np.uint64))[0])
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded, deterministic schedule of infrastructure faults.
+
+    Probabilistic knobs (``*_prob``) and explicit :class:`Fault` scripts
+    compose; every probabilistic decision hashes
+    ``(seed, kind, target ids)``, so two runs with the same seed inject
+    the *same* faults at the same points — the bit-reproducibility the
+    equivalence-under-failure suite pins down.  Because decisions key on
+    task/node identifiers rather than draw counters, a schedule is also
+    insensitive to executor interleaving.
+
+    ``bad_nodes`` models chronically failing hardware (bad disk): every
+    attempt dispatched to such a node crashes, which is the scenario the
+    scheduler's per-node blacklist exists for.
+    """
+
+    seed: int = 0
+    crash_prob: float = 0.0
+    cache_load_prob: float = 0.0
+    shuffle_fetch_prob: float = 0.0
+    slow_node_prob: float = 0.0
+    slow_factor: float = 3.0
+    node_loss_prob: float = 0.0
+    max_node_losses: int = 1
+    bad_nodes: frozenset[str] = frozenset()
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "cache_load_prob", "shuffle_fetch_prob",
+                     "slow_node_prob", "node_loss_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {p}")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+        # Normalize collection types so schedules hash/compare cleanly.
+        object.__setattr__(self, "bad_nodes", frozenset(self.bad_nodes))
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- task crashes -------------------------------------------------------
+    def fail_attempt(self, task_id: str, attempt: int, node: str | None = None) -> None:
+        """Raise :class:`TaskFailure` if this attempt is doomed to crash."""
+        for fault in self.faults:
+            if (
+                fault.kind == FaultKind.TASK_CRASH
+                and fault.task == task_id
+                and fault.attempt == attempt
+            ):
+                raise TaskFailure(task_id, attempt, "scripted chaos crash")
+        if node is not None and node in self.bad_nodes:
+            raise TaskFailure(task_id, attempt, f"bad node {node}")
+        if self.crash_prob > 0.0:
+            if _hash_u01(self.seed, FaultKind.TASK_CRASH, task_id, attempt) < self.crash_prob:
+                raise TaskFailure(task_id, attempt, "chaos crash")
+
+    # -- distributed-cache load errors --------------------------------------
+    def cache_load_fails(self, task_id: str, attempt: int) -> bool:
+        """Whether this attempt's cache localization fails."""
+        for fault in self.faults:
+            if (
+                fault.kind == FaultKind.CACHE_LOAD
+                and fault.task == task_id
+                and fault.attempt == attempt
+            ):
+                return True
+        return self.cache_load_prob > 0.0 and (
+            _hash_u01(self.seed, FaultKind.CACHE_LOAD, task_id, attempt)
+            < self.cache_load_prob
+        )
+
+    # -- shuffle-fetch failures ---------------------------------------------
+    def shuffle_fetch_failures(self, task_id: str) -> int:
+        """Number of failed (and re-fetched) shuffle fetches for a reducer."""
+        count = sum(
+            1
+            for fault in self.faults
+            if fault.kind == FaultKind.SHUFFLE_FETCH and fault.task == task_id
+        )
+        if self.shuffle_fetch_prob > 0.0 and (
+            _hash_u01(self.seed, FaultKind.SHUFFLE_FETCH, task_id)
+            < self.shuffle_fetch_prob
+        ):
+            count += 1
+        return count
+
+    # -- slow nodes ----------------------------------------------------------
+    def node_slowdown(self, node: str) -> float:
+        """Duration multiplier for tasks on ``node`` (1.0 = healthy)."""
+        for fault in self.faults:
+            if fault.kind == FaultKind.SLOW_NODE and fault.node == node:
+                return self.slow_factor
+        if self.slow_node_prob > 0.0 and (
+            _hash_u01(self.seed, FaultKind.SLOW_NODE, node) < self.slow_node_prob
+        ):
+            return self.slow_factor
+        return 1.0
+
+    # -- node loss ------------------------------------------------------------
+    def node_loss_victim(
+        self, job_name: str, candidates: Sequence[str], losses_so_far: int
+    ) -> str | None:
+        """Node that dies during ``job_name``'s map phase, if any.
+
+        ``candidates`` are the alive worker nodes eligible to die; the
+        runner guards cluster viability (enough survivors + a surviving
+        replica per chunk) before calling.  At most ``max_node_losses``
+        nodes die per deployment.
+        """
+        if losses_so_far >= self.max_node_losses or not candidates:
+            return None
+        ordered = sorted(candidates)
+        for fault in self.faults:
+            if fault.kind != FaultKind.NODE_LOSS:
+                continue
+            if fault.job is not None and fault.job != job_name:
+                continue
+            if fault.node is None:
+                return ordered[0]
+            if fault.node in ordered:
+                return fault.node
+        if self.node_loss_prob > 0.0 and (
+            _hash_u01(self.seed, FaultKind.NODE_LOSS, job_name) < self.node_loss_prob
+        ):
+            pick = _hash_u01(self.seed, FaultKind.NODE_LOSS, "victim", job_name)
+            return ordered[min(int(pick * len(ordered)), len(ordered) - 1)]
+        return None
+
+    # -- introspection ---------------------------------------------------------
+    def active(self) -> bool:
+        """Whether this schedule can inject anything at all."""
+        return bool(
+            self.crash_prob
+            or self.cache_load_prob
+            or self.shuffle_fetch_prob
+            or self.slow_node_prob
+            or self.node_loss_prob
+            or self.bad_nodes
+            or self.faults
+        )
+
+    def describe(self) -> str:
+        """One-line knob summary for the chaos report."""
+        parts = [f"seed={self.seed}"]
+        for label, value in (
+            ("crash", self.crash_prob),
+            ("cache", self.cache_load_prob),
+            ("shuffle", self.shuffle_fetch_prob),
+            ("slow", self.slow_node_prob),
+            ("node-loss", self.node_loss_prob),
+        ):
+            if value:
+                parts.append(f"{label}={value:g}")
+        if self.bad_nodes:
+            parts.append(f"bad={','.join(sorted(self.bad_nodes))}")
+        if self.faults:
+            parts.append(f"{len(self.faults)} scripted fault(s)")
+        return " ".join(parts)
 
 
 @dataclass
@@ -46,10 +340,12 @@ class FailureInjector:
       must fail (deterministic tests: "kill map-0003's first attempt").
     * ``probability`` — each attempt independently fails with this
       probability, drawn from a seeded generator (chaos-style integration
-      tests).
+      tests; for draw-order-independent schedules use
+      :class:`ChaosSchedule` instead).
 
-    A task whose every attempt up to the retry limit fails aborts the job,
-    exactly as Hadoop gives up after ``max.attempts``.
+    A task whose every attempt up to the retry limit fails aborts the job
+    with :class:`JobFailedError`, exactly as Hadoop gives up after
+    ``max.attempts``.
     """
 
     scripted: set[tuple[str, int]] = field(default_factory=set)
@@ -74,8 +370,24 @@ class FailureInjector:
             if doomed:
                 raise TaskFailure(task_id, attempt, "random failure")
 
-    def script_failures(self, task_id: str, attempts: int) -> None:
-        """Schedule the first ``attempts`` attempts of a task to fail."""
+    def script_failures(
+        self, task_id: str, attempts: int, max_attempts: int = MAX_TASK_ATTEMPTS
+    ) -> None:
+        """Schedule the first ``attempts`` attempts of a task to fail.
+
+        ``attempts`` must not exceed ``max_attempts`` (the runner's retry
+        budget): scripting more failures than the budget used to wedge
+        the retry loop in an unwinnable fight instead of failing the job,
+        so it is now rejected at scripting time.  Pass the runner's
+        actual ``max_attempts`` when it differs from the default.
+        """
+        if attempts > max_attempts:
+            raise ValueError(
+                f"cannot script {attempts} failures for {task_id}: the retry "
+                f"budget is {max_attempts} attempts, so the job would fail "
+                f"anyway — lower `attempts` or pass the runner's real "
+                f"max_attempts"
+            )
         for attempt in range(1, attempts + 1):
             self.scripted.add((task_id, attempt))
 
@@ -84,29 +396,56 @@ def emit_attempt_failures(
     history,
     job_name: str,
     task_id: str,
-    failures: list[tuple[int, str, str]],
+    failures: list[tuple],
     t_start: float,
     attempt_duration: float,
 ) -> None:
     """Record a task's failed attempts in a job history.
 
-    ``failures`` holds ``(attempt, node, reason)`` triples in attempt
-    order.  Attempts occupy the task's slot back to back, so the *i*-th
-    attempt crashes at ``t_start + i * attempt_duration`` — which keeps
-    every ``attempt_failed`` event strictly before the successful
-    attempt's ``task_finish`` (the ordering guarantee the history layer
-    validates).  The history object is duck-typed (anything with
-    ``emit``) so this module stays import-light.
+    ``failures`` holds ``(attempt, node, reason)`` triples — or
+    ``(attempt, node, reason, fault kind[, backoff_s])`` records from the
+    chaos-aware runner — in attempt order.  Attempts occupy the task's
+    slot back to back, so the *i*-th attempt crashes at
+    ``t_start + i * attempt_duration`` — which keeps every fault/retry
+    event strictly before the successful attempt's ``task_finish`` (the
+    ordering guarantee the history layer validates).  Each failure yields
+    the triple ``fault_injected`` -> ``attempt_failed`` ->
+    ``attempt_retried`` so the Gantt can show the full recovery timeline.
+    The history object is duck-typed (anything with ``emit``) so this
+    module stays import-light.
     """
     from repro.observability.events import EventKind
 
-    for attempt, node, reason in failures:
+    for record in failures:
+        attempt, node, reason = record[0], record[1], record[2]
+        kind = record[3] if len(record) > 3 else FaultKind.TASK_CRASH
+        backoff_s = float(record[4]) if len(record) > 4 else 0.0
+        ts = t_start + attempt * attempt_duration
+        history.emit(
+            EventKind.FAULT_INJECTED,
+            job_name,
+            ts,
+            task=task_id,
+            node=node,
+            attempt=attempt,
+            fault=kind,
+            reason=reason,
+        )
         history.emit(
             EventKind.ATTEMPT_FAILED,
             job_name,
-            t_start + attempt * attempt_duration,
+            ts,
             task=task_id,
             node=node,
             attempt=attempt,
             reason=reason,
+        )
+        history.emit(
+            EventKind.ATTEMPT_RETRIED,
+            job_name,
+            ts,
+            task=task_id,
+            attempt=attempt + 1,
+            backoff_s=backoff_s,
+            reason=f"re-dispatched after {kind}",
         )

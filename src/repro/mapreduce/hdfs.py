@@ -217,8 +217,14 @@ class SimulatedHDFS:
         number of new replicas created; chunks with zero alive replicas
         are left as-is (data loss — surfaced on the next read).
         """
+        return len(self.heal_report())
+
+    def heal_report(self) -> list[tuple[str, str, int]]:
+        """:meth:`heal`, but returns one ``(chunk_id, node, nbytes)`` per
+        new replica — the detail the chaos recovery path charges to the
+        cost model and emits as ``replica_healed`` events."""
         alive = set(self._alive_datanodes())
-        created = 0
+        created: list[tuple[str, str, int]] = []
         for path, chunks in self._files.items():
             for i, chunk in enumerate(chunks):
                 surviving = [r for r in chunk.replicas if r in alive]
@@ -232,7 +238,7 @@ class SimulatedHDFS:
                 while len(surviving) < self.replication and candidates:
                     pick = candidates.pop(0)
                     surviving.append(pick)
-                    created += 1
+                    created.append((chunk.chunk_id, pick, chunk.nbytes))
                 chunks[i] = Chunk(chunk.chunk_id, chunk.payload, tuple(surviving))
         return created
 

@@ -22,9 +22,16 @@ from typing import Any
 import numpy as np
 
 from repro.geo.trace import TraceArray
-from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cache import DistributedCache, FaultyCacheView
 from repro.mapreduce.counters import Counters, STANDARD
-from repro.mapreduce.failures import FailureInjector, MAX_TASK_ATTEMPTS, TaskFailure
+from repro.mapreduce.failures import (
+    ChaosSchedule,
+    FailureInjector,
+    FaultKind,
+    JobFailedError,
+    MAX_TASK_ATTEMPTS,
+    TaskFailure,
+)
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import (
     ARRAY_OUTPUT_KEY,
@@ -34,6 +41,8 @@ from repro.mapreduce.job import (
 )
 from repro.mapreduce.scheduler import (
     MapPhasePlan,
+    NodeBlacklist,
+    RetryPolicy,
     TaskAssignment,
     emit_map_phase_events,
     emit_reduce_phase_events,
@@ -41,7 +50,12 @@ from repro.mapreduce.scheduler import (
     plan_reduce_phase,
     record_locality,
 )
-from repro.mapreduce.shuffle import emit_shuffle_events, group_sorted, shuffle
+from repro.mapreduce.shuffle import (
+    emit_shuffle_events,
+    emit_shuffle_refetch_events,
+    group_sorted,
+    shuffle,
+)
 from repro.mapreduce.simtime import CostModel, JobTiming
 from repro.mapreduce.types import Chunk
 from repro.observability.events import EventKind, Phase
@@ -103,6 +117,17 @@ class JobRunner:
     failure_injector:
         Optional :class:`FailureInjector`; injected crashes are retried up
         to ``max_attempts`` per task, preferring a different replica node.
+    chaos:
+        Optional :class:`~repro.mapreduce.failures.ChaosSchedule` — the
+        deterministic chaos engine.  Adds slow-node stragglers, cache-load
+        and shuffle-fetch faults, and mid-phase node loss (tasktracker +
+        datanode) on top of plain attempt crashes; all recovery costs are
+        charged to the job's retry penalty.
+    retry_policy:
+        Optional :class:`~repro.mapreduce.scheduler.RetryPolicy`
+        (attempt budget, exponential backoff, per-job node blacklist
+        threshold).  When given it overrides ``max_attempts``; when
+        omitted a default policy is built around ``max_attempts``.
     executor:
         ``"serial"`` (default, fully deterministic) or ``"threads"`` — run
         map tasks on a thread pool sized to the cluster's map slots.
@@ -130,6 +155,8 @@ class JobRunner:
         prefer_locality: bool = True,
         speculative: bool = False,
         history: JobHistory | None = None,
+        chaos: ChaosSchedule | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         if executor not in ("serial", "threads"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -140,7 +167,12 @@ class JobRunner:
         self.cost_model = cost_model or CostModel()
         self.cache = cache or DistributedCache()
         self.failure_injector = failure_injector
-        self.max_attempts = max_attempts
+        self.chaos = chaos
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=max_attempts)
+        self.max_attempts = self.retry_policy.max_attempts
+        #: Node losses already inflicted this deployment (the chaos
+        #: schedule's ``max_node_losses`` budget spans all jobs run here).
+        self._node_losses = 0
         self.executor = executor
         self.max_workers = max_workers
         self.prefer_locality = prefer_locality
@@ -151,49 +183,85 @@ class JobRunner:
         self.deploy_overhead_s = self.cost_model.deploy_overhead_s
 
     # -- map side -----------------------------------------------------------
-    def _retry_node(self, chunk: Chunk, tried: set[str]) -> str:
-        """Pick the node for a retry attempt: untried replica, else any."""
+    def _retry_node(
+        self, chunk: Chunk, tried: set[str], blacklist: NodeBlacklist | None = None
+    ) -> str:
+        """Pick the node for a retry attempt: untried replica, else any.
+
+        Blacklisted nodes are avoided whenever a non-blacklisted candidate
+        exists (a fully-blacklisted cluster still dispatches — Hadoop's
+        blacklist likewise degrades to best-effort rather than deadlock).
+        """
         alive = [
             n.name
             for n in self.cluster.tasktrackers()
             if n.name not in self.hdfs.dead_nodes
         ]
-        for replica in chunk.replicas:
-            if replica not in tried and replica in alive:
-                return replica
-        untried = [n for n in alive if n not in tried]
-        return untried[0] if untried else alive[0]
+
+        def usable(node: str) -> bool:
+            return blacklist is None or not blacklist.is_blacklisted(node)
+
+        for only_usable in (True, False):
+            for replica in chunk.replicas:
+                if replica not in tried and replica in alive:
+                    if not only_usable or usable(replica):
+                        return replica
+            untried = [
+                n for n in alive
+                if n not in tried and (not only_usable or usable(n))
+            ]
+            if untried:
+                return untried[0]
+        return alive[0]
 
     def _run_map_task(
-        self, job: JobSpec, assignment: TaskAssignment
-    ) -> tuple[list[tuple[Any, Any]], Counters, float, int, list[tuple[int, str, str]]]:
+        self,
+        job: JobSpec,
+        assignment: TaskAssignment,
+        blacklist: NodeBlacklist | None = None,
+    ) -> tuple[list[tuple[Any, Any]], Counters, float, int, list[tuple]]:
         """Run one map task with the retry policy.
 
         Returns (output pairs, local counters, simulated retry penalty,
-        records emitted, failed attempts as (attempt, node, reason)).
+        records emitted, failed attempts as
+        (attempt, node, reason, fault kind, backoff_s)).  The penalty for
+        each failed attempt is the wasted attempt's duration plus the
+        exponential re-dispatch backoff the retry policy imposes.
         """
         chunk = assignment.chunk
         retry_penalty = 0.0
         tried: set[str] = set()
         node = assignment.node
         last_error: TaskFailure | None = None
-        failures: list[tuple[int, str, str]] = []
+        failures: list[tuple] = []
         for attempt in range(1, self.max_attempts + 1):
             tried.add(node)
             counters = Counters()
-            ctx = MapContext(job.conf, counters, self.cache, assignment.task_id, node)
+            cache = self.cache
+            if self.chaos is not None and self.chaos.cache_load_fails(
+                assignment.task_id, attempt
+            ):
+                # This attempt's tasktracker fails to localize the cache:
+                # the mapper's first cache read raises CacheLoadFailure.
+                cache = FaultyCacheView(self.cache, assignment.task_id, attempt)
+            ctx = MapContext(job.conf, counters, cache, assignment.task_id, node)
             mapper = job.mapper()
             try:
                 if self.failure_injector is not None:
                     self.failure_injector.fail_attempt(assignment.task_id, attempt)
+                if self.chaos is not None:
+                    self.chaos.fail_attempt(assignment.task_id, attempt, node=node)
                 mapper.setup(ctx)
                 mapper.run(chunk, ctx)
                 mapper.cleanup(ctx)
             except TaskFailure as exc:
                 last_error = exc
-                failures.append((attempt, node, exc.reason))
-                retry_penalty += assignment.duration  # the wasted attempt
-                node = self._retry_node(chunk, tried)
+                backoff = self.retry_policy.backoff_s(attempt)
+                failures.append((attempt, node, exc.reason, exc.kind, backoff))
+                retry_penalty += assignment.duration + backoff
+                if blacklist is not None:
+                    blacklist.record_failure(node)
+                node = self._retry_node(chunk, tried, blacklist)
                 continue
             counters.increment(
                 STANDARD.GROUP_TASK, STANDARD.MAP_INPUT_RECORDS, chunk.n_records
@@ -208,8 +276,8 @@ class JobRunner:
                 STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1
             )
             return ctx.output, counters, retry_penalty, ctx.output_records, failures
-        raise RuntimeError(
-            f"task {assignment.task_id} failed {self.max_attempts} attempts"
+        raise JobFailedError(
+            assignment.task_id, self.max_attempts, failures
         ) from last_error
 
     def _apply_combiner(
@@ -257,6 +325,12 @@ class JobRunner:
         counters = Counters()
         counters.increment(STANDARD.GROUP_SCHEDULER, STANDARD.MAP_TASKS, len(chunks))
 
+        blacklist = NodeBlacklist(self.retry_policy.blacklist_after)
+        slowdown = (
+            self.chaos.node_slowdown
+            if self.chaos is not None and self.chaos.active()
+            else None
+        )
         plan = plan_map_phase(
             chunks,
             self.cluster,
@@ -264,6 +338,7 @@ class JobRunner:
             prefer_locality=self.prefer_locality,
             speculative=self.speculative,
             dead_nodes=self.hdfs.dead_nodes,
+            node_slowdown=slowdown,
         )
         record_locality(counters, plan)
 
@@ -275,13 +350,30 @@ class JobRunner:
         if self.executor == "threads" and len(primary) > 1:
             workers = self.max_workers or max(self.cluster.total_map_slots(), 1)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(lambda a: self._run_map_task(job, a), primary))
+                results = list(
+                    pool.map(lambda a: self._run_map_task(job, a, blacklist), primary)
+                )
         else:
-            results = [self._run_map_task(job, a) for a in primary]
+            results = [self._run_map_task(job, a, blacklist) for a in primary]
+
+        # Mid-phase node loss: a tasktracker+datanode dies after its map
+        # attempts completed; their outputs are gone and must re-execute on
+        # surviving replica holders, and HDFS re-replicates the dead node's
+        # chunks.  Mutates ``results`` in place for the lost tasks.
+        node_loss = self._apply_node_loss(job, primary, results, blacklist)
+        if node_loss is not None:
+            counters.increment(
+                STANDARD.GROUP_SCHEDULER, STANDARD.NODES_LOST, 1
+            )
+            counters.increment(
+                STANDARD.GROUP_SCHEDULER,
+                STANDARD.REPLICAS_HEALED,
+                len(node_loss["healed"]),
+            )
 
         map_outputs: list[list[tuple[Any, Any]]] = []
         retry_penalty = 0.0
-        map_failures: dict[str, list[tuple[int, str, str]]] = {}
+        map_failures: dict[str, list[tuple]] = {}
         for assignment, (output, task_counters, penalty, _, failures) in zip(
             primary, results
         ):
@@ -290,6 +382,8 @@ class JobRunner:
             map_outputs.append(output)
             if failures:
                 map_failures[assignment.task_id] = failures
+        if node_loss is not None:
+            retry_penalty += node_loss["recovery_s"]
 
         if job.combiner is not None:
             combined = []
@@ -305,6 +399,14 @@ class JobRunner:
             self.cache.nbytes()
         )
 
+        blacklisted = sorted(blacklist.nodes())
+        if blacklisted:
+            counters.increment(
+                STANDARD.GROUP_SCHEDULER,
+                STANDARD.NODES_BLACKLISTED,
+                len(blacklisted),
+            )
+
         if job.map_only:
             flat = [pair for output in map_outputs for pair in output]
             self._write_output(job.output_path, flat)
@@ -312,6 +414,7 @@ class JobRunner:
             self._emit_history(
                 job, len(chunks), plan, map_failures, None, None, None,
                 timing, counters, len(primary), 0,
+                recovery=self._recovery_info(node_loss, [], blacklist),
             )
             return JobResult(
                 job.name, job.output_path, counters, timing, plan, len(primary), 0
@@ -323,15 +426,44 @@ class JobRunner:
             STANDARD.GROUP_SCHEDULER, STANDARD.REDUCE_TASKS, job.num_reducers
         )
 
+        # Shuffle-fetch failures: a reducer's fetch of one map output times
+        # out and is re-fetched (from the re-executed map's output or a
+        # surviving replica after node loss).  Data already lives in the
+        # shuffle result, so only simulated time and events are affected.
+        refetches = self._plan_shuffle_refetches(job, sh, primary, node_loss)
+        if refetches:
+            counters.increment(
+                STANDARD.GROUP_SCHEDULER,
+                STANDARD.SHUFFLE_REFETCHES,
+                len(refetches),
+            )
+            retry_penalty += sum(r[2] for r in refetches)
+
         reduce_output: list[tuple[Any, Any]] = []
-        reduce_failures: dict[str, list[tuple[int, str, str]]] = {}
+        reduce_failures: dict[str, list[tuple]] = {}
         for r, groups in enumerate(sh.partitions):
             task_id = f"reduce-{r:04d}"
-            out, r_counters, r_failed = self._run_reduce_task(job, task_id, groups)
+            out, r_counters, r_failed = self._run_reduce_task(
+                job, task_id, groups, blacklist
+            )
             counters.merge(r_counters)
             reduce_output.extend(out)
             if r_failed:
                 reduce_failures[task_id] = r_failed
+                duration = self.cost_model.reduce_task_time(
+                    sh.partition_bytes[r], job.reduce_cost_factor
+                )
+                for failure in r_failed:
+                    backoff = float(failure[4]) if len(failure) > 4 else 0.0
+                    retry_penalty += duration + backoff
+
+        blacklisted_now = sorted(blacklist.nodes())
+        if len(blacklisted_now) > len(blacklisted):
+            counters.increment(
+                STANDARD.GROUP_SCHEDULER,
+                STANDARD.NODES_BLACKLISTED,
+                len(blacklisted_now) - len(blacklisted),
+            )
 
         reduce_placements, reduce_makespan = plan_reduce_phase(
             job.num_reducers,
@@ -340,12 +472,14 @@ class JobRunner:
                 sh.partition_bytes[r], job.reduce_cost_factor
             ),
             dead_nodes=self.hdfs.dead_nodes,
+            node_slowdown=slowdown,
         )
         self._write_output(job.output_path, reduce_output)
         timing = JobTiming(setup_s, plan.makespan, reduce_makespan, retry_penalty)
         self._emit_history(
             job, len(chunks), plan, map_failures, sh, reduce_placements,
             reduce_failures, timing, counters, len(primary), job.num_reducers,
+            recovery=self._recovery_info(node_loss, refetches, blacklist),
         )
         return JobResult(
             job.name,
@@ -357,19 +491,169 @@ class JobRunner:
             job.num_reducers,
         )
 
+    def _apply_node_loss(
+        self,
+        job: JobSpec,
+        primary: list[TaskAssignment],
+        results: list[tuple],
+        blacklist: NodeBlacklist,
+    ) -> dict[str, Any] | None:
+        """Inflict the chaos schedule's mid-phase node loss, if any.
+
+        The victim (a tasktracker that is also a datanode) dies after its
+        map attempts completed: their outputs vanish with it, so exactly
+        those tasks re-execute on surviving replica holders (``results``
+        is patched in place — counters are *replaced*, not merged, so
+        every re-executed record is accounted once), and the namenode
+        re-replicates the dead datanode's chunks
+        (:meth:`SimulatedHDFS.heal_report`).  The loss is declined when it
+        would strand a chunk with zero replicas or leave fewer than two
+        workers — chaos tests robustness, not unrecoverable data loss.
+        """
+        if self.chaos is None:
+            return None
+        datanode_names = {n.name for n in self.cluster.datanodes()}
+        candidates = sorted(
+            n.name
+            for n in self.cluster.tasktrackers()
+            if n.name not in self.hdfs.dead_nodes and n.name in datanode_names
+        )
+        if len(candidates) < 2 or self.hdfs.replication < 2:
+            return None
+        victim = self.chaos.node_loss_victim(job.name, candidates, self._node_losses)
+        if victim is None:
+            return None
+        doomed = self.hdfs.dead_nodes | {victim}
+        for path in self.hdfs.ls():
+            for replicas in self.hdfs.replica_report(path).values():
+                if all(r in doomed for r in replicas):
+                    return None
+        self._node_losses += 1
+        self.hdfs.kill_datanode(victim)
+
+        lost = [(i, a) for i, a in enumerate(primary) if a.node == victim]
+        for i, a in lost:
+            _, _, penalty, _, failures = results[i]
+            rerun_node = self._retry_node(a.chunk, {victim}, blacklist)
+            new_failures = list(failures) + [(
+                len(failures) + 1,
+                victim,
+                f"node {victim} lost mid-phase; map output re-dispatched",
+                FaultKind.NODE_LOSS,
+                0.0,
+            )]
+            rerun_counters = Counters()
+            ctx = MapContext(
+                job.conf, rerun_counters, self.cache, a.task_id, rerun_node
+            )
+            mapper = job.mapper()
+            mapper.setup(ctx)
+            mapper.run(a.chunk, ctx)
+            mapper.cleanup(ctx)
+            rerun_counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.MAP_INPUT_RECORDS, a.chunk.n_records
+            )
+            rerun_counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_RECORDS, ctx.output_records
+            )
+            rerun_counters.increment(
+                STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_BYTES, ctx.output_nbytes
+            )
+            rerun_counters.increment(
+                STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, len(new_failures)
+            )
+            results[i] = (
+                ctx.output,
+                rerun_counters,
+                penalty + a.duration,  # the lost attempt's wasted slot time
+                ctx.output_records,
+                new_failures,
+            )
+
+        healed = self.hdfs.heal_report()
+        heal_bytes = sum(nbytes for _, _, nbytes in healed)
+        rereplicate_s = self.cost_model.rereplication_time(heal_bytes)
+        return {
+            "victim": victim,
+            "lost": [a for _, a in lost],
+            "healed": healed,
+            "heal_bytes": heal_bytes,
+            "detect_s": self.cost_model.node_loss_detect_s,
+            "rereplicate_s": rereplicate_s,
+            "recovery_s": self.cost_model.node_loss_detect_s + rereplicate_s,
+        }
+
+    def _plan_shuffle_refetches(
+        self,
+        job: JobSpec,
+        sh,
+        primary: list[TaskAssignment],
+        node_loss: dict[str, Any] | None,
+    ) -> list[tuple[str, int, float, str]]:
+        """Which reducers re-fetch map output, and at what simulated cost.
+
+        Returns ``(reduce task id, bytes, refetch_s, reason)`` per
+        re-fetch: chaos-scheduled fetch timeouts re-pull one map task's
+        contribution (~1/n_maps of the partition); after node loss every
+        reducer re-fetches the lost tasks' share from the re-executed
+        outputs / surviving replicas.
+        """
+        refetches: list[tuple[str, int, float, str]] = []
+        if self.chaos is None:
+            return refetches
+        n_maps = max(len(primary), 1)
+        lost = node_loss["lost"] if node_loss is not None else []
+        for r in range(sh.n_reducers):
+            task_id = f"reduce-{r:04d}"
+            for _ in range(self.chaos.shuffle_fetch_failures(task_id)):
+                nbytes = sh.partition_bytes[r] // n_maps
+                refetches.append((
+                    task_id,
+                    nbytes,
+                    self.cost_model.shuffle_refetch_time(nbytes),
+                    "fetch timeout",
+                ))
+            if lost:
+                nbytes = int(sh.partition_bytes[r] * len(lost) / n_maps)
+                refetches.append((
+                    task_id,
+                    nbytes,
+                    self.cost_model.shuffle_refetch_time(nbytes),
+                    f"map outputs on {node_loss['victim']} re-fetched "
+                    f"after node loss",
+                ))
+        return refetches
+
+    @staticmethod
+    def _recovery_info(
+        node_loss: dict[str, Any] | None,
+        refetches: list[tuple[str, int, float, str]],
+        blacklist: NodeBlacklist,
+    ) -> dict[str, Any] | None:
+        """Bundle recovery facts for history emission; None when nothing
+        happened, so fault-free histories stay byte-identical."""
+        if node_loss is None and not refetches and not blacklist.nodes():
+            return None
+        return {
+            "node_loss": node_loss,
+            "refetches": refetches,
+            "blacklist": blacklist,
+        }
+
     def _emit_history(
         self,
         job: JobSpec,
         n_chunks: int,
         plan: MapPhasePlan,
-        map_failures: dict[str, list[tuple[int, str, str]]],
+        map_failures: dict[str, list[tuple]],
         sh,
         reduce_placements,
-        reduce_failures: dict[str, list[tuple[int, str, str]]] | None,
+        reduce_failures: dict[str, list[tuple]] | None,
         timing: JobTiming,
         counters: Counters,
         n_map_tasks: int,
         n_reduce_tasks: int,
+        recovery: dict[str, Any] | None = None,
     ) -> None:
         """Emit the job's full event stream onto the cumulative sim clock.
 
@@ -413,6 +697,29 @@ class JobRunner:
         t_map = t0 + timing.setup_s
         h.emit(EventKind.PHASE_START, job.name, t_map, phase=Phase.MAP)
         emit_map_phase_events(h, job.name, plan, t_map, map_failures)
+        if recovery is not None and recovery["node_loss"] is not None:
+            nl = recovery["node_loss"]
+            # The node died once its last map attempt had completed.
+            ts = t_map + min(
+                max((a.end_time for a in nl["lost"]), default=0.0), timing.map_s
+            )
+            h.emit(
+                EventKind.NODE_LOST,
+                job.name,
+                ts,
+                node=nl["victim"],
+                lost_tasks=sorted(a.task_id for a in nl["lost"]),
+                detect_s=nl["detect_s"],
+            )
+            if nl["healed"]:
+                h.emit(
+                    EventKind.REPLICA_HEALED,
+                    job.name,
+                    ts,
+                    replicas=len(nl["healed"]),
+                    nbytes=nl["heal_bytes"],
+                    rereplicate_s=nl["rereplicate_s"],
+                )
         h.emit(
             EventKind.PHASE_FINISH, job.name, t_map + timing.map_s,
             phase=Phase.MAP, duration_s=timing.map_s,
@@ -420,6 +727,10 @@ class JobRunner:
         if sh is not None:
             t_reduce = t_map + timing.map_s
             emit_shuffle_events(h, job.name, sh, t_reduce)
+            if recovery is not None:
+                emit_shuffle_refetch_events(
+                    h, job.name, recovery["refetches"], t_reduce
+                )
             h.emit(EventKind.PHASE_START, job.name, t_reduce, phase=Phase.REDUCE)
             records = {
                 f"reduce-{r:04d}": sh.records_for(r) for r in range(sh.n_reducers)
@@ -432,6 +743,17 @@ class JobRunner:
                 EventKind.PHASE_FINISH, job.name, t_reduce + timing.reduce_s,
                 phase=Phase.REDUCE, duration_s=timing.reduce_s,
             )
+        if recovery is not None:
+            blacklist = recovery["blacklist"]
+            for node in sorted(blacklist.nodes()):
+                h.emit(
+                    EventKind.NODE_BLACKLISTED,
+                    job.name,
+                    t_map + timing.map_s,
+                    node=node,
+                    failures=blacklist.failure_count(node),
+                    threshold=blacklist.threshold,
+                )
         h.emit(
             EventKind.JOB_FINISH,
             job.name,
@@ -451,8 +773,12 @@ class JobRunner:
         h.advance(t0 + timing.total_s)
 
     def _run_reduce_task(
-        self, job: JobSpec, task_id: str, groups: list[tuple[Any, list[Any]]]
-    ) -> tuple[list[tuple[Any, Any]], Counters, list[tuple[int, str, str]]]:
+        self,
+        job: JobSpec,
+        task_id: str,
+        groups: list[tuple[Any, list[Any]]],
+        blacklist: NodeBlacklist | None = None,
+    ) -> tuple[list[tuple[Any, Any]], Counters, list[tuple]]:
         """Run one reduce task with the same retry policy as map tasks."""
         alive = [
             n.name
@@ -460,21 +786,30 @@ class JobRunner:
             if n.name not in self.hdfs.dead_nodes
         ]
         last_error: TaskFailure | None = None
-        failures: list[tuple[int, str, str]] = []
+        failures: list[tuple] = []
         for attempt in range(1, self.max_attempts + 1):
-            node = alive[(attempt - 1) % len(alive)]
+            usable = [
+                n for n in alive
+                if blacklist is None or not blacklist.is_blacklisted(n)
+            ] or alive
+            node = usable[(attempt - 1) % len(usable)]
             counters = Counters()
             ctx = ReduceContext(job.conf, counters, self.cache, task_id, node)
             reducer = job.reducer()
             try:
                 if self.failure_injector is not None:
                     self.failure_injector.fail_attempt(task_id, attempt)
+                if self.chaos is not None:
+                    self.chaos.fail_attempt(task_id, attempt, node=node)
                 reducer.setup(ctx)
                 reducer.run(groups, ctx)
                 reducer.cleanup(ctx)
             except TaskFailure as exc:
                 last_error = exc
-                failures.append((attempt, node, exc.reason))
+                backoff = self.retry_policy.backoff_s(attempt)
+                failures.append((attempt, node, exc.reason, exc.kind, backoff))
+                if blacklist is not None:
+                    blacklist.record_failure(node)
                 counters = Counters()
                 continue
             n_values = sum(len(v) for _, v in groups)
@@ -485,6 +820,4 @@ class JobRunner:
             )
             counters.increment(STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1)
             return ctx.output, counters, failures
-        raise RuntimeError(
-            f"task {task_id} failed {self.max_attempts} attempts"
-        ) from last_error
+        raise JobFailedError(task_id, self.max_attempts, failures) from last_error

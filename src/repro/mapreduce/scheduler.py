@@ -13,12 +13,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.mapreduce.cluster import ClusterSpec, Node
 from repro.mapreduce.counters import Counters, STANDARD
-from repro.mapreduce.failures import emit_attempt_failures
+from repro.mapreduce.failures import MAX_TASK_ATTEMPTS, emit_attempt_failures
 from repro.mapreduce.types import Chunk
 from repro.observability.events import EventKind, Phase
 from repro.observability.history import JobHistory
@@ -27,6 +28,8 @@ __all__ = [
     "TaskAssignment",
     "MapPhasePlan",
     "ReduceAssignment",
+    "RetryPolicy",
+    "NodeBlacklist",
     "plan_map_phase",
     "plan_reduce_phase",
     "emit_map_phase_events",
@@ -40,6 +43,72 @@ class Locality:
     NODE_LOCAL = "node_local"
     RACK_LOCAL = "rack_local"
     REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the jobtracker retries failed task attempts.
+
+    Mirrors Hadoop's knobs: a capped attempt budget per task
+    (``mapred.map.max.attempts``), exponential backoff before each
+    re-dispatch (charged to the job's retry penalty, like the heartbeat
+    round-trips a real jobtracker waits through), and a per-job node
+    blacklist threshold (``mapred.max.tracker.failures``) after which a
+    node stops receiving dispatches for the job.
+    """
+
+    max_attempts: int = MAX_TASK_ATTEMPTS
+    backoff_base_s: float = 2.0
+    backoff_factor: float = 2.0
+    blacklist_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.blacklist_after < 1:
+            raise ValueError("blacklist_after must be >= 1")
+
+    def backoff_s(self, failed_attempt: int) -> float:
+        """Simulated wait before re-dispatching after ``failed_attempt``."""
+        return self.backoff_base_s * self.backoff_factor ** (failed_attempt - 1)
+
+
+class NodeBlacklist:
+    """Per-job tracker of node failures and blacklist state (thread-safe)."""
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self._failures: dict[str, int] = {}
+        self._blacklisted: set[str] = set()
+        self._lock = threading.Lock()
+
+    def record_failure(self, node: str) -> bool:
+        """Count one failure on ``node``; True iff this crossed the threshold."""
+        with self._lock:
+            count = self._failures.get(node, 0) + 1
+            self._failures[node] = count
+            if count >= self.threshold and node not in self._blacklisted:
+                self._blacklisted.add(node)
+                return True
+            return False
+
+    def is_blacklisted(self, node: str) -> bool:
+        with self._lock:
+            return node in self._blacklisted
+
+    def nodes(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._blacklisted)
+
+    def failure_count(self, node: str) -> int:
+        with self._lock:
+            return self._failures.get(node, 0)
 
 
 @dataclass(frozen=True)
@@ -107,12 +176,16 @@ def plan_map_phase(
     speculative: bool = False,
     straggler_factor: float = 1.5,
     dead_nodes: frozenset[str] = frozenset(),
+    node_slowdown: Callable[[str], float] | None = None,
 ) -> MapPhasePlan:
     """Plan the map phase of one job over the cluster's map slots.
 
     ``task_time_fn(chunk, locality)`` models one attempt's duration (remote
     reads cost more).  ``prefer_locality=False`` disables the data-locality
     preference — the ablation knob for measuring how much locality buys.
+    ``node_slowdown(node)`` returns a duration multiplier (>= 1) for tasks
+    landing on that node — the chaos engine's straggler model, which is
+    also what makes speculative execution actually fire in chaos runs.
 
     Returns the per-task assignments, the simulated makespan, and the
     number of scheduling *waves* (ceil(tasks / total slots), the quantity
@@ -165,6 +238,8 @@ def plan_map_phase(
         duration = task_time_fn(chunk, locality)
         if duration < 0:
             raise ValueError("task_time_fn returned a negative duration")
+        if node_slowdown is not None:
+            duration *= node_slowdown(node_name)
         assignment = TaskAssignment(
             task_id=f"map-{index:04d}",
             chunk=chunk,
@@ -190,6 +265,8 @@ def plan_map_phase(
                 free_time, _, node_name = min(candidates)
                 locality = _classify_locality(cluster, node_name, a.chunk)
                 duration = task_time_fn(a.chunk, locality)
+                if node_slowdown is not None:
+                    duration *= node_slowdown(node_name)
                 dup = TaskAssignment(
                     task_id=a.task_id,
                     chunk=a.chunk,
@@ -218,6 +295,7 @@ def plan_reduce_phase(
     cluster: ClusterSpec,
     task_time_fn: Callable[[int], float],
     dead_nodes: frozenset[str] = frozenset(),
+    node_slowdown: Callable[[str], float] | None = None,
 ) -> tuple[list[ReduceAssignment], float]:
     """Plan reduce tasks over reduce slots; returns (placements, makespan).
 
@@ -244,6 +322,8 @@ def plan_reduce_phase(
     )
     for duration, r in durations:
         free_time, _, node_name = heapq.heappop(slots)
+        if node_slowdown is not None:
+            duration *= node_slowdown(node_name)
         placements.append(
             ReduceAssignment(f"reduce-{r:04d}", node_name, free_time, duration)
         )
@@ -259,13 +339,14 @@ def emit_map_phase_events(
     job_name: str,
     plan: MapPhasePlan,
     t0: float,
-    failures_by_task: dict[str, list[tuple[int, str, str]]] | None = None,
+    failures_by_task: dict[str, list[tuple]] | None = None,
 ) -> None:
     """Emit the map phase's task timeline into a job history.
 
     ``t0`` is the phase start on the history's simulated clock; planned
     start/end times are relative to it.  ``failures_by_task`` maps a task
-    id to its failed attempts ``(attempt, node, reason)``; attempts are
+    id to its failed attempts ``(attempt, node, reason[, kind, backoff])``
+    (see :func:`~repro.mapreduce.failures.emit_attempt_failures`); attempts are
     modelled as back-to-back occupations of the task's slot, so a retried
     task finishes ``(attempts - 1) * duration`` later than planned — the
     same quantity the cost model charges as the job's retry penalty.
@@ -348,7 +429,7 @@ def emit_reduce_phase_events(
     job_name: str,
     placements: Sequence[ReduceAssignment],
     t0: float,
-    failures_by_task: dict[str, list[tuple[int, str, str]]] | None = None,
+    failures_by_task: dict[str, list[tuple]] | None = None,
     records_by_task: dict[str, int] | None = None,
 ) -> None:
     """Emit the reduce phase's task timeline (same model as the map side)."""

@@ -15,7 +15,13 @@ from typing import Any, Sequence
 from repro.mapreduce.job import Partitioner
 from repro.mapreduce.types import estimate_nbytes
 
-__all__ = ["shuffle", "group_sorted", "ShuffleResult", "emit_shuffle_events"]
+__all__ = [
+    "shuffle",
+    "group_sorted",
+    "ShuffleResult",
+    "emit_shuffle_events",
+    "emit_shuffle_refetch_events",
+]
 
 
 def _sort_key(key: Any) -> tuple[str, repr]:
@@ -117,4 +123,31 @@ def emit_shuffle_events(history, job_name: str, result: ShuffleResult, ts: float
             bytes=result.partition_bytes[r],
             records=result.records_for(r),
             groups=len(result.partitions[r]),
+        )
+
+
+def emit_shuffle_refetch_events(
+    history,
+    job_name: str,
+    refetches: Sequence[tuple[str, int, float, str]],
+    ts: float,
+) -> None:
+    """Record shuffle re-fetches (chaos recovery) in a job history.
+
+    ``refetches`` holds ``(reduce task id, bytes, refetch_s, reason)`` per
+    failed-and-retried fetch, as planned by the runner's chaos path; each
+    yields one ``shuffle_refetch`` event stamped alongside the original
+    transfers, so the report layer can total re-fetched bytes per job.
+    """
+    from repro.observability.events import EventKind
+
+    for task_id, nbytes, refetch_s, reason in refetches:
+        history.emit(
+            EventKind.SHUFFLE_REFETCH,
+            job_name,
+            ts,
+            task=task_id,
+            bytes=nbytes,
+            refetch_s=refetch_s,
+            reason=reason,
         )

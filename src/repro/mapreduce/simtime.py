@@ -68,6 +68,16 @@ class CostModel:
     reduce_s_per_mb: float = 0.008
     #: Distributed-cache broadcast cost per MB per tasktracker wave.
     cache_broadcast_s_per_mb: float = 0.02
+    #: Heartbeat-timeout window before the jobtracker declares a
+    #: tasktracker dead (real Hadoop: ``mapred.tasktracker.expiry``-style
+    #: lag; we charge a flat detection cost per lost node).
+    node_loss_detect_s: float = 10.0
+    #: Namenode re-replication cost per MB of under-replicated chunk data
+    #: copied to a fresh datanode after node loss.
+    rereplicate_s_per_mb: float = 0.02
+    #: Cost per MB a reducer re-fetches after a failed shuffle fetch (the
+    #: retry reads from a surviving replica / re-executed map's output).
+    shuffle_refetch_s_per_mb: float = 0.02
 
     @property
     def map_cost_s_per_mb(self) -> float:
@@ -97,6 +107,14 @@ class CostModel:
 
     def cache_broadcast_time(self, cache_nbytes: int) -> float:
         return (cache_nbytes / MB_F) * self.cache_broadcast_s_per_mb
+
+    def rereplication_time(self, nbytes: int) -> float:
+        """Cost of re-replicating ``nbytes`` of chunk data after node loss."""
+        return (nbytes / MB_F) * self.rereplicate_s_per_mb
+
+    def shuffle_refetch_time(self, nbytes: int) -> float:
+        """Cost of one reducer re-fetching ``nbytes`` of map output."""
+        return (nbytes / MB_F) * self.shuffle_refetch_s_per_mb
 
 
 @dataclass

@@ -59,6 +59,29 @@ class EventKind:
     #: A free-form annotation from an algorithm driver (e.g. one k-means
     #: iteration converging); data: driver-specific.
     DRIVER_ANNOTATION = "driver_annotation"
+    #: The chaos engine crashed a task attempt; data: attempt, fault
+    #: (one of :class:`repro.mapreduce.failures.FaultKind`), reason.
+    #: Always emitted between the owning task's TASK_START and
+    #: TASK_FINISH, immediately before the matching ATTEMPT_FAILED.
+    FAULT_INJECTED = "fault_injected"
+    #: The jobtracker re-dispatched a failed task attempt; data: attempt
+    #: (the retry's number), backoff_s (exponential-backoff wait charged
+    #: to the retry penalty), reason.  Emitted between TASK_START and
+    #: TASK_FINISH, after the ATTEMPT_FAILED it answers.
+    ATTEMPT_RETRIED = "attempt_retried"
+    #: A node crossed the per-job failure threshold and stopped receiving
+    #: task dispatches; data: failures, threshold.
+    NODE_BLACKLISTED = "node_blacklisted"
+    #: A tasktracker+datanode died mid-phase; data: lost_tasks (map tasks
+    #: whose outputs vanished and were re-dispatched), detect_s.
+    NODE_LOST = "node_lost"
+    #: The namenode re-replicated under-replicated chunks after node
+    #: loss; data: replicas, nbytes, rereplicate_s.
+    REPLICA_HEALED = "replica_healed"
+    #: A reducer re-fetched map output (fetch timeout, or the source node
+    #: died and the re-executed map's output was read from a surviving
+    #: replica); data: bytes, refetch_s, reason.
+    SHUFFLE_REFETCH = "shuffle_refetch"
 
     @classmethod
     def all(cls) -> tuple[str, ...]:

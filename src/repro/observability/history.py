@@ -17,8 +17,10 @@ Ordering guarantees (enforced by the runner, checked by
 
 * every ``task_finish`` is preceded (in ``seq`` order) by the matching
   ``task_start`` of the same job+task;
-* every ``attempt_failed`` of a task precedes that task's
-  ``task_finish`` — failed attempts come before the successful attempt;
+* every ``attempt_failed`` (and its chaos-engine companions
+  ``fault_injected`` and ``attempt_retried``) of a task precedes that
+  task's ``task_finish`` — failed attempts come before the successful
+  attempt;
 * every ``phase_finish``/``job_finish`` follows its start event, and a
   finish timestamp is never earlier than its start timestamp.
 """
@@ -204,15 +206,19 @@ class JobHistory:
             elif kind == EventKind.TASK_START:
                 key = (event.task or "", bool(event.data.get("speculative")))
                 task_started[key] = event
-            elif kind == EventKind.ATTEMPT_FAILED:
+            elif kind in (
+                EventKind.ATTEMPT_FAILED,
+                EventKind.FAULT_INJECTED,
+                EventKind.ATTEMPT_RETRIED,
+            ):
                 key = (event.task or "", False)
                 if key not in task_started:
                     problems.append(
-                        f"{job}/{event.task}: attempt_failed before task_start"
+                        f"{job}/{event.task}: {kind} before task_start"
                     )
                 if key in task_finished:
                     problems.append(
-                        f"{job}/{event.task}: attempt_failed after task_finish"
+                        f"{job}/{event.task}: {kind} after task_finish"
                     )
             elif kind == EventKind.TASK_FINISH:
                 key = (event.task or "", bool(event.data.get("speculative")))

@@ -51,6 +51,15 @@ class JobSummary:
     speculative_launches: int = 0
     critical_path: list[tuple[str, str, float]] = field(default_factory=list)
     counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    # Chaos-engine recovery facts (all zero/empty on fault-free runs).
+    faults: dict[str, int] = field(default_factory=dict)
+    backoff_s: float = 0.0
+    nodes_lost: list[str] = field(default_factory=list)
+    nodes_blacklisted: list[str] = field(default_factory=list)
+    replicas_healed: int = 0
+    healed_bytes: int = 0
+    shuffle_refetches: int = 0
+    refetched_bytes: int = 0
 
     @property
     def total_s(self) -> float:
@@ -145,6 +154,14 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
     shuffle: dict[str, int] = {}
     failed = 0
     speculative = 0
+    faults: dict[str, int] = {}
+    backoff_s = 0.0
+    nodes_lost: list[str] = []
+    nodes_blacklisted: list[str] = []
+    replicas_healed = 0
+    healed_bytes = 0
+    shuffle_refetches = 0
+    refetched_bytes = 0
     for event in history.events_for(job):
         if event.kind == EventKind.SHUFFLE_TRANSFER:
             shuffle[str(event.data.get("reducer", event.task))] = int(
@@ -154,6 +171,21 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
             failed += 1
         elif event.kind == EventKind.SPECULATIVE_LAUNCH:
             speculative += 1
+        elif event.kind == EventKind.FAULT_INJECTED:
+            kind = str(event.data.get("fault", "unknown"))
+            faults[kind] = faults.get(kind, 0) + 1
+        elif event.kind == EventKind.ATTEMPT_RETRIED:
+            backoff_s += float(event.data.get("backoff_s", 0.0))
+        elif event.kind == EventKind.NODE_LOST:
+            nodes_lost.append(str(event.node))
+        elif event.kind == EventKind.NODE_BLACKLISTED:
+            nodes_blacklisted.append(str(event.node))
+        elif event.kind == EventKind.REPLICA_HEALED:
+            replicas_healed += int(event.data.get("replicas", 0))
+            healed_bytes += int(event.data.get("nbytes", 0))
+        elif event.kind == EventKind.SHUFFLE_REFETCH:
+            shuffle_refetches += 1
+            refetched_bytes += int(event.data.get("bytes", 0))
 
     task_group: dict[str, Any] = counters.get("task", {})
     combiner = None
@@ -178,6 +210,14 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
         speculative_launches=speculative,
         critical_path=_critical_path(timing, spans),
         counters={g: dict(names) for g, names in counters.items()},
+        faults=faults,
+        backoff_s=backoff_s,
+        nodes_lost=nodes_lost,
+        nodes_blacklisted=nodes_blacklisted,
+        replicas_healed=replicas_healed,
+        healed_bytes=healed_bytes,
+        shuffle_refetches=shuffle_refetches,
+        refetched_bytes=refetched_bytes,
     )
 
 
@@ -282,6 +322,25 @@ def _render_job(history: JobHistory, summary: JobSummary, gantt: bool, width: in
         lines.append(
             f"  recovery: {summary.failed_attempts} failed attempts retried, "
             f"{summary.speculative_launches} speculative launches"
+        )
+    if summary.faults:
+        kinds = ", ".join(f"{k} x{n}" for k, n in sorted(summary.faults.items()))
+        backoff = (
+            f"; backoff +{summary.backoff_s:.1f}s" if summary.backoff_s else ""
+        )
+        lines.append(f"  faults injected: {kinds}{backoff}")
+    if summary.nodes_lost:
+        lines.append(
+            f"  node loss: {', '.join(summary.nodes_lost)} "
+            f"({summary.replicas_healed} replicas healed, "
+            f"{_fmt_bytes(summary.healed_bytes)} re-replicated)"
+        )
+    if summary.nodes_blacklisted:
+        lines.append(f"  blacklisted: {', '.join(summary.nodes_blacklisted)}")
+    if summary.shuffle_refetches:
+        lines.append(
+            f"  shuffle refetch: {summary.shuffle_refetches} fetch(es), "
+            f"{_fmt_bytes(summary.refetched_bytes)} re-pulled"
         )
     if summary.critical_path:
         chain = " -> ".join(

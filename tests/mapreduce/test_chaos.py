@@ -1,0 +1,303 @@
+"""Chaos-engine regressions: scheduled faults, recovery, accounting.
+
+The property suite (tests/properties/test_chaos_equivalence.py) checks
+the *algorithms* survive chaos; this file pins down the *engine*: node
+loss re-runs exactly the lost tasks, repeated node failures trip the
+blacklist, retry exhaustion fails the job with the full failure chain,
+and no re-executed record is ever counted twice.
+"""
+
+import pytest
+
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.counters import STANDARD
+from repro.mapreduce.failures import (
+    ChaosSchedule,
+    FailureInjector,
+    Fault,
+    FaultKind,
+    JobFailedError,
+    MAX_TASK_ATTEMPTS,
+    TaskFailure,
+)
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import JobSpec, Mapper, Reducer
+from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.scheduler import NodeBlacklist, RetryPolicy
+from repro.observability.events import EventKind
+
+N_RECORDS = 24
+
+
+class EchoMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key % 3, value)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def make_deployment(n_workers=5, chunk_size=64, replication=3, seed=2):
+    hdfs = SimulatedHDFS(
+        paper_cluster(n_workers), chunk_size=chunk_size,
+        replication=replication, seed=seed,
+    )
+    hdfs.put_records("in", [(i, 1) for i in range(N_RECORDS)], record_bytes=16)
+    return hdfs
+
+
+def spec(out="out"):
+    return JobSpec("j", EchoMapper, ["in"], out, reducer=SumReducer)
+
+
+class TestChaosSchedule:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError, match="crash_prob"):
+            ChaosSchedule(crash_prob=1.5)
+
+    def test_slow_factor_validated(self):
+        with pytest.raises(ValueError, match="slow_factor"):
+            ChaosSchedule(slow_factor=0.5)
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("disk_on_fire")
+
+    def test_scripted_crash_hits_exact_attempt(self):
+        chaos = ChaosSchedule(faults=[Fault(FaultKind.TASK_CRASH, task="map-0001", attempt=2)])
+        chaos.fail_attempt("map-0001", 1)  # survives
+        with pytest.raises(TaskFailure, match="scripted chaos crash"):
+            chaos.fail_attempt("map-0001", 2)
+        chaos.fail_attempt("map-0002", 2)  # other tasks unaffected
+
+    def test_bad_node_crashes_every_attempt(self):
+        chaos = ChaosSchedule(bad_nodes={"worker03"})
+        for attempt in (1, 2, 3):
+            with pytest.raises(TaskFailure, match="bad node"):
+                chaos.fail_attempt("map-0000", attempt, node="worker03")
+        chaos.fail_attempt("map-0000", 1, node="worker01")
+
+    def test_decisions_are_order_independent(self):
+        """Counter-hashed draws: the same query gives the same answer no
+        matter how many other queries happened before it."""
+        a = ChaosSchedule(seed=5, crash_prob=0.4)
+        b = ChaosSchedule(seed=5, crash_prob=0.4)
+        # Query `a` over many tasks first, then compare a fixed probe.
+        for i in range(50):
+            try:
+                a.fail_attempt(f"map-{i:04d}", 1)
+            except TaskFailure:
+                pass
+
+        def probe(schedule):
+            doomed = []
+            for i in range(20):
+                try:
+                    schedule.fail_attempt(f"reduce-{i:04d}", 1)
+                    doomed.append(False)
+                except TaskFailure:
+                    doomed.append(True)
+            return doomed
+
+        assert probe(a) == probe(b)
+        assert any(probe(a)) and not all(probe(a))
+
+    def test_slowdown_and_refetch_deterministic(self):
+        chaos = ChaosSchedule(seed=3, slow_node_prob=0.5, shuffle_fetch_prob=0.5)
+        nodes = [f"worker{i:02d}" for i in range(10)]
+        assert [chaos.node_slowdown(n) for n in nodes] == [
+            chaos.node_slowdown(n) for n in nodes
+        ]
+        assert {chaos.node_slowdown(n) for n in nodes} == {1.0, chaos.slow_factor}
+        reducers = [f"reduce-{i:04d}" for i in range(10)]
+        assert [chaos.shuffle_fetch_failures(r) for r in reducers] == [
+            chaos.shuffle_fetch_failures(r) for r in reducers
+        ]
+
+
+class TestNodeLossMidMap:
+    @pytest.fixture()
+    def lossy_run(self):
+        hdfs = make_deployment()
+        chaos = ChaosSchedule(faults=[Fault(FaultKind.NODE_LOSS, node="worker01")])
+        runner = JobRunner(hdfs, chaos=chaos)
+        result = runner.run(spec())
+        return hdfs, runner, result
+
+    def test_output_survives_node_loss(self, lossy_run):
+        hdfs, _, _ = lossy_run
+        assert sum(v for _, v in hdfs.read_records("out")) == N_RECORDS
+        assert "worker01" in hdfs.dead_nodes
+
+    def test_exactly_the_lost_tasks_are_rerun(self, lossy_run):
+        _, runner, result = lossy_run
+        lost_events = [e for e in runner.history if e.kind == EventKind.NODE_LOST]
+        assert len(lost_events) == 1
+        event = lost_events[0]
+        assert event.node == "worker01"
+        on_victim = sorted(
+            a.task_id
+            for a in result.map_plan.assignments
+            if a.node == "worker01" and not a.speculative
+        )
+        assert event.data["lost_tasks"] == on_victim
+        assert on_victim, "victim should have held at least one map task"
+        # Each re-dispatched task carries a node_loss fault event.
+        redispatched = {
+            e.task
+            for e in runner.history
+            if e.kind == EventKind.FAULT_INJECTED
+            and e.data["fault"] == FaultKind.NODE_LOSS
+        }
+        assert redispatched == set(on_victim)
+
+    def test_node_loss_is_charged_and_counted(self, lossy_run):
+        _, runner, result = lossy_run
+        sched = result.counters.group(STANDARD.GROUP_SCHEDULER)
+        assert sched[STANDARD.NODES_LOST] == 1
+        assert result.timing.retry_penalty_s > 0
+        # The history's timing invariant still holds under recovery.
+        assert runner.history.validate() == []
+
+    def test_records_counted_once_despite_rerun(self, lossy_run):
+        _, _, result = lossy_run
+        assert (
+            result.counters.value(STANDARD.GROUP_TASK, STANDARD.MAP_INPUT_RECORDS)
+            == N_RECORDS
+        )
+        assert (
+            result.counters.value(STANDARD.GROUP_TASK, STANDARD.REDUCE_OUTPUT_RECORDS)
+            == 3
+        )
+
+    def test_second_job_does_not_lose_another_node(self, lossy_run):
+        """max_node_losses=1 is a deployment-wide budget, not per-job."""
+        hdfs, runner, _ = lossy_run
+        runner.run(spec(out="out2"))
+        assert len([e for e in runner.history if e.kind == EventKind.NODE_LOST]) == 1
+        assert sum(v for _, v in hdfs.read_records("out2")) == N_RECORDS
+
+
+class TestBlacklisting:
+    def test_node_blacklisted_after_repeated_failures(self):
+        hdfs = make_deployment()
+        chaos = ChaosSchedule(bad_nodes={"worker02"})
+        policy = RetryPolicy(blacklist_after=2)
+        runner = JobRunner(hdfs, chaos=chaos, retry_policy=policy)
+        result = runner.run(spec())
+        assert sum(v for _, v in hdfs.read_records("out")) == N_RECORDS
+        events = [e for e in runner.history if e.kind == EventKind.NODE_BLACKLISTED]
+        assert [e.node for e in events] == ["worker02"]
+        assert events[0].data["failures"] >= events[0].data["threshold"] == 2
+        sched = result.counters.group(STANDARD.GROUP_SCHEDULER)
+        assert sched[STANDARD.NODES_BLACKLISTED] == 1
+
+    def test_blacklisted_node_gets_no_retries(self):
+        hdfs = make_deployment()
+        chaos = ChaosSchedule(bad_nodes={"worker02"})
+        policy = RetryPolicy(max_attempts=6, blacklist_after=2)
+        runner = JobRunner(hdfs, chaos=chaos, retry_policy=policy)
+        runner.run(spec())
+        # After the blacklist trips, retries route around worker02; every
+        # crash on it must therefore come from pre-blacklist attempts.
+        crashes = [
+            e
+            for e in runner.history
+            if e.kind == EventKind.ATTEMPT_FAILED and e.node == "worker02"
+        ]
+        assert crashes
+        blacklist_events = [
+            e for e in runner.history if e.kind == EventKind.NODE_BLACKLISTED
+        ]
+        assert [e.node for e in blacklist_events] == ["worker02"]
+
+    def test_node_blacklist_crossing_semantics(self):
+        bl = NodeBlacklist(threshold=2)
+        assert not bl.record_failure("w")   # 1st failure: below threshold
+        assert bl.record_failure("w")       # 2nd: crosses exactly once
+        assert not bl.record_failure("w")   # already blacklisted
+        assert bl.is_blacklisted("w")
+        assert bl.nodes() == frozenset({"w"})
+        assert bl.failure_count("w") == 3
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_raises_job_failed_with_chain(self):
+        hdfs = make_deployment()
+        chaos = ChaosSchedule(
+            faults=[
+                Fault(FaultKind.TASK_CRASH, task="map-0000", attempt=a)
+                for a in range(1, MAX_TASK_ATTEMPTS + 1)
+            ]
+        )
+        runner = JobRunner(hdfs, chaos=chaos)
+        with pytest.raises(JobFailedError, match="failed") as excinfo:
+            runner.run(spec())
+        err = excinfo.value
+        assert err.task_id == "map-0000"
+        assert err.max_attempts == MAX_TASK_ATTEMPTS
+        assert len(err.failure_chain) == MAX_TASK_ATTEMPTS
+        assert all("scripted chaos crash" in line for line in err.failure_chain)
+        # The chain names the attempt numbers in order.
+        assert [f[0] for f in err.failures] == list(range(1, MAX_TASK_ATTEMPTS + 1))
+
+    def test_job_failed_error_is_still_a_runtime_error(self):
+        assert issubclass(JobFailedError, RuntimeError)
+
+
+class TestBitReproducibility:
+    def test_same_seed_same_events_and_makespan(self):
+        def run_once():
+            hdfs = make_deployment()
+            chaos = ChaosSchedule(
+                seed=11, crash_prob=0.2, slow_node_prob=0.4,
+                shuffle_fetch_prob=0.3, node_loss_prob=1.0,
+            )
+            runner = JobRunner(hdfs, chaos=chaos)
+            runner.run(spec())
+            return (
+                [e.to_dict() for e in runner.history],
+                runner.history.clock,
+                sorted(hdfs.read_records("out")),
+            )
+
+        first, second = run_once(), run_once()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+
+
+class TestScriptFailuresGuard:
+    """Regression: scripting more failures than the retry budget used to
+    wedge the retry loop instead of failing the job cleanly."""
+
+    def test_overbudget_script_rejected(self):
+        inj = FailureInjector()
+        with pytest.raises(ValueError, match="retry budget"):
+            inj.script_failures("map-0000", attempts=MAX_TASK_ATTEMPTS + 1)
+        assert not inj.scripted  # nothing partially scripted
+
+    def test_budget_boundary_still_allowed(self):
+        inj = FailureInjector()
+        inj.script_failures("map-0000", attempts=MAX_TASK_ATTEMPTS)
+        assert len(inj.scripted) == MAX_TASK_ATTEMPTS
+
+    def test_custom_budget_respected(self):
+        inj = FailureInjector()
+        inj.script_failures("map-0000", attempts=6, max_attempts=6)
+        with pytest.raises(ValueError, match="retry budget"):
+            inj.script_failures("map-0001", attempts=3, max_attempts=2)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base_s=2.0, backoff_factor=2.0)
+        assert [policy.backoff_s(a) for a in (1, 2, 3)] == [2.0, 4.0, 8.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(blacklist_after=0)

@@ -1,0 +1,146 @@
+"""Regenerates the chaos-run goldens (checked in next to this file).
+
+``golden_chaos_history.json`` is a small handcrafted job exercising every
+*chaos* report feature at once: a crash-retried map task, a node lost
+mid-map with its task re-dispatched and replicas healed, a blacklisted
+node, a retried reducer and a shuffle refetch.
+``golden_chaos_report.txt`` is the exact ``repro history`` rendering of
+that trace.  Regenerate with::
+
+    PYTHONPATH=src python tests/observability/make_chaos_golden.py
+
+and review the diff — the chaos history tests assert against both files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observability.events import EventKind, Phase
+from repro.observability.history import JobHistory
+
+GOLDEN_HISTORY = Path(__file__).parent / "golden_chaos_history.json"
+GOLDEN_REPORT = Path(__file__).parent / "golden_chaos_report.txt"
+JOB = "mmc-learning"
+
+
+def build_chaos_golden() -> JobHistory:
+    h = JobHistory()
+    K = EventKind
+    h.emit(
+        K.JOB_START, JOB, 0.0,
+        input_paths=["input/traces"], output_path="out/models",
+        n_chunks=3, map_only=False, num_reducers=2, combiner=False,
+    )
+    h.emit(K.PHASE_START, JOB, 0.0, phase=Phase.SETUP)
+    h.emit(K.CACHE_LOAD, JOB, 0.0, entries=["mmc.poi_coords"], nbytes=64,
+           broadcast_s=0.2)
+    h.emit(K.PHASE_FINISH, JOB, 20.0, phase=Phase.SETUP, duration_s=20.0)
+
+    h.emit(K.PHASE_START, JOB, 20.0, phase=Phase.MAP)
+    # map-0000: clean node-local task.
+    h.emit(K.TASK_START, JOB, 20.0, task="map-0000", node="worker00",
+           phase=Phase.MAP, locality="node_local",
+           input_bytes=65536, input_records=1024)
+    h.emit(K.TASK_FINISH, JOB, 30.0, task="map-0000", node="worker00",
+           phase=Phase.MAP, duration_s=10.0, attempts=1, wasted_s=0.0,
+           locality="node_local")
+    # map-0001: first attempt crashes, backoff, retry succeeds elsewhere.
+    h.emit(K.TASK_START, JOB, 20.0, task="map-0001", node="worker02",
+           phase=Phase.MAP, locality="node_local",
+           input_bytes=65536, input_records=1024)
+    h.emit(K.FAULT_INJECTED, JOB, 30.0, task="map-0001", node="worker02",
+           attempt=1, fault="task_crash", reason="chaos crash")
+    h.emit(K.ATTEMPT_FAILED, JOB, 30.0, task="map-0001", node="worker02",
+           attempt=1, reason="chaos crash")
+    h.emit(K.ATTEMPT_RETRIED, JOB, 30.0, task="map-0001", attempt=2,
+           backoff_s=2.0, reason="re-dispatched after task_crash")
+    h.emit(K.TASK_FINISH, JOB, 40.0, task="map-0001", node="worker02",
+           phase=Phase.MAP, duration_s=10.0, attempts=2, wasted_s=12.0,
+           locality="node_local")
+    # map-0002: its node dies mid-phase; the map output is re-dispatched
+    # and the under-replicated chunks heal onto survivors.
+    h.emit(K.TASK_START, JOB, 20.0, task="map-0002", node="worker01",
+           phase=Phase.MAP, locality="node_local",
+           input_bytes=65536, input_records=1024)
+    h.emit(K.FAULT_INJECTED, JOB, 32.0, task="map-0002", node="worker01",
+           attempt=1, fault="node_loss",
+           reason="node worker01 lost mid-phase; map output re-dispatched")
+    h.emit(K.ATTEMPT_FAILED, JOB, 32.0, task="map-0002", node="worker01",
+           attempt=1,
+           reason="node worker01 lost mid-phase; map output re-dispatched")
+    h.emit(K.ATTEMPT_RETRIED, JOB, 32.0, task="map-0002", attempt=2,
+           backoff_s=0.0, reason="re-dispatched after node_loss")
+    h.emit(K.TASK_FINISH, JOB, 44.0, task="map-0002", node="worker01",
+           phase=Phase.MAP, duration_s=12.0, attempts=2, wasted_s=12.0,
+           locality="node_local")
+    h.emit(K.NODE_LOST, JOB, 32.0, node="worker01",
+           lost_tasks=["map-0002"], detect_s=10.0)
+    h.emit(K.REPLICA_HEALED, JOB, 32.0, replicas=2, nbytes=131072,
+           rereplicate_s=2.6)
+    h.emit(K.PHASE_FINISH, JOB, 50.0, phase=Phase.MAP, duration_s=30.0)
+
+    h.emit(K.SHUFFLE_TRANSFER, JOB, 50.0, task="reduce-0000",
+           reducer="reduce-0000", bytes=2000, records=100, groups=10)
+    h.emit(K.SHUFFLE_TRANSFER, JOB, 50.0, task="reduce-0001",
+           reducer="reduce-0001", bytes=6000, records=300, groups=30)
+    h.emit(K.SHUFFLE_REFETCH, JOB, 50.0, task="reduce-0001", bytes=1500,
+           refetch_s=0.03, reason="fetch timeout")
+    h.emit(K.NODE_BLACKLISTED, JOB, 50.0, node="worker01", failures=3,
+           threshold=3)
+
+    h.emit(K.PHASE_START, JOB, 50.0, phase=Phase.REDUCE)
+    h.emit(K.TASK_START, JOB, 50.0, task="reduce-0000", node="worker00",
+           phase=Phase.REDUCE, input_records=100)
+    h.emit(K.TASK_FINISH, JOB, 55.0, task="reduce-0000", node="worker00",
+           phase=Phase.REDUCE, duration_s=5.0, attempts=1, wasted_s=0.0)
+    h.emit(K.TASK_START, JOB, 50.0, task="reduce-0001", node="worker02",
+           phase=Phase.REDUCE, input_records=300)
+    h.emit(K.FAULT_INJECTED, JOB, 56.0, task="reduce-0001", node="worker02",
+           attempt=1, fault="task_crash", reason="chaos crash")
+    h.emit(K.ATTEMPT_FAILED, JOB, 56.0, task="reduce-0001", node="worker02",
+           attempt=1, reason="chaos crash")
+    h.emit(K.ATTEMPT_RETRIED, JOB, 56.0, task="reduce-0001", attempt=2,
+           backoff_s=2.0, reason="re-dispatched after task_crash")
+    h.emit(K.TASK_FINISH, JOB, 62.0, task="reduce-0001", node="worker02",
+           phase=Phase.REDUCE, duration_s=6.0, attempts=2, wasted_s=8.0,
+           locality=None)
+    h.emit(K.PHASE_FINISH, JOB, 62.0, phase=Phase.REDUCE, duration_s=12.0)
+
+    h.emit(
+        K.JOB_FINISH, JOB, 75.0,
+        timing={"setup_s": 20.0, "map_s": 30.0, "reduce_s": 12.0,
+                "retry_penalty_s": 13.0, "total_s": 75.0},
+        counters={
+            "task": {
+                "map_input_records": 3072,
+                "map_output_records": 96,
+                "reduce_input_records": 96,
+                "reduce_output_records": 3,
+                "shuffle_bytes": 8000,
+            },
+            "scheduler": {
+                "data_local_maps": 3,
+                "failed_tasks": 3,
+                "nodes_lost": 1,
+                "replicas_healed": 2,
+                "nodes_blacklisted": 1,
+                "shuffle_refetches": 1,
+            },
+        },
+        n_map_tasks=3, n_reduce_tasks=2, output_path="out/models",
+    )
+    h.advance(75.0)
+    return h
+
+
+if __name__ == "__main__":
+    from repro.observability.report import render_report
+
+    history = build_chaos_golden()
+    violations = history.validate()
+    assert not violations, violations
+    history.save(GOLDEN_HISTORY)
+    GOLDEN_REPORT.write_text(render_report(history))
+    print(f"wrote {GOLDEN_HISTORY} ({len(history)} events)")
+    print(f"wrote {GOLDEN_REPORT}")

@@ -109,12 +109,23 @@ class TestAccounting:
     def test_kmeans_iterations_annotated(self, traced_run):
         runner, _, kmeans = traced_run
         notes = [
-            e for e in runner.history if e.kind == EventKind.DRIVER_ANNOTATION
+            e
+            for e in runner.history
+            if e.kind == EventKind.DRIVER_ANNOTATION
+            and e.data.get("driver") == "kmeans"
         ]
         assert [n.data["iteration"] for n in notes] == list(
             range(1, kmeans.n_iterations + 1)
         )
         assert notes[-1].data["driver"] == "kmeans"
+        # The sampling driver annotates its run too.
+        sampling_notes = [
+            e
+            for e in runner.history
+            if e.kind == EventKind.DRIVER_ANNOTATION
+            and e.data.get("driver") == "sampling"
+        ]
+        assert len(sampling_notes) == 1
 
     def test_task_spans_are_well_formed(self, traced_run):
         runner, sampling, _ = traced_run

@@ -1,0 +1,214 @@
+"""Equivalence under failure: chaos must be invisible to the algorithms.
+
+The paper's correctness story — "the MapReduce adaptation computes what
+GEPETO computes" — has to survive infrastructure faults, because a real
+Hadoop deployment absorbs them routinely.  hypothesis draws randomized
+seeded :class:`ChaosSchedule`\\ s (probabilistic knobs *and* scripted
+faults over fault kind x phase x task index) and asserts that every
+driver's output is **byte-identical** to its no-fault run; separate
+tests pin the no-fault MR run to the sequential GEPETO baseline, closing
+the chain sequential == MR == MR-under-chaos.
+
+Runs are expensive (each example is a full simulated deployment), so the
+example counts are deliberately small; the schedules are seeded, so any
+found counterexample replays exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.djcluster import DJClusterParams, preprocess_array
+from repro.algorithms.kmeans import kmeans_sequential
+from repro.algorithms.sampling import sample_array
+from repro.attacks.mmc import build_mmc
+from repro.geo.synthetic import SyntheticConfig, generate_dataset
+from repro.mapreduce.chaos import DRIVERS, _run_once, default_schedule
+from repro.mapreduce.failures import ChaosSchedule, Fault, FaultKind, JobFailedError
+
+MAX_EXAMPLES = 6
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    dataset, _ = generate_dataset(SyntheticConfig(n_users=3, days=1, seed=42))
+    return dataset.flat().sort_by_time()
+
+
+@pytest.fixture(scope="module")
+def context(corpus):
+    return {"poi_coords": kmeans_sequential(corpus.coordinates(), k=4, seed=0).centroids}
+
+
+@pytest.fixture(scope="module")
+def clean_signatures(corpus, context):
+    """Fingerprint of every driver's fault-free run, computed once."""
+    return {
+        name: _run_once(driver, corpus, context, 3, 64 * 1024, None).signature
+        for name, driver in DRIVERS.items()
+    }
+
+
+# -- schedule strategies -----------------------------------------------------
+
+def _task_scoped_fault(kind):
+    return st.builds(
+        Fault,
+        kind=st.just(kind),
+        task=st.tuples(
+            st.sampled_from(["map", "reduce"]), st.integers(0, 8)
+        ).map(lambda p: f"{p[0]}-{p[1]:04d}"),
+        attempt=st.integers(1, 3),
+    )
+
+
+scripted_faults = st.lists(
+    st.one_of(
+        _task_scoped_fault(FaultKind.TASK_CRASH),
+        _task_scoped_fault(FaultKind.CACHE_LOAD),
+        st.builds(
+            Fault,
+            kind=st.just(FaultKind.SHUFFLE_FETCH),
+            task=st.integers(0, 8).map(lambda i: f"reduce-{i:04d}"),
+        ),
+        st.builds(
+            Fault,
+            kind=st.just(FaultKind.SLOW_NODE),
+            node=st.integers(0, 2).map(lambda i: f"worker{i:02d}"),
+        ),
+    ),
+    max_size=4,
+).map(tuple)
+
+schedules = st.builds(
+    ChaosSchedule,
+    seed=st.integers(0, 2**32 - 1),
+    crash_prob=st.sampled_from([0.0, 0.1, 0.25]),
+    cache_load_prob=st.sampled_from([0.0, 0.1]),
+    shuffle_fetch_prob=st.sampled_from([0.0, 0.2]),
+    slow_node_prob=st.sampled_from([0.0, 0.3]),
+    node_loss_prob=st.sampled_from([0.0, 1.0]),
+    faults=scripted_faults,
+)
+
+
+def _assert_equivalent(name, corpus, context, clean_signatures, schedule):
+    try:
+        artifacts = _run_once(DRIVERS[name], corpus, context, 3, 64 * 1024, schedule)
+    except JobFailedError as err:
+        # An aggressive schedule may legitimately exhaust a task's retry
+        # budget — like Hadoop after max.attempts.  The contract is then a
+        # *clean* failure carrying the full chain, never silent corruption.
+        assert len(err.failures) == err.max_attempts
+        assert err.failure_chain
+        return
+    assert artifacts.signature == clean_signatures[name], (
+        f"{name} output diverged under chaos schedule "
+        f"[{schedule.describe()}]"
+    )
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(schedule=schedules)
+def test_sampling_equivalent_under_chaos(
+    corpus, context, clean_signatures, schedule
+):
+    _assert_equivalent("sampling", corpus, context, clean_signatures, schedule)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(schedule=schedules)
+def test_djcluster_preprocessing_equivalent_under_chaos(
+    corpus, context, clean_signatures, schedule
+):
+    _assert_equivalent("djcluster", corpus, context, clean_signatures, schedule)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(schedule=schedules)
+def test_mmc_equivalent_under_chaos(corpus, context, clean_signatures, schedule):
+    _assert_equivalent("mmc", corpus, context, clean_signatures, schedule)
+
+
+@settings(max_examples=4, deadline=None)  # iterative: the slow driver
+@given(schedule=schedules)
+def test_kmeans_equivalent_under_chaos(
+    corpus, context, clean_signatures, schedule
+):
+    _assert_equivalent("kmeans", corpus, context, clean_signatures, schedule)
+
+
+# -- sequential baselines ----------------------------------------------------
+#
+# The chaos tests above prove MR == MR-under-chaos; these pin the other
+# end of the chain, MR == sequential GEPETO, on the same corpus.  For the
+# map-only jobs the comparison uses a single-chunk layout (the bounded
+# chunk-boundary artifact of map-only jobs is quantified elsewhere); the
+# MMC decomposition is exact for any chunking.
+
+def _single_chunk_runner(corpus, chaos=None):
+    from repro.mapreduce.chaos import _fresh_runner
+
+    return _fresh_runner(corpus, 3, 1 << 30, chaos)
+
+
+def test_sampling_matches_sequential_even_under_chaos(corpus):
+    from repro.algorithms.sampling import run_sampling_job
+
+    expected = sample_array(corpus, window_s=600.0)
+    runner = _single_chunk_runner(corpus, default_schedule(seed=5))
+    result = run_sampling_job(runner, "input/traces", "out/s", window_s=600.0)
+    got = runner.hdfs.read_trace_array(result.output_path)
+    assert got.users == expected.users
+    assert np.array_equal(got.timestamp, expected.timestamp)
+    assert np.array_equal(got.latitude, expected.latitude)
+    assert np.array_equal(got.longitude, expected.longitude)
+
+
+def test_djcluster_preprocessing_matches_sequential_even_under_chaos(corpus):
+    from repro.algorithms.djcluster import run_preprocessing_pipeline
+
+    params = DJClusterParams()
+    _, expected = preprocess_array(corpus, params)
+    runner = _single_chunk_runner(corpus, default_schedule(seed=5))
+    pipeline = run_preprocessing_pipeline(runner, "input/traces", params, workdir="tmp/dj")
+    got = runner.hdfs.read_trace_array(pipeline.output_path)
+    assert len(got) == len(expected)
+    assert np.array_equal(got.timestamp, expected.timestamp)
+    assert np.array_equal(got.latitude, expected.latitude)
+
+
+def test_mmc_matches_sequential_even_under_chaos(corpus, context):
+    from repro.attacks.mmc_mr import run_mmc_mapreduce
+
+    runner = _single_chunk_runner(corpus, default_schedule(seed=5, node_loss=True))
+    models = run_mmc_mapreduce(
+        runner, "input/traces", context["poi_coords"], output_path="tmp/mmc"
+    )
+    for user, chain in models.items():
+        mask = np.array(corpus.users)[corpus.user_index] == user
+        expected = build_mmc(corpus[np.flatnonzero(mask)], context["poi_coords"])
+        assert np.array_equal(chain.transitions, expected.transitions), user
+        assert np.array_equal(chain.visit_counts, expected.visit_counts), user
+
+
+def test_kmeans_matches_sequential_baseline(corpus):
+    from repro.algorithms.kmeans import run_kmeans_mapreduce
+
+    points = corpus.coordinates()
+    init = points[:3].copy()
+    expected = kmeans_sequential(
+        points, k=3, max_iter=3, initial_centroids=init
+    )
+    runner = _single_chunk_runner(corpus, default_schedule(seed=5))
+    got = run_kmeans_mapreduce(
+        runner, "input/traces", k=3, max_iter=3,
+        initial_centroids=init, workdir="tmp/km",
+    )
+    # Float sums associate differently across the combiner tree: allclose,
+    # not byte equality, is the right contract against the sequential code.
+    assert np.allclose(got.centroids, expected.centroids)
+    assert got.n_iterations == expected.n_iterations

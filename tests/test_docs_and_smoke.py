@@ -40,6 +40,13 @@ def test_history_selfcheck_smoke(capsys):
     assert "history selfcheck: ok" in capsys.readouterr().out
 
 
+def test_chaos_selfcheck_smoke(capsys):
+    """`python -m repro chaos --selfcheck`: all four drivers survive a
+    fault-heavy seeded schedule with byte-identical outputs."""
+    assert main(["chaos", "--selfcheck"]) == 0
+    assert "chaos selfcheck: ok" in capsys.readouterr().out
+
+
 @pytest.mark.parametrize("doc", DOCS, ids=lambda p: str(p.relative_to(REPO)))
 def test_markdown_links_resolve(doc):
     broken = []
