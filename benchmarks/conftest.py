@@ -27,6 +27,18 @@ from repro.mapreduce.runner import JobRunner
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(config, items):
+    """``bench``-marked tests are opt-in: they time real wall-clock and
+    are meaningless on a loaded CI box unless explicitly requested with
+    ``-m bench`` (the marker is registered in pyproject.toml)."""
+    if "bench" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="wall-clock benchmark; opt in with -m bench")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def corpus_66mb():
     """~0.9 M traces from 90 users (the paper's 66 MB subset)."""

@@ -331,8 +331,11 @@ class NeighborhoodMapper(Mapper):
         array = chunk.trace_array()
         points = array.coordinates()
         offset = chunk.payload.offset if isinstance(chunk.payload, ArrayPayload) else 0
-        for i in range(len(points)):
-            hood = self._tree.query_radius(points[i, 0], points[i, 1], self._radius)
+        # One batched tree walk answers the whole chunk; the result arrays
+        # are exactly the per-point query_radius sets, so emissions (and
+        # therefore shuffle bytes, counters, histories) are unchanged.
+        hoods = self._tree.query_radius_batch(points, self._radius)
+        for i, hood in enumerate(hoods):
             if len(hood) >= self._min_pts:
                 ctx.emit("all", hood, nbytes=int(hood.nbytes), n_records=1)
             else:

@@ -15,6 +15,7 @@ Commands
 ``sanitize``   apply a geo-sanitization mechanism
 ``history``    render a job-history trace report (docs/OBSERVABILITY.md)
 ``chaos``      seeded fault-injection campaign over a driver (docs/CHAOS.md)
+``bench``      wall-clock benchmark of the execution backends (docs/PERFORMANCE.md)
 """
 
 from __future__ import annotations
@@ -223,6 +224,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fixed fault-heavy campaign over all drivers and "
         "verify equivalence + reproducibility (used by the CI smoke step)",
     )
+    from repro.mapreduce.config import BACKENDS
+
+    cha.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="execution backend to run the campaign on (the report must "
+        "be identical for all of them)",
+    )
+
+    ben = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark of the execution backends",
+        description=(
+            "Times the fixed-initial-centroid k-means driver on every "
+            "execution backend over synthetic corpora, prints a table, "
+            "and optionally writes the JSON document / checks it against "
+            "a committed baseline (docs/PERFORMANCE.md)."
+        ),
+    )
+    ben.add_argument(
+        "--sizes",
+        default=",".join(str(s) for s in (100_000, 1_000_000)),
+        help="comma-separated corpus sizes in traces",
+    )
+    ben.add_argument(
+        "--backends",
+        default=",".join(BACKENDS),
+        help="comma-separated subset of: " + ", ".join(BACKENDS),
+    )
+    ben.add_argument(
+        "--iterations", type=int, default=2,
+        help="timing repeats per cell; the best is kept",
+    )
+    ben.add_argument("--k", type=int, default=4, help="k-means cluster count")
+    ben.add_argument("--max-iter", type=int, default=3, help="k-means iterations")
+    ben.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for threads/processes (default: backend-specific)",
+    )
+    ben.add_argument("--out", help="write the JSON result document here")
+    ben.add_argument(
+        "--check", action="store_true",
+        help="compare against --baseline and exit 1 on regression",
+    )
+    ben.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON for --check (default: benchmarks/BENCH_backends.json)",
+    )
+    ben.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="fractional slowdown tolerated by --check (default 0.25)",
+    )
     return parser
 
 
@@ -390,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
                 days=args.days,
                 n_workers=args.workers,
                 history_path=args.history,
+                executor=args.backend,
             )
         except ValueError as exc:
             raise SystemExit(f"chaos: {exc}")
@@ -397,6 +452,47 @@ def main(argv: list[str] | None = None) -> int:
         if args.history:
             print(f"chaotic run history exported to {args.history}")
         return 0 if report.ok else 1
+
+    if args.command == "bench":
+        from repro.mapreduce.bench import (
+            DEFAULT_BASELINE,
+            check_against_baseline,
+            load_result,
+            render_result,
+            run_backend_benchmark,
+            save_result,
+        )
+
+        try:
+            sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+            backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+            doc = run_backend_benchmark(
+                sizes=sizes,
+                backends=backends,
+                iterations=args.iterations,
+                k=args.k,
+                max_iter=args.max_iter,
+                max_workers=args.workers,
+            )
+        except (ValueError, RuntimeError) as exc:
+            raise SystemExit(f"bench: {exc}")
+        print(render_result(doc))
+        if args.out:
+            print(f"result written to {save_result(doc, args.out)}")
+        if args.check:
+            baseline_path = args.baseline or DEFAULT_BASELINE
+            try:
+                baseline = load_result(baseline_path)
+            except FileNotFoundError:
+                raise SystemExit(f"bench: no baseline at {baseline_path}")
+            problems = check_against_baseline(doc, baseline, args.tolerance)
+            if problems:
+                print(f"\nREGRESSION vs {baseline_path}:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print(f"\nwithin tolerance of baseline {baseline_path}")
+        return 0
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
 

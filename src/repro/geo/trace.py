@@ -162,6 +162,31 @@ class TraceArray:
         return cls(np.empty(0, dtype=_TRACE_DTYPE), [])
 
     @classmethod
+    def from_buffer(
+        cls, buffer, n_traces: int, users: Sequence[str]
+    ) -> "TraceArray":
+        """Zero-copy view over an externally owned buffer.
+
+        Used by the process execution backend to reconstruct a chunk's
+        traces from a ``multiprocessing.shared_memory`` segment without
+        pickling the payload.  The caller owns the buffer's lifetime; the
+        returned array must not outlive it.
+        """
+        data = np.ndarray((n_traces,), dtype=_TRACE_DTYPE, buffer=buffer)
+        return cls(data, users)
+
+    @property
+    def data_nbytes(self) -> int:
+        """Size in bytes of the packed columnar records."""
+        return int(self._data.nbytes)
+
+    def copy_data_into(self, buffer) -> None:
+        """Copy the packed records into ``buffer`` (inverse of
+        :meth:`from_buffer`; the buffer must hold ``data_nbytes``)."""
+        out = np.ndarray((len(self._data),), dtype=_TRACE_DTYPE, buffer=buffer)
+        out[:] = self._data
+
+    @classmethod
     def concatenate(cls, arrays: Sequence["TraceArray"]) -> "TraceArray":
         """Concatenate several arrays, re-mapping user index tables."""
         arrays = [a for a in arrays if len(a)]

@@ -41,7 +41,41 @@ __all__ = ["Rect", "RTree", "DEFAULT_MAX_ENTRIES"]
 DEFAULT_MAX_ENTRIES = 32
 
 #: Metres per degree of latitude, for radius -> bounding-box conversion.
-_M_PER_DEG_LAT = 111_320.0
+#: Deliberately *below* the true ~111,195 m/deg of the Haversine sphere so
+#: the pruning rectangle is a strict superset of the query disc — the box
+#: may only ever admit extra candidates (discarded by the exact Haversine
+#: refinement), never exclude a true neighbour.
+_M_PER_DEG_LAT = 111_000.0
+
+#: Absolute floor (degrees) on the pruning rectangle's half-widths for
+#: positive radii.  Degree deltas below ~1e-13 vanish when ``haversine_m``
+#: converts to radians (the difference rounds away), so such point pairs
+#: have Haversine distance exactly 0 and belong to *every* positive-radius
+#: neighbourhood; the floor keeps them inside the box.  Zero radii skip the
+#: floor: they must match exact-coordinate grouping.
+_DEG_EPS = 1e-12
+
+
+def _radius_rect(lat: float, lon: float, radius_m: float) -> Rect:
+    """Degree-space pruning rectangle covering the Haversine disc.
+
+    Conservative by construction: longitude width uses the smallest
+    cosine over the rectangle's latitude band (widest meridian
+    convergence), and a band touching a pole spans all longitudes.
+    """
+    pad = _DEG_EPS if radius_m > 0 else 0.0
+    dlat = radius_m / _M_PER_DEG_LAT + pad
+    min_lat = max(lat - dlat, -90.0)
+    max_lat = min(lat + dlat, 90.0)
+    if lat - dlat <= -90.0 or lat + dlat >= 90.0:
+        # Disc may wrap a pole: every longitude is reachable.
+        return Rect(min_lat, -180.0, max_lat, 180.0)
+    cos_band = max(
+        min(math.cos(math.radians(min_lat)), math.cos(math.radians(max_lat))),
+        1e-9,
+    )
+    dlon = radius_m / (_M_PER_DEG_LAT * cos_band) + pad
+    return Rect(min_lat, max(lon - dlon, -180.0), max_lat, min(lon + dlon, 180.0))
 
 
 @dataclass(frozen=True)
@@ -386,15 +420,7 @@ class RTree:
             raise ValueError("radius must be non-negative")
         if self._root is None:
             return np.empty(0, dtype=np.int64)
-        dlat = radius_m / _M_PER_DEG_LAT
-        cos_lat = max(math.cos(math.radians(lat)), 1e-9)
-        dlon = radius_m / (_M_PER_DEG_LAT * cos_lat)
-        rect = Rect(
-            max(lat - dlat, -90.0),
-            max(lon - dlon, -180.0),
-            min(lat + dlat, 90.0),
-            min(lon + dlon, 180.0),
-        )
+        rect = _radius_rect(lat, lon, radius_m)
         out: list[np.ndarray] = []
         stack = [self._root]
         qarr = rect.as_array()
@@ -427,6 +453,71 @@ class RTree:
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(out))
+
+    def query_radius_batch(self, points: np.ndarray, radius_m: float) -> list[np.ndarray]:
+        """Per-point :meth:`query_radius` for an (n, 2) array of queries.
+
+        One shared tree walk answers every query: each visited node
+        carries the subset of query indices whose pruning rectangles
+        intersect it, and the rect-vs-child-MBR test for that whole
+        subset is a single broadcasted comparison instead of ``n``
+        independent traversals.  Leaf survivors are refined per query
+        with the same 1-D Haversine call the scalar path makes, so the
+        result arrays are exactly ``[query_radius(lat, lon, radius_m)
+        for lat, lon in points]`` (the property tests assert it).
+        """
+        if radius_m < 0:
+            raise ValueError("radius must be non-negative")
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("points must be an (n, 2) array")
+        n = len(points)
+        empty = np.empty(0, dtype=np.int64)
+        if n == 0 or self._root is None:
+            return [empty for _ in range(n)]
+        # Rects come from the same scalar helper as query_radius, so the
+        # pruning geometry is bit-identical to the per-point path.
+        rects = np.empty((n, 4), dtype=np.float64)
+        for q in range(n):
+            rects[q] = _radius_rect(points[q, 0], points[q, 1], radius_m).as_array()
+        out: list[list[np.ndarray]] = [[] for _ in range(n)]
+        all_queries = np.arange(n, dtype=np.int64)
+        stack: list[tuple[_Node, np.ndarray]] = [(self._root, all_queries)]
+        while stack:
+            node, active = stack.pop()
+            qarr = rects[active]  # (a, 4)
+            if node.is_leaf:
+                pts = node.points
+                # (a, m) inclusion mask: leaf point inside each query rect.
+                mask = (
+                    (pts[None, :, 0] >= qarr[:, 0, None])
+                    & (pts[None, :, 1] >= qarr[:, 1, None])
+                    & (pts[None, :, 0] <= qarr[:, 2, None])
+                    & (pts[None, :, 1] <= qarr[:, 3, None])
+                )
+                for row in np.flatnonzero(mask.any(axis=1)):
+                    qi = int(active[row])
+                    cand_pts = pts[mask[row]]
+                    dist = haversine_m(
+                        points[qi, 0], points[qi, 1], cand_pts[:, 0], cand_pts[:, 1]
+                    )
+                    keep = dist <= radius_m
+                    if np.any(keep):
+                        out[qi].append(node.ids[mask[row]][keep])
+            else:
+                mbrs = node.child_mbrs()  # (c, 4)
+                # (a, c) intersection matrix: query rect vs child MBR.
+                hit = ~(
+                    (mbrs[None, :, 0] > qarr[:, 2, None])
+                    | (mbrs[None, :, 2] < qarr[:, 0, None])
+                    | (mbrs[None, :, 1] > qarr[:, 3, None])
+                    | (mbrs[None, :, 3] < qarr[:, 1, None])
+                )
+                for ci in np.flatnonzero(hit.any(axis=0)):
+                    stack.append((node.children[ci], active[hit[:, ci]]))
+        return [
+            np.sort(np.concatenate(parts)) if parts else empty for parts in out
+        ]
 
     def knn(self, lat: float, lon: float, k: int) -> list[tuple[int, float]]:
         """The ``k`` nearest points as ``(id, haversine_metres)``, nearest

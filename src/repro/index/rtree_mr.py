@@ -18,6 +18,7 @@ the third sequential (its computational complexity is low):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -57,8 +58,11 @@ class SampleCurveMapper(Mapper):
         if n == 0:
             return
         sample_size = min(ctx.conf.get_int("rtree.sample_per_chunk", 1024), n)
-        # Seeded per chunk id so concurrent runs stay deterministic.
-        seed = abs(hash(ctx.task_id)) % (2**32)
+        # Seeded per task id with a *stable* hash: builtin hash() is
+        # salted per interpreter, which made the sampled boundaries (and
+        # the committed fig6 artifact) drift between runs and would
+        # diverge across spawn-context pool workers.
+        seed = zlib.crc32(ctx.task_id.encode())
         rng = np.random.default_rng(seed)
         idx = rng.choice(n, size=sample_size, replace=False)
         curve = get_curve(ctx.conf.get_str("rtree.curve", "hilbert"))

@@ -23,7 +23,11 @@ from repro.geo.distance import haversine_m
 
 __all__ = ["radius_self_join"]
 
-_M_PER_DEG_LAT = 111_320.0
+# Deliberately below the true ~111,195 m/deg of the Haversine sphere so a
+# grid cell is always *at least* radius-sized in both axes; with the exact
+# constant two in-radius points could straddle two band boundaries and
+# escape the 3x3 neighbourhood join.
+_M_PER_DEG_LAT = 111_000.0
 
 
 def radius_self_join(points: np.ndarray, radius_m: float) -> list[np.ndarray]:

@@ -1,0 +1,593 @@
+"""Pluggable execution backends for the MapReduce runner.
+
+The runner splits every task into two halves so that *where* a task runs
+can never change *what* the job observes:
+
+* a **pure attempt loop** (:func:`run_map_attempts` /
+  :func:`run_reduce_attempts`) executes the user code with the retry
+  budget.  Every fault decision it consults — scripted injector entries
+  and the :class:`~repro.mapreduce.failures.ChaosSchedule`'s
+  counter-hashed draws — is a pure function of ``(task_id, attempt)``,
+  so the outcome is identical whether the loop runs inline, on a thread,
+  or in a worker process;
+* a **driver-side narrative replay** (in :mod:`repro.mapreduce.runner`)
+  walks the outcomes in task order and reconstructs the node
+  assignments, blacklist evolution, backoffs and retry penalties exactly
+  as the original serial loop would have produced them.
+
+Three backends implement the dispatch half:
+
+``serial``
+    Runs attempt loops inline.  The reference semantics.
+``threads``
+    A thread pool — concurrency for I/O-bound mappers, but GIL-bound for
+    CPU work.
+``processes``
+    A persistent ``multiprocessing`` pool.  ``TraceArray`` chunk
+    payloads travel through ``multiprocessing.shared_memory`` segments
+    (workers reconstruct zero-copy NumPy views; the trace payload is
+    never pickled), and distributed-cache entries are broadcast once per
+    job via a versioned shared-memory segment instead of once per task.
+
+Order-dependent fault modes (a probabilistic ``FailureInjector``'s
+sequential RNG, or a chaos schedule with ``bad_nodes`` whose crash
+decisions depend on node placement) cannot be computed worker-side
+without changing results; the runner detects those and falls back to its
+legacy in-driver loop (see ``JobRunner._uses_order_dependent_faults``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context, resource_tracker
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.geo.trace import TraceArray
+from repro.mapreduce.cache import DistributedCache, FaultyCacheView
+from repro.mapreduce.config import BACKENDS, MapReduceConfig
+from repro.mapreduce.counters import Counters, STANDARD
+from repro.mapreduce.failures import ChaosSchedule, TaskFailure
+from repro.mapreduce.job import MapContext, ReduceContext
+from repro.mapreduce.types import ArrayPayload, Chunk
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "MapTaskRequest",
+    "ReduceTaskRequest",
+    "MapOutcome",
+    "ReduceOutcome",
+    "run_map_attempts",
+    "run_reduce_attempts",
+    "run_combiner",
+]
+
+
+# -- task requests and outcomes ---------------------------------------------
+
+
+@dataclass
+class MapTaskRequest:
+    """Everything a map task's pure attempt loop needs."""
+
+    task_id: str
+    node: str  # planned node (context hint only; never a fault input)
+    chunk: Chunk
+    mapper: Callable[[], Any]
+    combiner: Callable[[], Any] | None
+    conf: Any
+    cache: DistributedCache
+    chaos: ChaosSchedule | None
+    scripted: frozenset | None
+    max_attempts: int
+
+
+@dataclass
+class ReduceTaskRequest:
+    """Everything a reduce task's pure attempt loop needs."""
+
+    task_id: str
+    groups: list[tuple[Any, list[Any]]]
+    reducer: Callable[[], Any]
+    conf: Any
+    cache: DistributedCache
+    chaos: ChaosSchedule | None
+    scripted: frozenset | None
+    max_attempts: int
+
+
+@dataclass
+class MapOutcome:
+    """Result of a map task's attempt loop (node-free; the driver's
+    narrative replay adds node assignments and backoffs)."""
+
+    success: bool
+    output: list[tuple[Any, Any]] | None
+    counters: Counters | None
+    output_records: int
+    #: ``(attempt, reason, fault kind)`` per failed attempt, in order.
+    failures: list[tuple[int, str, str]] = field(default_factory=list)
+    combined_output: list[tuple[Any, Any]] | None = None
+    combine_counters: Counters | None = None
+
+
+@dataclass
+class ReduceOutcome:
+    success: bool
+    output: list[tuple[Any, Any]] | None
+    counters: Counters | None
+    failures: list[tuple[int, str, str]] = field(default_factory=list)
+
+
+# -- the pure attempt loops --------------------------------------------------
+
+
+def run_combiner(
+    combiner_factory, conf, cache, task_output, task_id: str, node: str
+) -> tuple[list[tuple[Any, Any]], Counters]:
+    """Run the combiner over one map task's local output."""
+    from repro.mapreduce.shuffle import group_sorted
+
+    counters = Counters()
+    ctx = ReduceContext(conf, counters, cache, f"{task_id}-combine", node)
+    combiner = combiner_factory()
+    groups = group_sorted(task_output)
+    combiner.setup(ctx)
+    combiner.run(groups, ctx)
+    combiner.cleanup(ctx)
+    counters.increment(
+        STANDARD.GROUP_TASK, STANDARD.COMBINE_INPUT_RECORDS, len(task_output)
+    )
+    counters.increment(
+        STANDARD.GROUP_TASK, STANDARD.COMBINE_OUTPUT_RECORDS, len(ctx.output)
+    )
+    return ctx.output, counters
+
+
+def run_map_attempts(request: MapTaskRequest) -> MapOutcome:
+    """Execute one map task's retry loop using only pure fault decisions.
+
+    Mirrors the runner's legacy loop attempt for attempt: the same cache
+    fault wrapping, the same injector-before-chaos precedence, the same
+    counter increments on success — minus anything node-dependent, which
+    the driver replays afterwards.
+    """
+    chunk = request.chunk
+    failures: list[tuple[int, str, str]] = []
+    for attempt in range(1, request.max_attempts + 1):
+        counters = Counters()
+        cache = request.cache
+        if request.chaos is not None and request.chaos.cache_load_fails(
+            request.task_id, attempt
+        ):
+            cache = FaultyCacheView(request.cache, request.task_id, attempt)
+        ctx = MapContext(request.conf, counters, cache, request.task_id, request.node)
+        mapper = request.mapper()
+        try:
+            if request.scripted and (request.task_id, attempt) in request.scripted:
+                raise TaskFailure(request.task_id, attempt, "scripted failure")
+            if request.chaos is not None:
+                request.chaos.fail_attempt(request.task_id, attempt)
+            mapper.setup(ctx)
+            mapper.run(chunk, ctx)
+            mapper.cleanup(ctx)
+        except TaskFailure as exc:
+            failures.append((attempt, exc.reason, exc.kind))
+            continue
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.MAP_INPUT_RECORDS, chunk.n_records
+        )
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_RECORDS, ctx.output_records
+        )
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.MAP_OUTPUT_BYTES, ctx.output_nbytes
+        )
+        counters.increment(
+            STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1
+        )
+        combined_output = combine_counters = None
+        if request.combiner is not None:
+            combined_output, combine_counters = run_combiner(
+                request.combiner,
+                request.conf,
+                request.cache,
+                ctx.output,
+                request.task_id,
+                request.node,
+            )
+        return MapOutcome(
+            True,
+            ctx.output,
+            counters,
+            ctx.output_records,
+            failures,
+            combined_output,
+            combine_counters,
+        )
+    return MapOutcome(False, None, None, 0, failures)
+
+
+def run_reduce_attempts(request: ReduceTaskRequest) -> ReduceOutcome:
+    """Execute one reduce task's retry loop using only pure fault
+    decisions (the reduce twin of :func:`run_map_attempts`)."""
+    failures: list[tuple[int, str, str]] = []
+    for attempt in range(1, request.max_attempts + 1):
+        counters = Counters()
+        ctx = ReduceContext(
+            request.conf, counters, request.cache, request.task_id, ""
+        )
+        reducer = request.reducer()
+        try:
+            if request.scripted and (request.task_id, attempt) in request.scripted:
+                raise TaskFailure(request.task_id, attempt, "scripted failure")
+            if request.chaos is not None:
+                request.chaos.fail_attempt(request.task_id, attempt)
+            reducer.setup(ctx)
+            reducer.run(request.groups, ctx)
+            reducer.cleanup(ctx)
+        except TaskFailure as exc:
+            failures.append((attempt, exc.reason, exc.kind))
+            continue
+        n_values = sum(len(v) for _, v in request.groups)
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_GROUPS, len(request.groups)
+        )
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_RECORDS, n_values
+        )
+        counters.increment(
+            STANDARD.GROUP_TASK, STANDARD.REDUCE_OUTPUT_RECORDS, ctx.output_records
+        )
+        counters.increment(
+            STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1
+        )
+        return ReduceOutcome(True, ctx.output, counters, failures)
+    return ReduceOutcome(False, None, None, failures)
+
+
+# -- backends ----------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Dispatches pure attempt loops; subclasses choose the medium."""
+
+    name = "base"
+
+    def prepare_job(self, cache: DistributedCache) -> None:
+        """Called once per job before the map phase (cache broadcast)."""
+
+    def run_map_tasks(self, requests: list[MapTaskRequest]) -> list[MapOutcome]:
+        raise NotImplementedError
+
+    def run_reduce_tasks(
+        self, requests: list[ReduceTaskRequest]
+    ) -> list[ReduceOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools and shared-memory segments."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — the reference backend."""
+
+    name = "serial"
+
+    def run_map_tasks(self, requests):
+        return [run_map_attempts(r) for r in requests]
+
+    def run_reduce_tasks(self, requests):
+        return [run_reduce_attempts(r) for r in requests]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution (shared address space, GIL-bound compute)."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int):
+        self.max_workers = max(int(max_workers), 1)
+
+    def run_map_tasks(self, requests):
+        if len(requests) <= 1 or self.max_workers <= 1:
+            return [run_map_attempts(r) for r in requests]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(run_map_attempts, requests))
+
+    def run_reduce_tasks(self, requests):
+        if len(requests) <= 1 or self.max_workers <= 1:
+            return [run_reduce_attempts(r) for r in requests]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(run_reduce_attempts, requests))
+
+
+# -- process backend ---------------------------------------------------------
+#
+# Worker-side globals.  Workers attach each shared-memory segment once and
+# keep the mapping for the life of the pool; the distributed cache is
+# unpickled once per broadcast version, not once per task.
+
+_WORKER_SEGMENTS: dict[str, tuple[Any, np.ndarray]] = {}
+_WORKER_CACHE: tuple[int, DistributedCache] = (0, DistributedCache())
+
+
+def _untrack_shm(shm) -> None:
+    """Stop the worker's resource tracker from owning the segment.
+
+    On Python < 3.13 merely *attaching* registers the segment with the
+    process's resource tracker, which would unlink (destroy) it when the
+    worker exits — but the driver owns these segments.  That only
+    applies to *spawned* workers, which run their own tracker; fork
+    workers inherit the driver's tracker, where the attach-register is
+    an idempotent set-add and the driver's own unlink performs the one
+    unregister — unregistering here too would double-unregister and
+    make the shared tracker log KeyErrors at interpreter exit.
+    """
+    if "fork" in get_all_start_methods():
+        return
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_segment(name: str, n_traces: int) -> np.ndarray:
+    entry = _WORKER_SEGMENTS.get(name)
+    if entry is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack_shm(shm)
+        from repro.geo.trace import _TRACE_DTYPE
+
+        data = np.ndarray((n_traces,), dtype=_TRACE_DTYPE, buffer=shm.buf)
+        entry = (shm, data)
+        _WORKER_SEGMENTS[name] = entry
+    return entry[1]
+
+
+def _resolve_cache(token: tuple[int, str | None, int]) -> DistributedCache:
+    global _WORKER_CACHE
+    version, name, nbytes = token
+    if version == 0 or name is None:
+        return DistributedCache()
+    if _WORKER_CACHE[0] != version:
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack_shm(shm)
+        try:
+            entries = pickle.loads(bytes(shm.buf[:nbytes]))
+        finally:
+            shm.close()
+        _WORKER_CACHE = (version, DistributedCache.from_snapshot(entries))
+    return _WORKER_CACHE[1]
+
+
+def _resolve_chunk(ref: tuple) -> Chunk:
+    if ref[0] == "pickle":
+        return ref[1]
+    _, name, n_traces, users, record_bytes, offset, chunk_id, replicas = ref
+    data = _attach_segment(name, n_traces)
+    array = TraceArray(data, users)
+    return Chunk(chunk_id, ArrayPayload(array, record_bytes, offset), replicas)
+
+
+def _pool_run_map(message: tuple) -> MapOutcome:
+    (task_id, node, chunk_ref, mapper, combiner, conf, chaos, scripted,
+     max_attempts, cache_token) = message
+    request = MapTaskRequest(
+        task_id=task_id,
+        node=node,
+        chunk=_resolve_chunk(chunk_ref),
+        mapper=mapper,
+        combiner=combiner,
+        conf=conf,
+        cache=_resolve_cache(cache_token),
+        chaos=chaos,
+        scripted=scripted,
+        max_attempts=max_attempts,
+    )
+    return run_map_attempts(request)
+
+
+def _pool_run_reduce(message: tuple) -> ReduceOutcome:
+    (task_id, groups, reducer, conf, chaos, scripted, max_attempts,
+     cache_token) = message
+    request = ReduceTaskRequest(
+        task_id=task_id,
+        groups=groups,
+        reducer=reducer,
+        conf=conf,
+        cache=_resolve_cache(cache_token),
+        chaos=chaos,
+        scripted=scripted,
+        max_attempts=max_attempts,
+    )
+    return run_reduce_attempts(request)
+
+
+class _ProcessState:
+    """Mutable resources a :class:`ProcessBackend` owns, separated out so
+    a ``weakref.finalize`` can release them without referencing the
+    backend itself."""
+
+    def __init__(self) -> None:
+        self.pool = None
+        self.segments: dict[str, tuple] = {}  # chunk_id -> (shm, ref tuple)
+        self.cache_shm = None
+
+
+def _release_process_state(state: _ProcessState) -> None:
+    if state.pool is not None:
+        state.pool.terminate()
+        state.pool.join()
+        state.pool = None
+    for shm, _ in state.segments.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+    state.segments.clear()
+    if state.cache_shm is not None:
+        try:
+            state.cache_shm.close()
+            state.cache_shm.unlink()
+        except Exception:
+            pass
+        state.cache_shm = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent process pool with shared-memory chunk transport.
+
+    * Chunk payloads holding a :class:`TraceArray` are copied once into a
+      named shared-memory segment keyed by ``chunk_id`` (chunk ids are
+      unique for the life of an HDFS instance and payloads are
+      immutable); workers rebuild zero-copy views, so iterative drivers
+      like k-means ship each chunk across the process boundary exactly
+      once no matter how many jobs read it.
+    * :meth:`prepare_job` pickles the distributed cache into a versioned
+      segment; workers deserialize it once per version — once per worker
+      per job, not once per task.
+    * The pool is forked lazily on first use and reused across jobs;
+      :meth:`close` (or garbage collection, via ``weakref.finalize``)
+      tears everything down and unlinks the segments.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int):
+        self.max_workers = max(int(max_workers), 1)
+        self._state = _ProcessState()
+        self._cache_version = 0
+        self._cache_token: tuple[int, str | None, int] = (0, None, 0)
+        self._finalizer = weakref.finalize(
+            self, _release_process_state, self._state
+        )
+
+    # -- resources --------------------------------------------------------
+    def _ensure_pool(self):
+        if self._state.pool is None:
+            method = "fork" if "fork" in get_all_start_methods() else "spawn"
+            self._state.pool = get_context(method).Pool(processes=self.max_workers)
+        return self._state.pool
+
+    def prepare_job(self, cache: DistributedCache) -> None:
+        payload = pickle.dumps(cache.snapshot(), protocol=pickle.HIGHEST_PROTOCOL)
+        if self._state.cache_shm is not None:
+            try:
+                self._state.cache_shm.close()
+                self._state.cache_shm.unlink()
+            except Exception:
+                pass
+            self._state.cache_shm = None
+        self._cache_version += 1
+        if len(cache) == 0:
+            self._cache_token = (self._cache_version, None, 0)
+            return
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        shm.buf[: len(payload)] = payload
+        self._state.cache_shm = shm
+        self._cache_token = (self._cache_version, shm.name, len(payload))
+
+    def _chunk_ref(self, chunk: Chunk) -> tuple:
+        payload = chunk.payload
+        if not isinstance(payload, ArrayPayload):
+            return ("pickle", chunk)
+        entry = self._state.segments.get(chunk.chunk_id)
+        if entry is None:
+            array = payload.array
+            nbytes = array.data_nbytes
+            shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+            if nbytes:
+                array.copy_data_into(shm.buf)
+            base = (shm.name, len(array), array.users)
+            entry = (shm, base)
+            self._state.segments[chunk.chunk_id] = entry
+        name, n_traces, users = entry[1]
+        return (
+            "shm",
+            name,
+            n_traces,
+            users,
+            payload.record_bytes,
+            payload.offset,
+            chunk.chunk_id,
+            chunk.replicas,
+        )
+
+    # -- dispatch ---------------------------------------------------------
+    def run_map_tasks(self, requests):
+        if len(requests) <= 1 or self.max_workers <= 1:
+            return [run_map_attempts(r) for r in requests]
+        messages = [
+            (
+                r.task_id,
+                r.node,
+                self._chunk_ref(r.chunk),
+                r.mapper,
+                r.combiner,
+                r.conf,
+                r.chaos,
+                r.scripted,
+                r.max_attempts,
+                self._cache_token,
+            )
+            for r in requests
+        ]
+        pool = self._ensure_pool()
+        return pool.map(_pool_run_map, messages, chunksize=1)
+
+    def run_reduce_tasks(self, requests):
+        if len(requests) <= 1 or self.max_workers <= 1:
+            return [run_reduce_attempts(r) for r in requests]
+        messages = [
+            (
+                r.task_id,
+                r.groups,
+                r.reducer,
+                r.conf,
+                r.chaos,
+                r.scripted,
+                r.max_attempts,
+                self._cache_token,
+            )
+            for r in requests
+        ]
+        pool = self._ensure_pool()
+        return pool.map(_pool_run_reduce, messages, chunksize=1)
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+def create_backend(config: MapReduceConfig, n_workers: int) -> ExecutionBackend:
+    """Build the backend named by ``config.backend``.
+
+    ``n_workers`` is the resolved pool size (the runner applies the
+    backend-specific default when ``config.max_workers`` is ``None``).
+    """
+    if config.backend == "serial":
+        return SerialBackend()
+    if config.backend == "threads":
+        return ThreadBackend(n_workers)
+    if config.backend == "processes":
+        return ProcessBackend(n_workers)
+    raise ValueError(
+        f"unknown executor backend {config.backend!r}; "
+        f"choose one of {', '.join(BACKENDS)}"
+    )

@@ -1,0 +1,282 @@
+"""Wall-clock benchmarking of the execution backends (``repro bench``).
+
+The simulator's cost model answers "what would this cost on the paper's
+cluster?"; this module answers the orthogonal question "what does it
+cost *here*, on real silicon?" by timing the same fixed-initial-centroid
+k-means driver on every execution backend over synthetic corpora of
+10^5–10^6 traces.
+
+The workload is chosen to exercise exactly what the backends differ in:
+multiple chunks (so there is parallelism to find), an iterative driver
+(so the process backend's per-chunk shared-memory segments are reused
+across jobs), a distributed-cache entry updated every iteration (so the
+broadcast path is hot), and a combiner (so the shuffle stays small and
+the timing isolates map-side compute + transport).
+
+Results serialize to a small JSON document (see :func:`run_backend_benchmark`)
+that doubles as a regression baseline: :func:`check_against_baseline`
+compares a fresh run against a committed ``BENCH_backends.json`` and
+flags slowdowns beyond a tolerance.  Absolute times are only comparable
+on matching hardware, so the check compares raw seconds when the CPU
+count matches the baseline's and falls back to serial-normalized ratios
+(which cancel single-core speed) when it does not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.geo.trace import TraceArray
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.config import BACKENDS
+from repro.mapreduce.hdfs import MB, SimulatedHDFS
+from repro.mapreduce.runner import JobRunner
+
+__all__ = [
+    "synthetic_corpus",
+    "run_backend_benchmark",
+    "check_against_baseline",
+    "render_result",
+    "DEFAULT_SIZES",
+    "DEFAULT_BASELINE",
+]
+
+#: Corpus sizes the trajectory is measured over (traces).
+DEFAULT_SIZES = (100_000, 1_000_000)
+
+#: Committed baseline the ``--check`` mode compares against.
+DEFAULT_BASELINE = Path("benchmarks") / "BENCH_backends.json"
+
+_SCHEMA = 1
+
+
+def synthetic_corpus(n_traces: int, seed: int = 0, n_clusters: int = 8) -> TraceArray:
+    """A clustered corpus of ``n_traces`` synthetic mobility traces.
+
+    Gaussian blobs around ``n_clusters`` centers in the Beijing bounding
+    box — structured enough that k-means does real work, generated in
+    O(n) NumPy time so corpus construction never dominates the benchmark.
+    """
+    rng = np.random.default_rng(seed)
+    centers = np.column_stack(
+        (rng.uniform(39.6, 40.3, n_clusters), rng.uniform(116.0, 116.8, n_clusters))
+    )
+    which = rng.integers(0, n_clusters, n_traces)
+    lat = centers[which, 0] + rng.normal(0.0, 0.03, n_traces)
+    lon = centers[which, 1] + rng.normal(0.0, 0.03, n_traces)
+    timestamp = np.arange(n_traces, dtype=np.float64)
+    return TraceArray.from_columns(["bench"], lat, lon, timestamp)
+
+
+def _time_one_run(
+    corpus: TraceArray,
+    backend: str,
+    *,
+    k: int,
+    max_iter: int,
+    chunk_mb: int,
+    max_workers: int | None,
+):
+    """One timed k-means run on a fresh deployment; returns (seconds, result)."""
+    from repro.algorithms.kmeans import run_kmeans_mapreduce
+
+    hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=chunk_mb * MB, seed=0)
+    hdfs.put_trace_array("input/traces", corpus)
+    init = corpus.coordinates()[:k].copy()
+    workers = None if backend == "serial" else max_workers
+    with JobRunner(hdfs, executor=backend, max_workers=workers) as runner:
+        start = time.perf_counter()
+        result = run_kmeans_mapreduce(
+            runner,
+            "input/traces",
+            k=k,
+            max_iter=max_iter,
+            initial_centroids=init,
+            use_combiner=True,
+            workdir="tmp/kmeans",
+        )
+        elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def run_backend_benchmark(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    backends: Sequence[str] = BACKENDS,
+    iterations: int = 2,
+    *,
+    k: int = 4,
+    max_iter: int = 3,
+    # 2 MB chunks @ 64 modelled bytes/trace: ~4 map tasks at 10^5 traces,
+    # ~31 at 10^6 — enough fan-out for the pools to matter at both sizes.
+    chunk_mb: int = 2,
+    max_workers: int | None = None,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Time the k-means driver on every backend at every corpus size.
+
+    Each (size, backend) cell is run ``iterations`` times on a fresh
+    simulated deployment and the *best* wall-clock is kept (minimum is
+    the standard noise-robust estimator for repeated timings).  Before
+    any timing is trusted, the run verifies every backend produced
+    byte-identical centroids and the same iteration count as serial —
+    a benchmark of diverging computations would be meaningless.
+    """
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise ValueError(f"unknown backend(s) {unknown}; choose from {list(BACKENDS)}")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    results = []
+    for size in sizes:
+        corpus = synthetic_corpus(int(size), seed=seed)
+        times: dict[str, float] = {}
+        reference = None
+        for backend in backends:
+            best = None
+            for _ in range(iterations):
+                elapsed, result = _time_one_run(
+                    corpus,
+                    backend,
+                    k=k,
+                    max_iter=max_iter,
+                    chunk_mb=chunk_mb,
+                    max_workers=max_workers,
+                )
+                best = elapsed if best is None else min(best, elapsed)
+            if reference is None:
+                reference = result
+            else:
+                if not np.array_equal(result.centroids, reference.centroids):
+                    raise RuntimeError(
+                        f"backend {backend!r} diverged from {backends[0]!r} "
+                        f"at size {size}: centroids differ"
+                    )
+                if result.n_iterations != reference.n_iterations:
+                    raise RuntimeError(
+                        f"backend {backend!r} diverged from {backends[0]!r} "
+                        f"at size {size}: {result.n_iterations} != "
+                        f"{reference.n_iterations} iterations"
+                    )
+            times[backend] = best
+        entry: dict[str, Any] = {"size": int(size), "times_s": times}
+        if "serial" in times:
+            entry["speedup_vs_serial"] = {
+                b: times["serial"] / t for b, t in times.items() if b != "serial"
+            }
+        results.append(entry)
+    return {
+        "schema": _SCHEMA,
+        "workload": {
+            "driver": "kmeans",
+            "k": k,
+            "max_iter": max_iter,
+            "chunk_mb": chunk_mb,
+            "combiner": True,
+            "seed": seed,
+        },
+        "cpu_count": os.cpu_count(),
+        "max_workers": max_workers,
+        "iterations": iterations,
+        "backends": list(backends),
+        "results": results,
+    }
+
+
+def _times_by_size(doc: Mapping[str, Any]) -> dict[int, dict[str, float]]:
+    return {int(e["size"]): dict(e["times_s"]) for e in doc.get("results", [])}
+
+
+def check_against_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.25,
+    min_seconds: float = 0.25,
+) -> list[str]:
+    """Regressions of ``current`` versus a committed ``baseline``.
+
+    Returns a list of human-readable problems; empty means the run is
+    within ``tolerance`` (fractional slowdown, default 25%) everywhere
+    the two documents overlap.  When the CPU counts match, raw seconds
+    are compared; otherwise each backend's time is normalized by the
+    same run's serial time first, so a faster or slower host doesn't
+    mask (or fake) a regression in the parallel machinery itself.
+
+    Cells whose baseline wall-clock is under ``min_seconds`` are
+    skipped: at tens of milliseconds, scheduler jitter alone exceeds any
+    plausible tolerance, and a guard that cries wolf gets deleted.
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems
+    same_host = baseline.get("cpu_count") == current.get("cpu_count")
+    cur, base = _times_by_size(current), _times_by_size(baseline)
+    for size in sorted(set(cur) & set(base)):
+        for backend in sorted(set(cur[size]) & set(base[size])):
+            if base[size][backend] < min_seconds:
+                continue
+            if same_host:
+                now, then = cur[size][backend], base[size][backend]
+                metric = "wall-clock"
+            else:
+                if "serial" not in cur[size] or "serial" not in base[size]:
+                    continue
+                if backend == "serial":
+                    continue
+                now = cur[size][backend] / cur[size]["serial"]
+                then = base[size][backend] / base[size]["serial"]
+                metric = "serial-normalized time"
+            if now > then * (1.0 + tolerance):
+                problems.append(
+                    f"{backend} @ {size:,} traces: {metric} regressed "
+                    f"{now:.3f} vs baseline {then:.3f} "
+                    f"(+{(now / then - 1.0) * 100:.0f}%, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+    if not set(cur) & set(base):
+        problems.append("no overlapping corpus sizes between run and baseline")
+    return problems
+
+
+def render_result(doc: Mapping[str, Any]) -> str:
+    """Terminal table for one benchmark document."""
+    lines = [
+        f"execution-backend wall-clock (k-means, k={doc['workload']['k']}, "
+        f"{doc['workload']['max_iter']} iterations, combiner on; "
+        f"cpu_count={doc['cpu_count']}, best of {doc['iterations']})",
+        "",
+        f"{'traces':>12}  " + "".join(f"{b:>12}" for b in doc["backends"]),
+    ]
+    for entry in doc["results"]:
+        row = f"{entry['size']:>12,}  "
+        row += "".join(f"{entry['times_s'][b]:>11.3f}s" for b in doc["backends"])
+        lines.append(row)
+        speedups = entry.get("speedup_vs_serial")
+        if speedups:
+            row = f"{'vs serial':>12}  " + f"{'1.00x':>12}"
+            row += "".join(
+                f"{speedups[b]:>11.2f}x" for b in doc["backends"] if b != "serial"
+            )
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def save_result(doc: Mapping[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_result(path: str | Path) -> dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)

@@ -49,6 +49,23 @@ class DistributedCache:
         """Modelled broadcast payload size (for the cost model)."""
         return sum(estimate_nbytes(v) for v in self._entries.values())
 
+    def snapshot(self) -> dict[str, Any]:
+        """Shallow copy of all entries, in insertion order.
+
+        Execution backends broadcast this snapshot to worker processes
+        once per job (the cost model already charges the broadcast once
+        per tasktracker, so the simulated accounting is unchanged).
+        """
+        return dict(self._entries)
+
+    @classmethod
+    def from_snapshot(cls, entries: dict[str, Any]) -> "DistributedCache":
+        """Rebuild a cache from a :meth:`snapshot` (worker-side)."""
+        cache = cls()
+        for name, value in entries.items():
+            cache._entries[name] = value
+        return cache
+
 
 class FaultyCacheView:
     """A per-attempt cache facade whose first ``get`` fails.

@@ -271,14 +271,21 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _fresh_runner(array, n_workers: int, chunk_size: int, chaos: ChaosSchedule | None):
+def _fresh_runner(
+    array,
+    n_workers: int,
+    chunk_size: int,
+    chaos: ChaosSchedule | None,
+    executor: str = "serial",
+    max_workers: "int | None" = None,
+):
     from repro.mapreduce.cluster import paper_cluster
     from repro.mapreduce.hdfs import SimulatedHDFS
     from repro.mapreduce.runner import JobRunner
 
     hdfs = SimulatedHDFS(paper_cluster(n_workers), chunk_size=chunk_size, seed=0)
     hdfs.put_trace_array(INPUT_PATH, array, record_bytes=64)
-    return JobRunner(hdfs, chaos=chaos)
+    return JobRunner(hdfs, chaos=chaos, executor=executor, max_workers=max_workers)
 
 
 def _run_once(
@@ -289,11 +296,19 @@ def _run_once(
     chunk_size: int,
     chaos: ChaosSchedule | None,
     save_path: "str | None" = None,
+    executor: str = "serial",
+    max_workers: "int | None" = None,
 ) -> _RunArtifacts:
     from repro.observability.events import EventKind
 
-    runner = _fresh_runner(array, n_workers, chunk_size, chaos)
-    signature = driver.run(runner, context)
+    runner = _fresh_runner(
+        array, n_workers, chunk_size, chaos,
+        executor=executor, max_workers=max_workers,
+    )
+    try:
+        signature = driver.run(runner, context)
+    finally:
+        runner.close()
     history = runner.history
     if save_path is not None:
         history.save(save_path)
@@ -346,13 +361,18 @@ def run_chaos_campaign(
     n_workers: int = 3,
     chunk_size: int = 64 * 1024,
     history_path: "str | None" = None,
+    executor: str = "serial",
+    max_workers: "int | None" = None,
 ) -> ChaosReport:
     """Run the clean/chaos/replay triple for each requested driver.
 
     Every run gets a *fresh* deployment (own HDFS, own cluster state), so
     a node killed under chaos cannot leak into the clean baseline or the
     replay.  ``history_path`` exports the traced chaos run of the last
-    driver for ``python -m repro history`` inspection.
+    driver for ``python -m repro history`` inspection.  ``executor``
+    selects the execution backend for every run — outputs, counters and
+    histories are backend-invariant, so the report must be identical for
+    any choice.
     """
     chosen = drivers or driver_names()
     unknown = [d for d in chosen if d not in DRIVERS]
@@ -373,11 +393,18 @@ def run_chaos_campaign(
     for name in chosen:
         driver = DRIVERS[name]
         save = history_path if name == chosen[-1] else None
-        clean = _run_once(driver, array, context, n_workers, chunk_size, None)
-        faulted = _run_once(
-            driver, array, context, n_workers, chunk_size, chaos, save_path=save
+        clean = _run_once(
+            driver, array, context, n_workers, chunk_size, None,
+            executor=executor, max_workers=max_workers,
         )
-        replay = _run_once(driver, array, context, n_workers, chunk_size, chaos)
+        faulted = _run_once(
+            driver, array, context, n_workers, chunk_size, chaos,
+            save_path=save, executor=executor, max_workers=max_workers,
+        )
+        replay = _run_once(
+            driver, array, context, n_workers, chunk_size, chaos,
+            executor=executor, max_workers=max_workers,
+        )
         report.outcomes.append(
             DriverOutcome(
                 driver=name,

@@ -9,11 +9,55 @@ every mapper/reducer at ``setup`` time, mirroring Hadoop's ``Configuration``
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
-__all__ = ["Configuration"]
+__all__ = ["Configuration", "MapReduceConfig", "BACKENDS"]
 
 _MISSING = object()
+
+#: Execution backends the runner can dispatch tasks on.
+BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class MapReduceConfig:
+    """Engine-level execution knobs (as opposed to per-job parameters).
+
+    ``backend`` selects how tasks execute: ``"serial"`` runs everything
+    inline in the driver, ``"threads"`` uses a thread pool (concurrent
+    I/O, GIL-bound compute), ``"processes"`` uses a persistent process
+    pool with shared-memory chunk transport (true CPU parallelism; see
+    docs/PERFORMANCE.md).  All backends produce byte-identical outputs,
+    counters and histories.
+
+    ``max_workers`` caps pool size; ``None`` picks a backend-specific
+    default (map slots for threads, CPU count for processes).  Zero or
+    negative worker counts are rejected here — ``ThreadPoolExecutor``
+    would otherwise accept them silently and hang or misbehave at
+    dispatch time.
+    """
+
+    backend: str = "serial"
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {self.backend!r}; "
+                f"choose one of {', '.join(BACKENDS)}"
+            )
+        if self.max_workers is not None:
+            if not isinstance(self.max_workers, int) or isinstance(self.max_workers, bool):
+                raise ValueError(
+                    f"max_workers must be a positive int or None, "
+                    f"got {self.max_workers!r}"
+                )
+            if self.max_workers < 1:
+                raise ValueError(
+                    f"max_workers must be >= 1 (got {self.max_workers}); "
+                    f"pass None to use the backend default"
+                )
 
 
 class Configuration:

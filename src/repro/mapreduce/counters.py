@@ -102,6 +102,20 @@ class Counters:
             return NotImplemented
         return self.to_dict() == other.to_dict()
 
+    # -- pickling ----------------------------------------------------------
+    # The nested ``defaultdict(lambda: ...)`` is not picklable, but process
+    # execution backends ship per-task counters back to the driver.  State
+    # round-trips through the sorted ``to_dict`` form, so a pickled copy
+    # compares (and serializes) identically to the original.
+    def __getstate__(self) -> dict[str, dict[str, int]]:
+        return self.to_dict()
+
+    def __setstate__(self, state: dict[str, dict[str, int]]) -> None:
+        self._groups = defaultdict(lambda: defaultdict(int))
+        for group, names in state.items():
+            for name, amount in names.items():
+                self._groups[group][name] = int(amount)
+
     def __repr__(self) -> str:
         lines = [f"{g}.{n}={v}" for g, n, v in self]
         return "Counters(" + ", ".join(lines) + ")"

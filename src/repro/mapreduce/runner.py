@@ -5,8 +5,10 @@ Execution follows the Hadoop lifecycle from Section III end-to-end:
 1. the namenode supplies the input chunks and their replica locations;
 2. the jobtracker plans map tasks onto tasktracker slots with locality
    preference (:mod:`repro.mapreduce.scheduler`);
-3. map tasks run (serially or on a thread pool), each over one chunk,
-   with failure injection + retry on another replica holder;
+3. map tasks run on the configured execution backend (serial, thread
+   pool, or shared-memory process pool — see
+   :mod:`repro.mapreduce.backends`), each over one chunk, with failure
+   injection + retry on another replica holder;
 4. the optional combiner folds each map task's local output;
 5. the shuffle partitions, transfers and sorts intermediate pairs;
 6. reduce tasks aggregate their key groups; output lands in HDFS;
@@ -15,6 +17,7 @@ Execution follows the Hadoop lifecycle from Section III end-to-end:
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -22,7 +25,16 @@ from typing import Any
 import numpy as np
 
 from repro.geo.trace import TraceArray
+from repro.mapreduce.backends import (
+    MapOutcome,
+    MapTaskRequest,
+    ReduceOutcome,
+    ReduceTaskRequest,
+    create_backend,
+    run_combiner,
+)
 from repro.mapreduce.cache import DistributedCache, FaultyCacheView
+from repro.mapreduce.config import MapReduceConfig
 from repro.mapreduce.counters import Counters, STANDARD
 from repro.mapreduce.failures import (
     ChaosSchedule,
@@ -53,7 +65,6 @@ from repro.mapreduce.scheduler import (
 from repro.mapreduce.shuffle import (
     emit_shuffle_events,
     emit_shuffle_refetch_events,
-    group_sorted,
     shuffle,
 )
 from repro.mapreduce.simtime import CostModel, JobTiming
@@ -129,8 +140,18 @@ class JobRunner:
         threshold).  When given it overrides ``max_attempts``; when
         omitted a default policy is built around ``max_attempts``.
     executor:
-        ``"serial"`` (default, fully deterministic) or ``"threads"`` — run
-        map tasks on a thread pool sized to the cluster's map slots.
+        Execution backend: ``"serial"`` (default), ``"threads"`` (thread
+        pool sized to the cluster's map slots), or ``"processes"`` (a
+        persistent worker-process pool with shared-memory chunk
+        transport; see :mod:`repro.mapreduce.backends` and
+        docs/PERFORMANCE.md).  All backends produce byte-identical
+        outputs, counters and histories.  Use :meth:`close` (or the
+        context-manager protocol) to release process-backend resources
+        promptly.
+    max_workers:
+        Worker-pool size cap; ``None`` picks the backend default.
+        Validated by :class:`~repro.mapreduce.config.MapReduceConfig`
+        (zero/negative counts are rejected with a clear error).
     prefer_locality / speculative:
         Scheduler knobs (DESIGN.md locality ablation; straggler
         speculation).
@@ -158,8 +179,7 @@ class JobRunner:
         chaos: ChaosSchedule | None = None,
         retry_policy: RetryPolicy | None = None,
     ):
-        if executor not in ("serial", "threads"):
-            raise ValueError(f"unknown executor {executor!r}")
+        self.exec_config = MapReduceConfig(backend=executor, max_workers=max_workers)
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.hdfs = hdfs
@@ -175,12 +195,121 @@ class JobRunner:
         self._node_losses = 0
         self.executor = executor
         self.max_workers = max_workers
+        if executor == "processes":
+            workers = max_workers or max(os.cpu_count() or 1, 1)
+        else:
+            workers = max_workers or max(self.cluster.total_map_slots(), 1)
+        self._backend = create_backend(self.exec_config, workers)
         self.prefer_locality = prefer_locality
         self.speculative = speculative
         self.history = history if history is not None else JobHistory()
         #: Simulated one-time deployment overhead (HDFS install + upload);
         #: reported separately, as the paper does (~25 s).
         self.deploy_overhead_s = self.cost_model.deploy_overhead_s
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (process pool, shared memory).
+
+        Safe to call more than once; a garbage-collected runner releases
+        them too, but closing promptly avoids lingering worker processes
+        between jobs."""
+        self._backend.close()
+
+    def __enter__(self) -> "JobRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- backend dispatch ----------------------------------------------------
+    def _uses_order_dependent_faults(self) -> bool:
+        """Whether fault decisions depend on execution order or placement.
+
+        A probabilistic :class:`FailureInjector` draws from a sequential
+        RNG (attempt outcomes depend on draw order), and a chaos
+        schedule's ``bad_nodes`` makes crashes depend on the retry node —
+        which depends on the shared blacklist's evolution.  Neither can
+        be computed by the pure worker-side attempt loop, so the runner
+        falls back to its legacy in-driver execution path for them.
+        """
+        if self.failure_injector is not None and self.failure_injector.probability > 0:
+            return True
+        if self.chaos is not None and self.chaos.bad_nodes:
+            return True
+        return False
+
+    def _scripted_set(self) -> frozenset | None:
+        """The injector's scripted ``(task_id, attempt)`` pairs, if any
+        (the only injector mechanism the pure attempt loop supports)."""
+        if self.failure_injector is None or not self.failure_injector.scripted:
+            return None
+        return frozenset(self.failure_injector.scripted)
+
+    def _finalize_map_outcome(
+        self,
+        assignment: TaskAssignment,
+        outcome: MapOutcome,
+        blacklist: NodeBlacklist,
+    ) -> tuple[list[tuple[Any, Any]], Counters, float, int, list[tuple]]:
+        """Replay one map outcome's failure narrative in the driver.
+
+        Reconstructs exactly what the legacy serial loop would have
+        recorded: node choice per attempt (initial assignment, then
+        :meth:`_retry_node` against the evolving shared blacklist),
+        backoffs, the per-failure blacklist updates and the retry
+        penalty.  Called in task order, so the blacklist evolves in the
+        same order as serial execution.
+        """
+        chunk = assignment.chunk
+        tried: set[str] = set()
+        node = assignment.node
+        retry_penalty = 0.0
+        failures: list[tuple] = []
+        for attempt, reason, kind in outcome.failures:
+            tried.add(node)
+            backoff = self.retry_policy.backoff_s(attempt)
+            failures.append((attempt, node, reason, kind, backoff))
+            retry_penalty += assignment.duration + backoff
+            blacklist.record_failure(node)
+            node = self._retry_node(chunk, tried, blacklist)
+        if not outcome.success:
+            last = outcome.failures[-1]
+            raise JobFailedError(
+                assignment.task_id, self.max_attempts, failures
+            ) from TaskFailure(assignment.task_id, last[0], last[1], last[2])
+        return (
+            outcome.output,
+            outcome.counters,
+            retry_penalty,
+            outcome.output_records,
+            failures,
+        )
+
+    def _finalize_reduce_outcome(
+        self,
+        task_id: str,
+        outcome: ReduceOutcome,
+        blacklist: NodeBlacklist,
+        alive: list[str],
+    ) -> tuple[list[tuple[Any, Any]], Counters, list[tuple]]:
+        """Replay one reduce outcome's failure narrative (node rotation
+        over non-blacklisted alive workers, as the legacy loop does)."""
+        failures: list[tuple] = []
+        for attempt, reason, kind in outcome.failures:
+            usable = [
+                n for n in alive if not blacklist.is_blacklisted(n)
+            ] or alive
+            node = usable[(attempt - 1) % len(usable)]
+            backoff = self.retry_policy.backoff_s(attempt)
+            failures.append((attempt, node, reason, kind, backoff))
+            blacklist.record_failure(node)
+        if not outcome.success:
+            last = outcome.failures[-1]
+            raise JobFailedError(
+                task_id, self.max_attempts, failures
+            ) from TaskFailure(task_id, last[0], last[1], last[2])
+        return outcome.output, outcome.counters, failures
 
     # -- map side -----------------------------------------------------------
     def _retry_node(
@@ -283,21 +412,11 @@ class JobRunner:
     def _apply_combiner(
         self, job: JobSpec, task_output: list[tuple[Any, Any]], task_id: str, node: str
     ) -> tuple[list[tuple[Any, Any]], Counters]:
-        """Run the combiner over one map task's local output."""
-        counters = Counters()
-        ctx = ReduceContext(job.conf, counters, self.cache, f"{task_id}-combine", node)
-        combiner = job.combiner()
-        groups = group_sorted(task_output)
-        combiner.setup(ctx)
-        combiner.run(groups, ctx)
-        combiner.cleanup(ctx)
-        counters.increment(
-            STANDARD.GROUP_TASK, STANDARD.COMBINE_INPUT_RECORDS, len(task_output)
+        """Run the combiner over one map task's local output (the same
+        pure function backends run worker-side)."""
+        return run_combiner(
+            job.combiner, job.conf, self.cache, task_output, task_id, node
         )
-        counters.increment(
-            STANDARD.GROUP_TASK, STANDARD.COMBINE_OUTPUT_RECORDS, len(ctx.output)
-        )
-        return ctx.output, counters
 
     # -- output side -----------------------------------------------------------
     def _write_output(self, path: str, records: list[tuple[Any, Any]]) -> None:
@@ -347,14 +466,47 @@ class JobRunner:
             key=lambda a: a.task_id,
         )
 
-        if self.executor == "threads" and len(primary) > 1:
-            workers = self.max_workers or max(self.cluster.total_map_slots(), 1)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(
-                    pool.map(lambda a: self._run_map_task(job, a, blacklist), primary)
-                )
+        legacy_faults = self._uses_order_dependent_faults()
+        pre_combined: list[tuple[list, Counters] | None] = [None] * len(primary)
+        if legacy_faults:
+            # Legacy in-driver path: fault decisions depend on execution
+            # order / node placement, so dispatch exactly as before.
+            if self.executor == "threads" and len(primary) > 1:
+                workers = self.max_workers or max(self.cluster.total_map_slots(), 1)
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(
+                        pool.map(
+                            lambda a: self._run_map_task(job, a, blacklist), primary
+                        )
+                    )
+            else:
+                results = [self._run_map_task(job, a, blacklist) for a in primary]
         else:
-            results = [self._run_map_task(job, a, blacklist) for a in primary]
+            scripted = self._scripted_set()
+            self._backend.prepare_job(self.cache)
+            requests = [
+                MapTaskRequest(
+                    task_id=a.task_id,
+                    node=a.node,
+                    chunk=a.chunk,
+                    mapper=job.mapper,
+                    combiner=job.combiner,
+                    conf=job.conf,
+                    cache=self.cache,
+                    chaos=self.chaos,
+                    scripted=scripted,
+                    max_attempts=self.max_attempts,
+                )
+                for a in primary
+            ]
+            outcomes = self._backend.run_map_tasks(requests)
+            results = []
+            for i, (a, outcome) in enumerate(zip(primary, outcomes)):
+                results.append(self._finalize_map_outcome(a, outcome, blacklist))
+                if outcome.combined_output is not None:
+                    pre_combined[i] = (
+                        outcome.combined_output, outcome.combine_counters
+                    )
 
         # Mid-phase node loss: a tasktracker+datanode dies after its map
         # attempts completed; their outputs are gone and must re-execute on
@@ -386,11 +538,22 @@ class JobRunner:
             retry_penalty += node_loss["recovery_s"]
 
         if job.combiner is not None:
+            # Backend outcomes carry worker-side combined output; tasks
+            # re-executed after node loss (and legacy-path tasks) combine
+            # here.  Both paths are the same pure function of the task
+            # output, so the result is byte-identical either way.
+            lost_indices = (
+                set(node_loss["lost_indices"]) if node_loss is not None else set()
+            )
             combined = []
-            for assignment, output in zip(primary, map_outputs):
-                out, c_counters = self._apply_combiner(
-                    job, output, assignment.task_id, assignment.node
-                )
+            for i, (assignment, output) in enumerate(zip(primary, map_outputs)):
+                pre = pre_combined[i]
+                if pre is not None and i not in lost_indices:
+                    out, c_counters = pre
+                else:
+                    out, c_counters = self._apply_combiner(
+                        job, output, assignment.task_id, assignment.node
+                    )
                 counters.merge(c_counters)
                 combined.append(out)
             map_outputs = combined
@@ -441,11 +604,40 @@ class JobRunner:
 
         reduce_output: list[tuple[Any, Any]] = []
         reduce_failures: dict[str, list[tuple]] = {}
-        for r, groups in enumerate(sh.partitions):
+        if legacy_faults:
+            reduce_results = [
+                self._run_reduce_task(job, f"reduce-{r:04d}", groups, blacklist)
+                for r, groups in enumerate(sh.partitions)
+            ]
+        else:
+            scripted = self._scripted_set()
+            reduce_requests = [
+                ReduceTaskRequest(
+                    task_id=f"reduce-{r:04d}",
+                    groups=groups,
+                    reducer=job.reducer,
+                    conf=job.conf,
+                    cache=self.cache,
+                    chaos=self.chaos,
+                    scripted=scripted,
+                    max_attempts=self.max_attempts,
+                )
+                for r, groups in enumerate(sh.partitions)
+            ]
+            outcomes = self._backend.run_reduce_tasks(reduce_requests)
+            alive = [
+                n.name
+                for n in self.cluster.tasktrackers()
+                if n.name not in self.hdfs.dead_nodes
+            ]
+            reduce_results = [
+                self._finalize_reduce_outcome(
+                    f"reduce-{r:04d}", outcome, blacklist, alive
+                )
+                for r, outcome in enumerate(outcomes)
+            ]
+        for r, (out, r_counters, r_failed) in enumerate(reduce_results):
             task_id = f"reduce-{r:04d}"
-            out, r_counters, r_failed = self._run_reduce_task(
-                job, task_id, groups, blacklist
-            )
             counters.merge(r_counters)
             reduce_output.extend(out)
             if r_failed:
@@ -576,6 +768,7 @@ class JobRunner:
         return {
             "victim": victim,
             "lost": [a for _, a in lost],
+            "lost_indices": [i for i, _ in lost],
             "healed": healed,
             "heal_bytes": heal_bytes,
             "detect_s": self.cost_model.node_loss_detect_s,

@@ -9,10 +9,15 @@ byte accounting the cost model charges as network transfer.
 
 from __future__ import annotations
 
+import contextlib
+import gc
+import operator
 from collections import defaultdict
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
-from repro.mapreduce.job import Partitioner
+import numpy as np
+
+from repro.mapreduce.job import ConstantKeyPartitioner, HashPartitioner, Partitioner
 from repro.mapreduce.types import estimate_nbytes
 
 __all__ = [
@@ -22,6 +27,25 @@ __all__ = [
     "emit_shuffle_events",
     "emit_shuffle_refetch_events",
 ]
+
+
+@contextlib.contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Suspend the cyclic GC around bulk container construction.
+
+    Building a million short-lived tuples/lists triggers repeated
+    generational collections that each traverse the whole (large) heap —
+    measured at ~5x the actual construction cost.  Nothing allocated
+    here is cyclic, so pausing collection is safe; the previous GC state
+    is always restored.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _sort_key(key: Any) -> tuple[str, repr]:
@@ -34,13 +58,72 @@ def _sort_key(key: Any) -> tuple[str, repr]:
     return (type(key).__name__, repr(key))
 
 
-def group_sorted(pairs: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
-    """Group values by key, keys emitted in sorted order.
+def _key_array(keys: list[Any]) -> np.ndarray | None:
+    """Homogeneous int/str keys as a sortable NumPy array, else ``None``.
 
-    Within one key, values keep their arrival order (Hadoop makes no
-    ordering promise for values; arrival order keeps runs deterministic
-    because map outputs are concatenated in task order).
+    The array must reproduce Python's comparison semantics exactly:
+
+    * ``bool`` is excluded (``True`` and ``1`` are the *same* dict key in
+      the generic path, but distinct int64 values here);
+    * ints beyond int64 overflow and fall back;
+    * strings containing NUL fall back — NumPy's fixed-width unicode
+      dtype pads with NUL, so ``"a"`` and ``"a\\x00"`` would collide.
+    Otherwise NumPy's codepoint-wise ``<U`` comparison matches Python's
+    ``str`` ordering and int64 matches int ordering.  The homogeneity
+    check runs as one C-level ``set(map(type, ...))`` pass, not a Python
+    loop — this sits on the million-record shuffle hot path.
     """
+    kinds = set(map(type, keys))
+    if kinds == {int}:
+        try:
+            return np.array(keys, dtype=np.int64)
+        except OverflowError:
+            return None
+    if kinds == {str}:
+        if any("\x00" in k for k in keys):
+            return None
+        return np.array(keys, dtype=np.str_)
+    return None
+
+
+def _group_from_arrays(
+    sub_keys: np.ndarray,
+    positions: np.ndarray,
+    keys: list[Any],
+    values: list[Any],
+) -> list[tuple[Any, list[Any]]]:
+    """Sorted key groups from a key array + positions into flat lists.
+
+    A stable argsort keeps values in arrival order within each key, so
+    the output is element-identical to the generic dict-and-sort path.
+    """
+    if len(positions) == 0:
+        return []
+    order = np.argsort(sub_keys, kind="stable")
+    sorted_keys = sub_keys[order]
+    flat = positions[order]
+    starts, ends = _group_bounds(sorted_keys)
+    # Bulk C-level gathers and slices; a per-record Python loop here is
+    # pathological when most keys are unique (a million tiny groups).
+    with _gc_paused():
+        vals_sorted = list(map(values.__getitem__, flat.tolist()))
+        first_keys = list(map(keys.__getitem__, flat[starts].tolist()))
+        return [
+            (k, vals_sorted[s:e])
+            for k, s, e in zip(first_keys, starts.tolist(), ends.tolist())
+        ]
+
+
+def _group_bounds(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start/end index arrays of the equal-key runs in a sorted key array."""
+    bounds = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(sorted_keys)]))
+    return starts, ends
+
+
+def _group_sorted_generic(pairs: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
+    """Reference grouping: dict accumulation + one sort over the keys."""
     grouped: dict[Any, list[Any]] = defaultdict(list)
     for key, value in pairs:
         grouped[key].append(value)
@@ -49,6 +132,54 @@ def group_sorted(pairs: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
     except TypeError:
         ordered = sorted(grouped, key=_sort_key)
     return [(key, grouped[key]) for key in ordered]
+
+
+def group_sorted(pairs: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
+    """Group values by key, keys emitted in sorted order.
+
+    Within one key, values keep their arrival order (Hadoop makes no
+    ordering promise for values; arrival order keeps runs deterministic
+    because map outputs are concatenated in task order).
+
+    Homogeneous int/str key streams take a vectorized stable-argsort
+    path; anything else uses the generic dict-and-sort.  Both produce
+    identical output (``tests/mapreduce/test_shuffle_fastpath.py``).
+    """
+    if not pairs:
+        return []
+    keys = [k for k, _ in pairs]
+    arr = _key_array(keys)
+    if arr is None:
+        return _group_sorted_generic(pairs)
+    values = [v for _, v in pairs]
+    return _group_from_arrays(arr, np.arange(len(keys), dtype=np.int64), keys, values)
+
+
+# -- vectorized partitioning -------------------------------------------------
+
+_FNV_OFFSET = np.uint64(2166136261)
+_FNV_PRIME = np.uint64(16777619)
+_FNV_MASK = np.uint64(0xFFFFFFFF)
+
+
+def _fnv1a_int_hashes(arr: np.ndarray) -> np.ndarray:
+    """Vectorized ``HashPartitioner._stable_hash`` over an int64 array.
+
+    ``repr`` of an int is its decimal digit string and every character is
+    ASCII, so the UTF-8 bytes the scalar hash consumes equal the UCS-4
+    codepoints of ``str(value)``.  ``astype(str)`` yields a fixed-width
+    NUL-padded unicode array; columns are folded into the hash only where
+    the codepoint is nonzero (digit strings have no interior NULs).
+    """
+    digits = arr.astype(np.str_)
+    width = digits.dtype.itemsize // 4
+    codes = digits.view(np.uint32).reshape(len(arr), width).astype(np.uint64)
+    h = np.full(len(arr), _FNV_OFFSET, dtype=np.uint64)
+    used = np.flatnonzero((codes != 0).any(axis=0))  # skip all-padding columns
+    for j in used:
+        col = codes[:, j]
+        h = np.where(col != 0, ((h ^ col) * _FNV_PRIME) & _FNV_MASK, h)
+    return h
 
 
 class ShuffleResult:
@@ -84,9 +215,26 @@ def shuffle(
     ``map_outputs`` is one list of (key, value) pairs per completed map
     task, in task order.  Returns sorted, grouped input per reduce task and
     the total modelled bytes crossing the network.
+
+    Known partitioners over homogeneous key streams dispatch to a
+    vectorized path (argsort grouping, FNV hashing in NumPy); custom
+    partitioners and mixed keys take the per-record generic loop.  Both
+    produce identical :class:`ShuffleResult` contents.
     """
     if n_reducers < 1:
         raise ValueError("n_reducers must be >= 1")
+    fast = _shuffle_fast(map_outputs, partitioner, n_reducers)
+    if fast is not None:
+        return fast
+    return _shuffle_generic(map_outputs, partitioner, n_reducers)
+
+
+def _shuffle_generic(
+    map_outputs: Sequence[list[tuple[Any, Any]]],
+    partitioner: Partitioner,
+    n_reducers: int,
+) -> ShuffleResult:
+    """Reference shuffle: one partitioner call + size estimate per record."""
     buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(n_reducers)]
     partition_bytes = [0] * n_reducers
     for task_output in map_outputs:
@@ -99,6 +247,79 @@ def shuffle(
             buckets[part].append((key, value))
             partition_bytes[part] += estimate_nbytes(key) + estimate_nbytes(value)
     partitions = [group_sorted(bucket) for bucket in buckets]
+    return ShuffleResult(partitions, sum(partition_bytes), partition_bytes)
+
+
+def _shuffle_fast(
+    map_outputs: Sequence[list[tuple[Any, Any]]],
+    partitioner: Partitioner,
+    n_reducers: int,
+) -> ShuffleResult | None:
+    """Vectorized shuffle, or ``None`` when inputs don't qualify.
+
+    Applies only to the framework's own partitioners (``type`` check, not
+    ``isinstance`` — a subclass may override ``partition``) over key
+    streams :func:`_key_array` accepts; ``HashPartitioner`` additionally
+    requires int keys so the FNV digit-string hash applies.  Partition
+    indices are computed by construction-in-range NumPy ops, byte
+    accounting uses exact int64 accumulation, and grouping reuses the
+    same stable-argsort kernel as :func:`group_sorted` — so results are
+    element-identical to :func:`_shuffle_generic`.
+    """
+    if type(partitioner) not in (HashPartitioner, ConstantKeyPartitioner):
+        return None
+    flat: list[tuple[Any, Any]] = []
+    for task_output in map_outputs:
+        flat.extend(task_output)
+    if not flat:
+        return _shuffle_generic(map_outputs, partitioner, n_reducers)
+    keys = list(map(operator.itemgetter(0), flat))
+    arr = _key_array(keys)
+    if arr is None:
+        return None
+    n = len(keys)
+    values = list(map(operator.itemgetter(1), flat))
+    # One global stable sort serves both routing and grouping: equal keys
+    # land in one partition, and a partition's groups restricted from the
+    # globally sorted sequence are already in sorted key order with values
+    # in arrival order — exactly what group_sorted produces per bucket.
+    order = np.argsort(arr, kind="stable")
+    sorted_keys = arr[order]
+    starts, ends = _group_bounds(sorted_keys)
+    if type(partitioner) is HashPartitioner:
+        if arr.dtype != np.int64:
+            return None  # repr-of-str hashing (quoting, escapes) stays scalar
+        group_parts = (
+            _fnv1a_int_hashes(sorted_keys[starts]) % np.uint64(n_reducers)
+        ).astype(np.int64)
+    else:
+        group_parts = np.zeros(len(starts), dtype=np.int64)
+    if arr.dtype == np.int64:
+        key_bytes = np.full(n, 8, dtype=np.int64)  # estimate_nbytes(int) == 8
+    else:
+        key_bytes = np.fromiter(
+            (estimate_nbytes(k) for k in keys), dtype=np.int64, count=n
+        )
+    if set(map(type, values)) <= {int, float}:
+        value_bytes = np.full(n, 8, dtype=np.int64)
+    else:
+        value_bytes = np.fromiter(
+            (estimate_nbytes(v) for v in values), dtype=np.int64, count=n
+        )
+    group_bytes = np.add.reduceat((key_bytes + value_bytes)[order], starts)
+    partition_bytes = [
+        int(group_bytes[group_parts == r].sum()) for r in range(n_reducers)
+    ]
+    with _gc_paused():
+        vals_sorted = list(map(values.__getitem__, order.tolist()))
+        first_keys = list(map(keys.__getitem__, order[starts].tolist()))
+        partitions: list[list[tuple[Any, list[Any]]]] = [
+            [] for _ in range(n_reducers)
+        ]
+        for k, s, e, p in zip(
+            first_keys, starts.tolist(), ends.tolist(), group_parts.tolist()
+        ):
+            partitions[p].append((k, vals_sorted[s:e]))
     return ShuffleResult(partitions, sum(partition_bytes), partition_bytes)
 
 

@@ -1,0 +1,108 @@
+"""The backend benchmark harness: corpus synthesis, the timing run's
+divergence guard, and the baseline regression check."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.bench import (
+    check_against_baseline,
+    load_result,
+    render_result,
+    run_backend_benchmark,
+    save_result,
+    synthetic_corpus,
+)
+
+
+def _doc(times_by_size, cpu_count=4, schema=1):
+    return {
+        "schema": schema,
+        "cpu_count": cpu_count,
+        "results": [
+            {"size": size, "times_s": dict(times)}
+            for size, times in times_by_size.items()
+        ],
+    }
+
+
+# -- synthetic corpus --------------------------------------------------------
+
+def test_synthetic_corpus_shape_and_determinism():
+    a = synthetic_corpus(500, seed=3)
+    b = synthetic_corpus(500, seed=3)
+    assert len(a) == 500
+    assert np.array_equal(a.latitude, b.latitude)
+    assert np.array_equal(a.longitude, b.longitude)
+    assert len(synthetic_corpus(500, seed=4)) == 500
+    assert not np.array_equal(synthetic_corpus(500, seed=4).latitude, a.latitude)
+
+
+# -- the benchmark run -------------------------------------------------------
+
+def test_small_benchmark_run_and_roundtrip(tmp_path):
+    doc = run_backend_benchmark(
+        sizes=(2_000,), backends=("serial", "threads"), iterations=1,
+        max_iter=2, max_workers=2,
+    )
+    (entry,) = doc["results"]
+    assert entry["size"] == 2_000
+    assert set(entry["times_s"]) == {"serial", "threads"}
+    assert all(t > 0 for t in entry["times_s"].values())
+    assert entry["speedup_vs_serial"].keys() == {"threads"}
+    assert "traces" in render_result(doc)
+
+    path = save_result(doc, tmp_path / "bench.json")
+    assert load_result(path) == doc
+
+
+def test_benchmark_rejects_bad_arguments():
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_backend_benchmark(sizes=(100,), backends=("serial", "fibers"))
+    with pytest.raises(ValueError, match="iterations"):
+        run_backend_benchmark(sizes=(100,), iterations=0)
+
+
+# -- the regression check ----------------------------------------------------
+
+def test_check_passes_within_tolerance():
+    base = _doc({1000: {"serial": 1.0, "processes": 0.5}})
+    cur = _doc({1000: {"serial": 1.2, "processes": 0.6}})
+    assert check_against_baseline(cur, base, tolerance=0.25) == []
+
+
+def test_check_flags_absolute_regression_on_same_host():
+    base = _doc({1000: {"serial": 1.0, "processes": 0.5}})
+    cur = _doc({1000: {"serial": 1.0, "processes": 0.8}})
+    problems = check_against_baseline(cur, base, tolerance=0.25)
+    assert len(problems) == 1
+    assert "processes" in problems[0] and "wall-clock" in problems[0]
+
+
+def test_check_normalizes_on_different_host():
+    base = _doc({1000: {"serial": 1.0, "processes": 0.5}}, cpu_count=4)
+    # Host is 3x slower overall but the processes/serial ratio is intact:
+    # not a regression in the backend machinery.
+    cur = _doc({1000: {"serial": 3.0, "processes": 1.5}}, cpu_count=2)
+    assert check_against_baseline(cur, base, tolerance=0.25) == []
+    # Same hosts, but the ratio itself collapsed: flagged.
+    worse = _doc({1000: {"serial": 3.0, "processes": 3.0}}, cpu_count=2)
+    problems = check_against_baseline(worse, base, tolerance=0.25)
+    assert len(problems) == 1
+    assert "serial-normalized" in problems[0]
+
+
+def test_check_skips_noise_floor_cells():
+    base = _doc({1000: {"serial": 0.05}})
+    cur = _doc({1000: {"serial": 0.2}})  # 4x, but 50 ms is jitter territory
+    assert check_against_baseline(cur, base, min_seconds=0.25) == []
+    assert check_against_baseline(cur, base, min_seconds=0.01) != []
+
+
+def test_check_reports_schema_mismatch_and_no_overlap():
+    base = _doc({1000: {"serial": 1.0}}, schema=0)
+    cur = _doc({1000: {"serial": 1.0}})
+    assert "schema mismatch" in check_against_baseline(cur, base)[0]
+
+    base = _doc({1000: {"serial": 1.0}})
+    cur = _doc({2000: {"serial": 1.0}})
+    assert "no overlapping corpus sizes" in check_against_baseline(cur, base)[0]

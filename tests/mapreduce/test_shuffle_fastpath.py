@@ -1,0 +1,154 @@
+"""The vectorized shuffle/group fast paths are element-identical to the
+generic per-record loops, and engage exactly when advertised."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.job import ConstantKeyPartitioner, HashPartitioner, Partitioner
+from repro.mapreduce.shuffle import (
+    _fnv1a_int_hashes,
+    _group_sorted_generic,
+    _key_array,
+    _shuffle_fast,
+    _shuffle_generic,
+    group_sorted,
+    shuffle,
+)
+
+
+def _assert_same_result(got, want):
+    assert got.partition_bytes == want.partition_bytes
+    assert got.shuffled_bytes == want.shuffled_bytes
+    assert len(got.partitions) == len(want.partitions)
+    for gp, wp in zip(got.partitions, want.partitions):
+        assert len(gp) == len(wp)
+        for (gk, gv), (wk, wv) in zip(gp, wp):
+            assert gk == wk and type(gk) is type(wk)
+            assert gv == wv
+
+
+# -- group_sorted -----------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "keys",
+    [
+        [3, 1, 2, 1, 3, 3, -7, 0, -7],
+        [0],
+        ["b", "a", "ab", "abc", "", "a", "b"],
+        ["same"] * 5,
+        list(range(50, -50, -1)) * 3,
+    ],
+)
+def test_group_sorted_fast_matches_generic(keys):
+    pairs = [(k, i) for i, k in enumerate(keys)]
+    assert group_sorted(pairs) == _group_sorted_generic(pairs)
+
+
+@pytest.mark.parametrize(
+    "keys",
+    [
+        [True, 1, 0, False],  # bool/int are the same dict key
+        [1, "1"],  # mixed types
+        [2**70, 1],  # beyond int64
+        [np.int64(1), np.int64(2)],  # numpy scalars are not int
+        ["a", "a\x00"],  # NUL would collide in fixed-width unicode
+        [1.5, 0.5],  # floats stay generic
+        [(1, 2), (0, 1)],  # tuples stay generic
+    ],
+)
+def test_non_qualifying_keys_fall_back_and_agree(keys):
+    assert _key_array(keys) is None
+    pairs = [(k, i) for i, k in enumerate(keys)]
+    assert group_sorted(pairs) == _group_sorted_generic(pairs)
+
+
+def test_group_sorted_randomized_int_and_str_keys():
+    rng = random.Random(7)
+    for _ in range(25):
+        ints = [rng.randint(-1000, 1000) for _ in range(rng.randint(1, 300))]
+        pairs = [(k, i) for i, k in enumerate(ints)]
+        assert group_sorted(pairs) == _group_sorted_generic(pairs)
+        strs = ["".join(rng.choices("abcXYZ012", k=rng.randint(0, 6))) for _ in ints]
+        pairs = [(k, i) for i, k in enumerate(strs)]
+        assert group_sorted(pairs) == _group_sorted_generic(pairs)
+
+
+def test_group_preserves_value_arrival_order():
+    pairs = [(1, "first"), (0, "x"), (1, "second"), (1, "third")]
+    assert group_sorted(pairs) == [(0, ["x"]), (1, ["first", "second", "third"])]
+
+
+# -- FNV hashing ------------------------------------------------------------
+
+def test_vectorized_fnv_matches_scalar_hash():
+    values = [0, 1, -1, 9, 10, 123456789, -987654321,
+              2**63 - 1, -(2**63), 42, -42]
+    hashes = _fnv1a_int_hashes(np.array(values, dtype=np.int64))
+    for value, h in zip(values, hashes):
+        assert int(h) == HashPartitioner._stable_hash(value)
+
+
+def test_vectorized_fnv_random_sweep():
+    rng = random.Random(11)
+    values = [rng.randint(-(2**63), 2**63 - 1) for _ in range(500)]
+    hashes = _fnv1a_int_hashes(np.array(values, dtype=np.int64))
+    for value, h in zip(values, hashes):
+        assert int(h) == HashPartitioner._stable_hash(value)
+
+
+# -- shuffle ---------------------------------------------------------------
+
+@pytest.mark.parametrize("n_reducers", [1, 2, 7])
+def test_shuffle_fast_matches_generic_hash_partitioner(n_reducers):
+    rng = random.Random(13)
+    map_outputs = [
+        [(rng.randint(-50, 50), rng.random()) for _ in range(rng.randint(0, 80))]
+        for _ in range(5)
+    ]
+    fast = _shuffle_fast(map_outputs, HashPartitioner(), n_reducers)
+    assert fast is not None
+    _assert_same_result(fast, _shuffle_generic(map_outputs, HashPartitioner(), n_reducers))
+    _assert_same_result(shuffle(map_outputs, HashPartitioner(), n_reducers),
+                        _shuffle_generic(map_outputs, HashPartitioner(), n_reducers))
+
+
+def test_shuffle_fast_constant_key_with_array_values():
+    map_outputs = [
+        [("all", np.arange(i + 3, dtype=np.int64)) for i in range(4)],
+        [("all", np.arange(2, dtype=np.int64))],
+    ]
+    fast = _shuffle_fast(map_outputs, ConstantKeyPartitioner(), 1)
+    assert fast is not None
+    want = _shuffle_generic(map_outputs, ConstantKeyPartitioner(), 1)
+    assert fast.partition_bytes == want.partition_bytes
+    assert [k for k, _ in fast.partitions[0]] == [k for k, _ in want.partitions[0]]
+    for (_, gv), (_, wv) in zip(fast.partitions[0], want.partitions[0]):
+        assert all(np.array_equal(a, b) for a, b in zip(gv, wv))
+
+
+def test_shuffle_str_keys_under_hash_partitioner_stay_scalar():
+    map_outputs = [[("a", 1), ("b", 2)]]
+    assert _shuffle_fast(map_outputs, HashPartitioner(), 2) is None
+    # Public entry point still works (generic path).
+    result = shuffle(map_outputs, HashPartitioner(), 2)
+    assert sum(result.records_for(r) for r in range(2)) == 2
+
+
+class _ModPartitioner(Partitioner):
+    def partition(self, key, n_reducers):
+        return key % n_reducers
+
+
+def test_custom_partitioner_stays_generic():
+    map_outputs = [[(i, i) for i in range(20)]]
+    assert _shuffle_fast(map_outputs, _ModPartitioner(), 4) is None
+    result = shuffle(map_outputs, _ModPartitioner(), 4)
+    assert [result.records_for(r) for r in range(4)] == [5, 5, 5, 5]
+
+
+def test_shuffle_empty_outputs():
+    result = shuffle([[], []], HashPartitioner(), 3)
+    assert result.shuffled_bytes == 0
+    assert result.partitions == [[], [], []]

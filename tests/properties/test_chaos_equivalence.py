@@ -27,9 +27,12 @@ from repro.algorithms.sampling import sample_array
 from repro.attacks.mmc import build_mmc
 from repro.geo.synthetic import SyntheticConfig, generate_dataset
 from repro.mapreduce.chaos import DRIVERS, _run_once, default_schedule
+from repro.mapreduce.config import BACKENDS
 from repro.mapreduce.failures import ChaosSchedule, Fault, FaultKind, JobFailedError
 
-MAX_EXAMPLES = 6
+# Each hypothesis example is a full simulated deployment, and every test
+# now runs once per execution backend — keep the counts small.
+MAX_EXAMPLES = 4
 
 
 @pytest.fixture(scope="module")
@@ -95,9 +98,15 @@ schedules = st.builds(
 )
 
 
-def _assert_equivalent(name, corpus, context, clean_signatures, schedule):
+def _assert_equivalent(name, corpus, context, clean_signatures, schedule, backend):
+    # Two workers force real pool dispatch on threads/processes even on a
+    # single-core runner (the backends short-circuit inline at 1 worker).
+    workers = None if backend == "serial" else 2
     try:
-        artifacts = _run_once(DRIVERS[name], corpus, context, 3, 64 * 1024, schedule)
+        artifacts = _run_once(
+            DRIVERS[name], corpus, context, 3, 64 * 1024, schedule,
+            executor=backend, max_workers=workers,
+        )
     except JobFailedError as err:
         # An aggressive schedule may legitimately exhaust a task's retry
         # budget — like Hadoop after max.attempts.  The contract is then a
@@ -107,38 +116,70 @@ def _assert_equivalent(name, corpus, context, clean_signatures, schedule):
         return
     assert artifacts.signature == clean_signatures[name], (
         f"{name} output diverged under chaos schedule "
-        f"[{schedule.describe()}]"
+        f"[{schedule.describe()}] on backend {backend}"
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=MAX_EXAMPLES, deadline=None)
 @given(schedule=schedules)
 def test_sampling_equivalent_under_chaos(
-    corpus, context, clean_signatures, schedule
+    corpus, context, clean_signatures, backend, schedule
 ):
-    _assert_equivalent("sampling", corpus, context, clean_signatures, schedule)
+    _assert_equivalent("sampling", corpus, context, clean_signatures, schedule, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=MAX_EXAMPLES, deadline=None)
 @given(schedule=schedules)
 def test_djcluster_preprocessing_equivalent_under_chaos(
-    corpus, context, clean_signatures, schedule
+    corpus, context, clean_signatures, backend, schedule
 ):
-    _assert_equivalent("djcluster", corpus, context, clean_signatures, schedule)
+    _assert_equivalent("djcluster", corpus, context, clean_signatures, schedule, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=MAX_EXAMPLES, deadline=None)
 @given(schedule=schedules)
-def test_mmc_equivalent_under_chaos(corpus, context, clean_signatures, schedule):
-    _assert_equivalent("mmc", corpus, context, clean_signatures, schedule)
+def test_mmc_equivalent_under_chaos(
+    corpus, context, clean_signatures, backend, schedule
+):
+    _assert_equivalent("mmc", corpus, context, clean_signatures, schedule, backend)
 
 
-@settings(max_examples=4, deadline=None)  # iterative: the slow driver
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=2, deadline=None)  # iterative: the slow driver
 @given(schedule=schedules)
 def test_kmeans_equivalent_under_chaos(
-    corpus, context, clean_signatures, schedule
+    corpus, context, clean_signatures, backend, schedule
 ):
-    _assert_equivalent("kmeans", corpus, context, clean_signatures, schedule)
+    _assert_equivalent("kmeans", corpus, context, clean_signatures, schedule, backend)
+
+
+# -- cross-backend byte-identity ---------------------------------------------
+#
+# The property tests above check output fingerprints per backend; this
+# pins the *whole observable execution* — every traced event dict, the
+# simulated makespan and the output signature — to be byte-identical
+# across serial, threaded and process execution under one fault-heavy
+# fixed schedule.
+
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+def test_backends_byte_identical_under_fixed_chaos(name, corpus, context):
+    schedule = default_schedule(seed=3, node_loss=True)
+    runs = {}
+    for backend in BACKENDS:
+        workers = None if backend == "serial" else 2
+        runs[backend] = _run_once(
+            DRIVERS[name], corpus, context, 3, 64 * 1024, schedule,
+            executor=backend, max_workers=workers,
+        )
+    base = runs["serial"]
+    for backend in BACKENDS[1:]:
+        got = runs[backend]
+        assert got.signature == base.signature, backend
+        assert got.makespan_s == base.makespan_s, backend
+        assert got.events == base.events, backend
 
 
 # -- sequential baselines ----------------------------------------------------

@@ -31,6 +31,19 @@ def test_equals_rtree_queries(points, radius):
 
 
 @settings(max_examples=80, deadline=None)
+@given(point_sets, radii)
+def test_batch_equals_per_point_queries(points, radius):
+    pts = np.array(points)
+    tree = RTree.bulk_load(pts)
+    batch = tree.query_radius_batch(pts, radius)
+    assert len(batch) == len(pts)
+    for i, got in enumerate(batch):
+        want = tree.query_radius(pts[i, 0], pts[i, 1], radius)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=80, deadline=None)
 @given(point_sets, st.floats(min_value=1.0, max_value=50_000.0))
 def test_reflexive_and_symmetric(points, radius):
     pts = np.array(points)

@@ -141,3 +141,34 @@ class TestCommands:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBenchCommand:
+    _ARGS = ["bench", "--sizes", "2000", "--iterations", "1",
+             "--backends", "serial,threads", "--max-iter", "2",
+             "--workers", "2"]
+
+    def test_prints_table_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([*self._ARGS, "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "serial" in text and "threads" in text
+        assert out.exists()
+
+    def test_check_against_own_run_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([*self._ARGS, "--out", str(baseline)]) == 0
+        assert main(
+            [*self._ARGS, "--check", "--baseline", str(baseline),
+             "--tolerance", "1000"]
+        ) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_check_missing_baseline_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no baseline"):
+            main([*self._ARGS, "--check", "--baseline",
+                  str(tmp_path / "absent.json")])
+
+    def test_unknown_backend_exits(self):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["bench", "--sizes", "2000", "--backends", "fibers"])
