@@ -13,7 +13,6 @@ import pytest
 
 from benchmarks.conftest import make_runner, write_report
 from repro.algorithms.kmeans import run_kmeans_mapreduce
-from repro.mapreduce.counters import STANDARD
 
 K = 11
 

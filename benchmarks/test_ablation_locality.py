@@ -9,7 +9,7 @@ buys: the node-local map fraction and the simulated map-phase time
 
 import pytest
 
-from benchmarks.conftest import make_runner, write_report
+from benchmarks.conftest import write_report
 from repro.algorithms.sampling import run_sampling_job
 from repro.mapreduce.cluster import paper_cluster
 from repro.mapreduce.counters import STANDARD

@@ -19,7 +19,6 @@ import pytest
 
 from benchmarks.conftest import make_runner, write_report
 from repro.algorithms.sampling import run_sampling_job
-from repro.mapreduce.counters import STANDARD
 
 PAPER_ROWS = [("none", 2_033_686), ("1 min", 155_260), ("5 min", 41_263), ("10 min", 23_596)]
 WINDOWS = {"1 min": 60.0, "5 min": 300.0, "10 min": 600.0}

@@ -8,7 +8,6 @@ trade-off laws: attack success falls monotonically-ish with noise, while
 distortion rises monotonically — the frontier a curator navigates.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import write_report

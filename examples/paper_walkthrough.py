@@ -55,7 +55,7 @@ def main() -> None:
     print("\nTable IV - DJ preprocessing (paper keeps ~56-60% then sheds <1%)")
     params = DJClusterParams()
     for label in ("1 min", "10 min"):
-        pre = run_preprocessing_pipeline(
+        run_preprocessing_pipeline(
             runner, f"t1/{label}", params, workdir=f"t4/{label}"
         )
         unf = counts[label]

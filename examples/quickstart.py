@@ -11,7 +11,6 @@ Run:  python examples/quickstart.py
 
 import io
 
-import numpy as np
 
 from repro import Gepeto
 from repro.algorithms.djcluster import DJClusterParams

@@ -15,7 +15,7 @@ import networkx as nx
 import numpy as np
 
 from repro.attacks.social import ColocationParams, colocation_graph
-from repro.geo.synthetic import PointOfInterest, SyntheticConfig, generate_user
+from repro.geo.synthetic import SyntheticConfig, generate_user
 from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
 
 

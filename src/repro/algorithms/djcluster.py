@@ -38,7 +38,7 @@ from repro.mapreduce.config import Configuration
 from repro.mapreduce.job import ConstantKeyPartitioner, JobSpec, Mapper, Reducer
 from repro.mapreduce.pipeline import JobPipeline, PipelineResult
 from repro.mapreduce.runner import JobRunner
-from repro.mapreduce.types import ArrayPayload, Chunk
+from repro.mapreduce.types import Chunk
 from repro.observability.events import EventKind
 
 __all__ = [
@@ -330,7 +330,6 @@ class NeighborhoodMapper(Mapper):
     def run(self, chunk: Chunk, ctx) -> None:
         array = chunk.trace_array()
         points = array.coordinates()
-        offset = chunk.payload.offset if isinstance(chunk.payload, ArrayPayload) else 0
         # One batched tree walk answers the whole chunk; the result arrays
         # are exactly the per-point query_radius sets, so emissions (and
         # therefore shuffle bytes, counters, histories) are unchanged.

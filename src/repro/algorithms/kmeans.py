@@ -30,7 +30,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geo.distance import METRIC_COST, get_metric, pairwise
-from repro.geo.trace import TraceArray
 from repro.mapreduce.config import Configuration
 from repro.mapreduce.job import JobSpec, Mapper, Reducer
 from repro.mapreduce.runner import JobRunner
@@ -164,6 +163,24 @@ class KMeansResult:
 def _inertia(points: np.ndarray, centroids: np.ndarray, metric: str) -> float:
     d = pairwise(metric, points, centroids)
     return float(d.min(axis=1).sum())
+
+
+def _hdfs_inertia(hdfs, path: str, centroids: np.ndarray, metric: str) -> float:
+    """Inertia of a stored corpus, one chunk resident at a time.
+
+    The driver must never materialize the whole dataset: under a memory
+    budget that would defeat the paged chunk store, and even unbudgeted
+    the broadcasted full-corpus distance matrix dwarfs every other
+    allocation of the run.  Chunk partials accumulate in float64, so the
+    result matches the one-shot evaluation to rounding.
+    """
+    total = 0.0
+    for chunk in hdfs.chunks(path):
+        points = chunk.trace_array().coordinates()
+        if len(points):
+            d = pairwise(metric, points, centroids)
+            total += float(d.min(axis=1).sum())
+    return total
 
 
 def kmeans_sequential(
@@ -317,12 +334,14 @@ def run_kmeans_mapreduce(
     """
     get_metric(distance)
     hdfs = runner.hdfs
-    all_points = hdfs.read_trace_array(input_path).coordinates()
-    centroids = (
-        np.array(initial_centroids, dtype=np.float64, copy=True)
-        if initial_centroids is not None
-        else _init_centroids(all_points, k, seed, init, distance)
-    )
+    if initial_centroids is not None:
+        centroids = np.array(initial_centroids, dtype=np.float64, copy=True)
+    else:
+        # Seeding is the one step that wants the corpus in hand; with
+        # explicit centroids the driver never materializes it at all.
+        all_points = hdfs.read_trace_array(input_path).coordinates()
+        centroids = _init_centroids(all_points, k, seed, init, distance)
+        del all_points
     if centroids.shape != (k, 2):
         raise ValueError(f"initial centroids must be ({k}, 2)")
 
@@ -387,6 +406,6 @@ def run_kmeans_mapreduce(
         centroids=centroids,
         n_iterations=iteration,
         converged=converged,
-        inertia=_inertia(all_points, centroids, distance),
+        inertia=_hdfs_inertia(hdfs, input_path, centroids, distance),
         history=history,
     )

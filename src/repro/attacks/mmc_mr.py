@@ -131,7 +131,7 @@ def run_mmc_mapreduce(
         raise ValueError("MMC learning needs at least one POI state")
     runner.cache.replace(POI_COORDS_CACHE_KEY, poi_coords)
     runner.hdfs.delete(output_path, missing_ok=True)
-    result = runner.run(
+    runner.run(
         JobSpec(
             name="mmc-learning",
             mapper=VisitFragmentMapper,

@@ -10,8 +10,7 @@ labelling heuristic (home: night-time mass; work: working-hours mass).
 
 from __future__ import annotations
 
-import datetime as _dt
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

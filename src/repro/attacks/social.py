@@ -19,7 +19,6 @@ distances.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import networkx as nx

@@ -23,7 +23,6 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import sys
-from pathlib import Path
 
 from repro.algorithms.djcluster import DJClusterParams
 from repro.attacks.poi import poi_attack
@@ -212,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--node-loss", action="store_true",
         help="also kill one tasktracker+datanode mid-map-phase",
     )
+    cha.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="run the campaign out-of-core under this memory budget "
+        "(the report must be identical to an unbudgeted run)",
+    )
     cha.add_argument("--users", type=int, default=3, help="synthetic corpus users")
     cha.add_argument("--days", type=int, default=1, help="synthetic corpus days")
     cha.add_argument("--workers", type=int, default=3, help="simulated worker nodes")
@@ -276,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument(
         "--tolerance", type=float, default=0.25,
         help="fractional slowdown tolerated by --check (default 0.25)",
+    )
+    ben.add_argument(
+        "--spill", action="store_true",
+        help="benchmark out-of-core execution instead: the same run with "
+        "and without a memory budget, wall-clock + peak RSS per cell "
+        "(serial backend, combiner off; each cell in its own subprocess)",
+    )
+    ben.add_argument(
+        "--budget-mb", type=float, default=8.0,
+        help="memory budget for the --spill budgeted cells (default 8)",
     )
     return parser
 
@@ -445,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
                 n_workers=args.workers,
                 history_path=args.history,
                 executor=args.backend,
+                memory_budget_mb=args.memory_budget_mb,
             )
         except ValueError as exc:
             raise SystemExit(f"chaos: {exc}")
@@ -456,12 +471,31 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         from repro.mapreduce.bench import (
             DEFAULT_BASELINE,
+            DEFAULT_SPILL_OUT,
             check_against_baseline,
             load_result,
             render_result,
+            render_spill_result,
             run_backend_benchmark,
+            run_spill_benchmark,
             save_result,
         )
+
+        if args.spill:
+            try:
+                sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+                doc = run_spill_benchmark(
+                    sizes=sizes,
+                    budget_mb=args.budget_mb,
+                    k=args.k,
+                    max_iter=args.max_iter,
+                )
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(f"bench: {exc}")
+            print(render_spill_result(doc))
+            out = args.out or DEFAULT_SPILL_OUT
+            print(f"result written to {save_result(doc, out)}")
+            return 0
 
         try:
             sizes = [int(s) for s in args.sizes.split(",") if s.strip()]

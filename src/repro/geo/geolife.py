@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import datetime as _dt
 import io
+import math
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -43,6 +44,8 @@ __all__ = [
     "format_plt_line",
     "read_plt",
     "write_plt",
+    "iter_plt_files",
+    "stream_geolife_trails",
     "read_geolife_dataset",
     "write_geolife_dataset",
     "unix_to_ole_days",
@@ -93,9 +96,16 @@ def parse_plt_line(line: str) -> tuple[float, float, float, float]:
 
 
 def format_plt_line(lat: float, lon: float, alt: float, timestamp: float) -> str:
-    """Format one trace as a PLT record line (without trailing newline)."""
+    """Format one trace as a PLT record line (without trailing newline).
+
+    The ``days`` field carries the timestamp at full float precision; the
+    redundant date/time strings name the *containing* second (``floor``),
+    so the two encodings always agree to the second.  Rounding half-up
+    here would place the strings up to 0.5 s ahead of the days field,
+    in the next calendar second (or minute, hour, day...).
+    """
     days = float(unix_to_ole_days(timestamp))
-    when = _dt.datetime.fromtimestamp(round(timestamp), tz=_dt.timezone.utc)
+    when = _dt.datetime.fromtimestamp(math.floor(timestamp), tz=_dt.timezone.utc)
     return (
         f"{lat:.6f},{lon:.6f},0,{alt:.0f},{days:.10f},"
         f"{when:%Y-%m-%d},{when:%H:%M:%S}"
@@ -140,18 +150,19 @@ def write_plt(trail: Trail, target: str | Path | io.TextIOBase) -> None:
         target.write("\n")
 
 
-def read_geolife_dataset(root: str | Path, user_ids: Iterable[str] | None = None) -> GeolocatedDataset:
-    """Read a GeoLife-layout directory tree into a :class:`GeolocatedDataset`.
+def iter_plt_files(
+    root: str | Path, user_ids: Iterable[str] | None = None
+) -> Iterator[tuple[str, Path]]:
+    """Walk a GeoLife tree, yielding ``(user_id, plt_path)`` pairs.
 
-    ``root`` contains one directory per user; each user directory contains a
-    ``Trajectory/`` folder of ``.plt`` files.  ``user_ids`` optionally
-    restricts which users to load.
+    The order is deterministic (sorted users, then sorted file names) and
+    shared by every reader in this module, so streaming and materializing
+    consumers see the same record sequence.
     """
     root = Path(root)
     if not root.is_dir():
         raise FileNotFoundError(f"GeoLife root not found: {root}")
     wanted = set(user_ids) if user_ids is not None else None
-    ds = GeolocatedDataset()
     for user_dir in sorted(p for p in root.iterdir() if p.is_dir()):
         user = user_dir.name
         if wanted is not None and user not in wanted:
@@ -160,9 +171,38 @@ def read_geolife_dataset(root: str | Path, user_ids: Iterable[str] | None = None
         if not traj_dir.is_dir():
             continue
         for plt_file in sorted(traj_dir.glob("*.plt")):
-            trail = read_plt(plt_file, user)
-            if len(trail):
-                ds.add_trail(trail)
+            yield user, plt_file
+
+
+def stream_geolife_trails(
+    root: str | Path, user_ids: Iterable[str] | None = None
+) -> Iterator[Trail]:
+    """Stream a GeoLife tree one trajectory at a time.
+
+    Each ``.plt`` file becomes an independent :class:`Trail` the moment it
+    is yielded, so peak memory is one trajectory — never the corpus.  This
+    is the ingestion path for datasets larger than RAM: feed the trails
+    into ``SimulatedHDFS`` (which pages chunks to disk under a memory
+    budget) instead of building a :class:`GeolocatedDataset` first.
+    Empty trajectories are skipped, matching :func:`read_geolife_dataset`.
+    """
+    for user, plt_file in iter_plt_files(root, user_ids):
+        trail = read_plt(plt_file, user)
+        if len(trail):
+            yield trail
+
+
+def read_geolife_dataset(root: str | Path, user_ids: Iterable[str] | None = None) -> GeolocatedDataset:
+    """Read a GeoLife-layout directory tree into a :class:`GeolocatedDataset`.
+
+    ``root`` contains one directory per user; each user directory contains a
+    ``Trajectory/`` folder of ``.plt`` files.  ``user_ids`` optionally
+    restricts which users to load.  For corpora that should never be fully
+    resident, use :func:`stream_geolife_trails` instead.
+    """
+    ds = GeolocatedDataset()
+    for trail in stream_geolife_trails(root, user_ids):
+        ds.add_trail(trail)
     return ds
 
 

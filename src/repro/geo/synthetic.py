@@ -23,8 +23,7 @@ seed, so benchmarks are reproducible.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,7 +18,7 @@ Two representations coexist here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -179,6 +179,15 @@ class TraceArray:
     def data_nbytes(self) -> int:
         """Size in bytes of the packed columnar records."""
         return int(self._data.nbytes)
+
+    def compact(self) -> "TraceArray":
+        """A copy that owns exactly its own rows.
+
+        Slicing returns views into the parent buffer; a view kept alive
+        (e.g. a chunk payload paged by the budgeted HDFS store) pins the
+        whole parent allocation.  ``compact`` breaks that tie.
+        """
+        return TraceArray(self._data.copy(), self._users)
 
     def copy_data_into(self, buffer) -> None:
         """Copy the packed records into ``buffer`` (inverse of

@@ -15,7 +15,7 @@ breaks, emit a stay if the window lasted at least ``min_stay_s``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.geo.trace import TraceArray
 from repro.index.rtree import RTree
 from repro.index.spacefilling import DEFAULT_ORDER, get_curve
 from repro.mapreduce.config import Configuration

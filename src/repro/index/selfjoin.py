@@ -15,7 +15,6 @@ while the MapReduce mapper keeps the paper's R-tree formulation.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

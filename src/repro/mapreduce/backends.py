@@ -54,7 +54,14 @@ from repro.mapreduce.config import BACKENDS, MapReduceConfig
 from repro.mapreduce.counters import Counters, STANDARD
 from repro.mapreduce.failures import ChaosSchedule, TaskFailure
 from repro.mapreduce.job import MapContext, ReduceContext
-from repro.mapreduce.types import ArrayPayload, Chunk
+from repro.mapreduce.spill import (
+    SpilledMapOutput,
+    SpilledPartition,
+    WorkerSpillSpec,
+    as_groups,
+    spill_map_output,
+)
+from repro.mapreduce.types import ArrayPayload, Chunk, concrete_payload
 
 __all__ = [
     "ExecutionBackend",
@@ -89,14 +96,25 @@ class MapTaskRequest:
     chaos: ChaosSchedule | None
     scripted: frozenset | None
     max_attempts: int
+    #: When set (memory-budgeted runs), output larger than the budget is
+    #: written to the spill directory *where the attempt ran* and the
+    #: outcome carries a :class:`~repro.mapreduce.spill.SpilledMapOutput`
+    #: handle instead of the pair list.
+    spill: WorkerSpillSpec | None = None
 
 
 @dataclass
 class ReduceTaskRequest:
-    """Everything a reduce task's pure attempt loop needs."""
+    """Everything a reduce task's pure attempt loop needs.
+
+    ``groups`` may be a :class:`~repro.mapreduce.spill.SpilledPartition`
+    handle (external shuffle); the attempt loop loads it where it runs,
+    so spilled reduce input crosses a process boundary as a path, not
+    as data.
+    """
 
     task_id: str
-    groups: list[tuple[Any, list[Any]]]
+    groups: "list[tuple[Any, list[Any]]] | SpilledPartition"
     reducer: Callable[[], Any]
     conf: Any
     cache: DistributedCache
@@ -111,7 +129,7 @@ class MapOutcome:
     narrative replay adds node assignments and backoffs)."""
 
     success: bool
-    output: list[tuple[Any, Any]] | None
+    output: "list[tuple[Any, Any]] | SpilledMapOutput | None"
     counters: Counters | None
     output_records: int
     #: ``(attempt, reason, fault kind)`` per failed attempt, in order.
@@ -205,9 +223,20 @@ def run_map_attempts(request: MapTaskRequest) -> MapOutcome:
                 request.task_id,
                 request.node,
             )
+        output: "list[tuple[Any, Any]] | SpilledMapOutput" = ctx.output
+        if (
+            request.spill is not None
+            and ctx.output_nbytes > request.spill.threshold_bytes
+        ):
+            # Over-budget output spills where the attempt ran (in real
+            # Hadoop, the tasktracker's local disk); the driver — and the
+            # processes backend's IPC — only ever sees the handle.
+            output = spill_map_output(
+                request.spill, request.task_id, ctx.output, ctx.output_nbytes
+            )
         return MapOutcome(
             True,
-            ctx.output,
+            output,
             counters,
             ctx.output_records,
             failures,
@@ -221,6 +250,7 @@ def run_reduce_attempts(request: ReduceTaskRequest) -> ReduceOutcome:
     """Execute one reduce task's retry loop using only pure fault
     decisions (the reduce twin of :func:`run_map_attempts`)."""
     failures: list[tuple[int, str, str]] = []
+    groups = as_groups(request.groups)
     for attempt in range(1, request.max_attempts + 1):
         counters = Counters()
         ctx = ReduceContext(
@@ -233,14 +263,14 @@ def run_reduce_attempts(request: ReduceTaskRequest) -> ReduceOutcome:
             if request.chaos is not None:
                 request.chaos.fail_attempt(request.task_id, attempt)
             reducer.setup(ctx)
-            reducer.run(request.groups, ctx)
+            reducer.run(groups, ctx)
             reducer.cleanup(ctx)
         except TaskFailure as exc:
             failures.append((attempt, exc.reason, exc.kind))
             continue
-        n_values = sum(len(v) for _, v in request.groups)
+        n_values = sum(len(v) for _, v in groups)
         counters.increment(
-            STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_GROUPS, len(request.groups)
+            STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_GROUPS, len(groups)
         )
         counters.increment(
             STANDARD.GROUP_TASK, STANDARD.REDUCE_INPUT_RECORDS, n_values
@@ -387,7 +417,7 @@ def _resolve_chunk(ref: tuple) -> Chunk:
 
 def _pool_run_map(message: tuple) -> MapOutcome:
     (task_id, node, chunk_ref, mapper, combiner, conf, chaos, scripted,
-     max_attempts, cache_token) = message
+     max_attempts, cache_token, spill) = message
     request = MapTaskRequest(
         task_id=task_id,
         node=node,
@@ -399,6 +429,7 @@ def _pool_run_map(message: tuple) -> MapOutcome:
         chaos=chaos,
         scripted=scripted,
         max_attempts=max_attempts,
+        spill=spill,
     )
     return run_map_attempts(request)
 
@@ -505,8 +536,14 @@ class ProcessBackend(ExecutionBackend):
         self._cache_token = (self._cache_version, shm.name, len(payload))
 
     def _chunk_ref(self, chunk: Chunk) -> tuple:
-        payload = chunk.payload
+        # Paged stubs hold a loader bound to the driver's PayloadStore
+        # (which refuses to pickle); materialize before crossing to a
+        # worker — the shared-memory path below never pickles the data
+        # anyway, and the pickle path needs a concrete chunk.
+        payload = concrete_payload(chunk.payload)
         if not isinstance(payload, ArrayPayload):
+            if payload is not chunk.payload:
+                chunk = Chunk(chunk.chunk_id, payload, chunk.replicas)
             return ("pickle", chunk)
         entry = self._state.segments.get(chunk.chunk_id)
         if entry is None:
@@ -546,6 +583,7 @@ class ProcessBackend(ExecutionBackend):
                 r.scripted,
                 r.max_attempts,
                 self._cache_token,
+                r.spill,
             )
             for r in requests
         ]

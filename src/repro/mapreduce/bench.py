@@ -24,8 +24,11 @@ count matches the baseline's and falls back to serial-normalized ratios
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -40,11 +43,15 @@ from repro.mapreduce.runner import JobRunner
 
 __all__ = [
     "synthetic_corpus",
+    "synthetic_corpus_blocks",
     "run_backend_benchmark",
+    "run_spill_benchmark",
     "check_against_baseline",
     "render_result",
+    "render_spill_result",
     "DEFAULT_SIZES",
     "DEFAULT_BASELINE",
+    "DEFAULT_SPILL_OUT",
 ]
 
 #: Corpus sizes the trajectory is measured over (traces).
@@ -53,25 +60,68 @@ DEFAULT_SIZES = (100_000, 1_000_000)
 #: Committed baseline the ``--check`` mode compares against.
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_backends.json"
 
+#: Default artifact path for the spill-on/off trajectory.
+DEFAULT_SPILL_OUT = Path("benchmarks") / "results" / "BENCH_spill.json"
+
 _SCHEMA = 1
+_SPILL_SCHEMA = 1
 
 
-def synthetic_corpus(n_traces: int, seed: int = 0, n_clusters: int = 8) -> TraceArray:
+def _blob_centers(rng: np.random.Generator, n_clusters: int) -> np.ndarray:
+    return np.column_stack(
+        (rng.uniform(39.6, 40.3, n_clusters), rng.uniform(116.0, 116.8, n_clusters))
+    )
+
+
+def synthetic_corpus(
+    n_traces: int,
+    seed: int = 0,
+    n_clusters: int = 8,
+    timestamp_step: float = 1.0,
+) -> TraceArray:
     """A clustered corpus of ``n_traces`` synthetic mobility traces.
 
     Gaussian blobs around ``n_clusters`` centers in the Beijing bounding
     box — structured enough that k-means does real work, generated in
     O(n) NumPy time so corpus construction never dominates the benchmark.
+    ``timestamp_step`` spaces consecutive timestamps: at the default 1 s
+    the blob-hopping points read as fast movement, while a large step
+    makes every trace stationary by DJ-Cluster's speed-filter definition.
     """
     rng = np.random.default_rng(seed)
-    centers = np.column_stack(
-        (rng.uniform(39.6, 40.3, n_clusters), rng.uniform(116.0, 116.8, n_clusters))
-    )
+    centers = _blob_centers(rng, n_clusters)
     which = rng.integers(0, n_clusters, n_traces)
     lat = centers[which, 0] + rng.normal(0.0, 0.03, n_traces)
     lon = centers[which, 1] + rng.normal(0.0, 0.03, n_traces)
-    timestamp = np.arange(n_traces, dtype=np.float64)
+    timestamp = np.arange(n_traces, dtype=np.float64) * timestamp_step
     return TraceArray.from_columns(["bench"], lat, lon, timestamp)
+
+
+def synthetic_corpus_blocks(
+    n_traces: int,
+    seed: int = 0,
+    n_clusters: int = 8,
+    block: int = 100_000,
+    timestamp_step: float = 1.0,
+):
+    """The blob corpus as a stream of ``block``-trace pieces.
+
+    The out-of-core twin of :func:`synthetic_corpus`: pieces feed
+    ``SimulatedHDFS.put_trace_stream`` so no more than one block plus
+    one chunk is ever resident during ingestion.  The draw order differs
+    from the one-shot generator, so the two corpora are statistically —
+    not byte — identical; a benchmark always pairs cells from the same
+    generator.
+    """
+    rng = np.random.default_rng(seed)
+    centers = _blob_centers(rng, n_clusters)
+    for start in range(0, n_traces, block):
+        n = min(block, n_traces - start)
+        which = rng.integers(0, n_clusters, n)
+        lat = centers[which, 0] + rng.normal(0.0, 0.03, n)
+        lon = centers[which, 1] + rng.normal(0.0, 0.03, n)
+        timestamp = np.arange(start, start + n, dtype=np.float64) * timestamp_step
+        yield TraceArray.from_columns(["bench"], lat, lon, timestamp)
 
 
 def _time_one_run(
@@ -280,3 +330,224 @@ def save_result(doc: Mapping[str, Any], path: str | Path) -> Path:
 def load_result(path: str | Path) -> dict[str, Any]:
     with open(path) as fh:
         return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core (spill) benchmark: wall-clock + peak RSS, budget on vs off.
+# ---------------------------------------------------------------------------
+
+
+def _spill_cell(
+    size: int,
+    budget_mb: float | None,
+    *,
+    k: int = 4,
+    max_iter: int = 3,
+    chunk_mb: int = 2,
+    seed: int = 0,
+    measure_rss: bool = True,
+) -> dict[str, Any]:
+    """One (size, budget) measurement: k-means without a combiner.
+
+    The combiner is deliberately off so every map task emits one pair
+    per trace — it is the map-output and shuffle volume that a memory
+    budget has to tame, and with a combiner on there is nothing to
+    spill.  The serial backend is used because ``ru_maxrss`` only
+    meters *this* process; pool workers would hide their footprint in
+    children.
+
+    Meant to run inside a fresh subprocess when ``measure_rss`` is
+    true: ``ru_maxrss`` is a lifetime high-water mark, so cells sharing
+    a process would all report the largest cell's footprint.
+    """
+    from repro.algorithms.kmeans import run_kmeans_mapreduce
+
+    hdfs = SimulatedHDFS(
+        paper_cluster(4),
+        chunk_size=chunk_mb * MB,
+        seed=0,
+        memory_budget_mb=budget_mb,
+    )
+    # Stream-ingest: the corpus is never materialized driver-side, so a
+    # budgeted cell's residency is governed by the chunk store alone.
+    hdfs.put_trace_stream("input/traces", synthetic_corpus_blocks(int(size), seed=seed))
+    init = _blob_centers(np.random.default_rng(seed), k)
+    with JobRunner(hdfs, executor="serial", memory_budget_mb=budget_mb) as runner:
+        start = time.perf_counter()
+        result = run_kmeans_mapreduce(
+            runner,
+            "input/traces",
+            k=k,
+            max_iter=max_iter,
+            initial_centroids=init,
+            use_combiner=False,
+            workdir="tmp/kmeans",
+        )
+        elapsed = time.perf_counter() - start
+        spill = runner.spill_stats.as_dict() if runner.spill_stats else None
+    paging = hdfs.spill_stats.as_dict() if hdfs.spill_stats else None
+    cell: dict[str, Any] = {
+        "budget_mb": budget_mb,
+        "elapsed_s": elapsed,
+        "n_iterations": result.n_iterations,
+        "centroids_sha256": hashlib.sha256(
+            np.ascontiguousarray(result.centroids).tobytes()
+        ).hexdigest(),
+        "spill": spill,
+        "paging": paging,
+    }
+    if measure_rss:
+        import resource
+
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        unit = 1024 if sys.platform == "darwin" else 1
+        peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / unit
+        cell["peak_rss_mb"] = peak_kib / 1024.0
+    else:
+        cell["peak_rss_mb"] = None
+    return cell
+
+
+def _spill_cell_subprocess(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Run :func:`_spill_cell` in a fresh interpreter and return its JSON."""
+    import repro
+
+    code = (
+        "import json, sys\n"
+        "from repro.mapreduce.bench import _spill_cell\n"
+        "params = json.load(sys.stdin)\n"
+        "json.dump(_spill_cell(params.pop('size'), params.pop('budget_mb'),"
+        " **params), sys.stdout)\n"
+    )
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = pkg_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        input=json.dumps(dict(params)),
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"spill benchmark cell failed (rc={proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def run_spill_benchmark(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    budget_mb: float = 8.0,
+    *,
+    k: int = 4,
+    max_iter: int = 3,
+    chunk_mb: int = 2,
+    seed: int = 0,
+    isolate_cells: bool = True,
+) -> dict[str, Any]:
+    """Spill-on/off trajectory: wall-clock and peak RSS at each size.
+
+    For each corpus size, the same combiner-less k-means run is timed
+    twice — once unbudgeted (everything resident) and once under
+    ``budget_mb`` (chunk store pages, map outputs and shuffle spill to
+    disk).  Each cell runs in its own subprocess so ``ru_maxrss`` — a
+    per-process lifetime high-water mark — meters that cell alone;
+    ``isolate_cells=False`` keeps everything in-process for tests and
+    reports ``peak_rss_mb: null``.
+
+    Centroids must be byte-identical across the two cells of a size:
+    the budget is an execution detail, never an answer change.
+    """
+    if budget_mb <= 0:
+        raise ValueError("budget_mb must be positive")
+    results = []
+    for size in sizes:
+        cells = {}
+        for label, budget in (("unbudgeted", None), ("budgeted", budget_mb)):
+            params = {
+                "size": int(size),
+                "budget_mb": budget,
+                "k": k,
+                "max_iter": max_iter,
+                "chunk_mb": chunk_mb,
+                "seed": seed,
+                "measure_rss": isolate_cells,
+            }
+            if isolate_cells:
+                cells[label] = _spill_cell_subprocess(params)
+            else:
+                cells[label] = _spill_cell(
+                    params.pop("size"), params.pop("budget_mb"), **params
+                )
+        if cells["budgeted"]["centroids_sha256"] != cells["unbudgeted"]["centroids_sha256"]:
+            raise RuntimeError(
+                f"budgeted run diverged at size {size}: centroids differ"
+            )
+        if cells["budgeted"]["n_iterations"] != cells["unbudgeted"]["n_iterations"]:
+            raise RuntimeError(
+                f"budgeted run diverged at size {size}: iteration counts differ"
+            )
+        entry: dict[str, Any] = {"size": int(size), "cells": cells}
+        on, off = cells["budgeted"], cells["unbudgeted"]
+        if on["peak_rss_mb"] is not None and off["peak_rss_mb"] is not None:
+            entry["rss_saved_mb"] = off["peak_rss_mb"] - on["peak_rss_mb"]
+        entry["slowdown"] = (
+            on["elapsed_s"] / off["elapsed_s"] if off["elapsed_s"] > 0 else None
+        )
+        results.append(entry)
+    return {
+        "schema": _SPILL_SCHEMA,
+        "workload": {
+            "driver": "kmeans",
+            "k": k,
+            "max_iter": max_iter,
+            "chunk_mb": chunk_mb,
+            "combiner": False,
+            "backend": "serial",
+            "seed": seed,
+        },
+        "budget_mb": budget_mb,
+        "cpu_count": os.cpu_count(),
+        "isolated_cells": isolate_cells,
+        "results": results,
+    }
+
+
+def render_spill_result(doc: Mapping[str, Any]) -> str:
+    """Terminal table for one spill benchmark document."""
+    w = doc["workload"]
+    lines = [
+        f"out-of-core wall-clock + peak RSS (k-means, k={w['k']}, "
+        f"{w['max_iter']} iterations, no combiner, serial backend; "
+        f"budget {doc['budget_mb']} MB)",
+        "",
+        f"{'traces':>12}  {'mode':>10}  {'wall':>9}  {'peak RSS':>10}  "
+        f"{'spilled':>10}  {'paged out':>10}",
+    ]
+    for entry in doc["results"]:
+        for label in ("unbudgeted", "budgeted"):
+            cell = entry["cells"][label]
+            rss = (
+                f"{cell['peak_rss_mb']:>8.1f}MB"
+                if cell["peak_rss_mb"] is not None
+                else f"{'n/a':>10}"
+            )
+            spill = cell.get("spill") or {}
+            spilled = spill.get("run_bytes", 0) + spill.get("map_spill_bytes", 0)
+            paged = (cell.get("paging") or {}).get("page_out_bytes", 0)
+            lines.append(
+                f"{entry['size']:>12,}  {label:>10}  "
+                f"{cell['elapsed_s']:>8.2f}s  {rss}  "
+                f"{spilled / MB:>8.1f}MB  {paged / MB:>8.1f}MB"
+            )
+        extras = []
+        if entry.get("slowdown") is not None:
+            extras.append(f"slowdown {entry['slowdown']:.2f}x")
+        if entry.get("rss_saved_mb") is not None:
+            extras.append(f"RSS saved {entry['rss_saved_mb']:.1f} MB")
+        if extras:
+            lines.append(f"{'':>12}  {', '.join(extras)}")
+    return "\n".join(lines)

@@ -30,7 +30,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.mapreduce.failures import ChaosSchedule, FaultKind
+from repro.mapreduce.failures import ChaosSchedule
 
 __all__ = [
     "ChaosDriver",
@@ -278,14 +278,26 @@ def _fresh_runner(
     chaos: ChaosSchedule | None,
     executor: str = "serial",
     max_workers: "int | None" = None,
+    memory_budget_mb: "float | None" = None,
 ):
     from repro.mapreduce.cluster import paper_cluster
     from repro.mapreduce.hdfs import SimulatedHDFS
     from repro.mapreduce.runner import JobRunner
 
-    hdfs = SimulatedHDFS(paper_cluster(n_workers), chunk_size=chunk_size, seed=0)
+    hdfs = SimulatedHDFS(
+        paper_cluster(n_workers),
+        chunk_size=chunk_size,
+        seed=0,
+        memory_budget_mb=memory_budget_mb,
+    )
     hdfs.put_trace_array(INPUT_PATH, array, record_bytes=64)
-    return JobRunner(hdfs, chaos=chaos, executor=executor, max_workers=max_workers)
+    return JobRunner(
+        hdfs,
+        chaos=chaos,
+        executor=executor,
+        max_workers=max_workers,
+        memory_budget_mb=memory_budget_mb,
+    )
 
 
 def _run_once(
@@ -298,12 +310,14 @@ def _run_once(
     save_path: "str | None" = None,
     executor: str = "serial",
     max_workers: "int | None" = None,
+    memory_budget_mb: "float | None" = None,
 ) -> _RunArtifacts:
     from repro.observability.events import EventKind
 
     runner = _fresh_runner(
         array, n_workers, chunk_size, chaos,
         executor=executor, max_workers=max_workers,
+        memory_budget_mb=memory_budget_mb,
     )
     try:
         signature = driver.run(runner, context)
@@ -363,6 +377,7 @@ def run_chaos_campaign(
     history_path: "str | None" = None,
     executor: str = "serial",
     max_workers: "int | None" = None,
+    memory_budget_mb: "float | None" = None,
 ) -> ChaosReport:
     """Run the clean/chaos/replay triple for each requested driver.
 
@@ -372,7 +387,8 @@ def run_chaos_campaign(
     driver for ``python -m repro history`` inspection.  ``executor``
     selects the execution backend for every run — outputs, counters and
     histories are backend-invariant, so the report must be identical for
-    any choice.
+    any choice.  ``memory_budget_mb`` runs every deployment out-of-core
+    under that budget; outputs and counters are budget-invariant too.
     """
     chosen = drivers or driver_names()
     unknown = [d for d in chosen if d not in DRIVERS]
@@ -396,14 +412,17 @@ def run_chaos_campaign(
         clean = _run_once(
             driver, array, context, n_workers, chunk_size, None,
             executor=executor, max_workers=max_workers,
+            memory_budget_mb=memory_budget_mb,
         )
         faulted = _run_once(
             driver, array, context, n_workers, chunk_size, chaos,
             save_path=save, executor=executor, max_workers=max_workers,
+            memory_budget_mb=memory_budget_mb,
         )
         replay = _run_once(
             driver, array, context, n_workers, chunk_size, chaos,
             executor=executor, max_workers=max_workers,
+            memory_budget_mb=memory_budget_mb,
         )
         report.outcomes.append(
             DriverOutcome(

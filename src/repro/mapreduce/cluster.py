@@ -8,7 +8,7 @@ drives both HDFS replica placement and scheduler locality decisions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 __all__ = ["Node", "ClusterSpec", "paper_cluster"]

@@ -36,10 +36,18 @@ class MapReduceConfig:
     negative worker counts are rejected here — ``ThreadPoolExecutor``
     would otherwise accept them silently and hang or misbehave at
     dispatch time.
+
+    ``memory_budget_mb`` bounds the engine's resident working set (the
+    Hadoop ``io.sort.mb`` analogue, generalized): map outputs above the
+    budget spill worker-side, the shuffle switches to an external merge
+    sort, and a budgeted namenode pages chunk payloads to disk.  ``None``
+    (the default) means unbounded — everything stays in memory.  Results
+    are byte-identical either way.
     """
 
     backend: str = "serial"
     max_workers: int | None = None
+    memory_budget_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -57,6 +65,19 @@ class MapReduceConfig:
                 raise ValueError(
                     f"max_workers must be >= 1 (got {self.max_workers}); "
                     f"pass None to use the backend default"
+                )
+        if self.memory_budget_mb is not None:
+            if isinstance(self.memory_budget_mb, bool) or not isinstance(
+                self.memory_budget_mb, (int, float)
+            ):
+                raise ValueError(
+                    f"memory_budget_mb must be a positive number or None, "
+                    f"got {self.memory_budget_mb!r}"
+                )
+            if self.memory_budget_mb <= 0:
+                raise ValueError(
+                    f"memory_budget_mb must be positive (got "
+                    f"{self.memory_budget_mb}); pass None for unbounded"
                 )
 
 

@@ -13,12 +13,13 @@ datanode loss by serving the surviving replicas.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.geo.trace import TraceArray
 from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.spill import PayloadStore, SpillDirectory, SpillStats
 from repro.mapreduce.types import (
     ArrayPayload,
     Chunk,
@@ -41,18 +42,40 @@ class SimulatedHDFS:
         chunk_size: int = 64 * MB,
         replication: int = 3,
         seed: int = 0,
+        memory_budget_mb: float | None = None,
+        spill_root: str | None = None,
     ):
+        """``memory_budget_mb`` caps the chunk payloads kept resident in
+        RAM: beyond it, least-recently-used payloads page out to a spill
+        directory (``spill_root``, or a private temp dir) and rehydrate
+        transparently on read — the disk-backed chunk store that lets a
+        file exceed this machine's memory.  ``None`` keeps everything
+        resident, the historical behaviour."""
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         if replication < 1:
             raise ValueError("replication must be >= 1")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive")
         self.cluster = cluster
         self.chunk_size = chunk_size
         self.replication = replication
+        self.memory_budget_mb = memory_budget_mb
         self._rng = np.random.default_rng(seed)
         self._files: dict[str, list[Chunk]] = {}
         self._dead_nodes: set[str] = set()
         self._chunk_counter = itertools.count()
+        self._store: PayloadStore | None = None
+        if memory_budget_mb is not None:
+            self._store = PayloadStore(
+                int(memory_budget_mb * MB), SpillDirectory(spill_root)
+            )
+
+    @property
+    def spill_stats(self) -> SpillStats | None:
+        """Paging counters of the budgeted chunk store (``None`` when
+        running without a memory budget)."""
+        return self._store.stats if self._store is not None else None
 
     # -- replica placement -------------------------------------------------
     def _alive_datanodes(self) -> list[str]:
@@ -87,6 +110,12 @@ class SimulatedHDFS:
     # -- writes ------------------------------------------------------------
     def _new_chunk(self, payload: RecordPayload | ArrayPayload, writer: str | None) -> Chunk:
         cid = f"chunk-{next(self._chunk_counter):06d}"
+        if self._store is not None:
+            # Budgeted mode: the store owns residency; the chunk carries a
+            # stub that answers metadata from hints and pages data in on
+            # demand.  Registering may immediately page older payloads out.
+            self._store.put(cid, payload)
+            payload = self._store.paged_stub(cid, payload)
         return Chunk(cid, payload, replicas=self._place_replicas(writer))
 
     def put_records(
@@ -142,6 +171,68 @@ class SimulatedHDFS:
             )
         self._files[path] = chunks
 
+    def put_trace_stream(
+        self,
+        path: str,
+        arrays: Iterable[TraceArray],
+        writer: str | None = None,
+        record_bytes: int = DEFAULT_RECORD_BYTES,
+    ) -> int:
+        """Write a *stream* of trace-array pieces as one chunked file.
+
+        The out-of-core ingestion path: pieces (e.g. one PLT trajectory
+        each, from :func:`repro.geo.geolife.stream_geolife_trails`) are
+        re-chunked to ``chunk_size`` as they arrive, and under a memory
+        budget each completed chunk can page straight out to disk — so
+        neither the corpus nor more than ~one chunk of it is ever
+        resident.  Chunk boundaries and offsets match what
+        :meth:`put_trace_array` would produce for the concatenated
+        stream.  Returns the number of traces written.
+        """
+        self._check_absent(path)
+        per_chunk = max(1, self.chunk_size // record_bytes)
+        chunks: list[Chunk] = []
+        pending: list[TraceArray] = []
+        pending_rows = 0
+        offset = 0
+
+        def cut(piece_rows: int) -> int:
+            nonlocal pending, pending_rows, offset
+            merged = TraceArray.concatenate(pending)
+            start = 0
+            while len(merged) - start >= piece_rows:
+                # Copy the slice so the chunk owns its rows — a view would
+                # pin the whole merged buffer and defeat paging.
+                piece = merged[start : start + piece_rows].compact()
+                chunks.append(
+                    self._new_chunk(
+                        ArrayPayload(piece, record_bytes, offset=offset), writer
+                    )
+                )
+                offset += len(piece)
+                start += piece_rows
+            pending = [merged[start:].compact()] if start < len(merged) else []
+            pending_rows = len(merged) - start
+            return start
+
+        for array in arrays:
+            if len(array) == 0:
+                continue
+            pending.append(array)
+            pending_rows += len(array)
+            if pending_rows >= per_chunk:
+                cut(per_chunk)
+        if pending_rows or not chunks:
+            merged = TraceArray.concatenate(pending) if pending else TraceArray.empty()
+            chunks.append(
+                self._new_chunk(
+                    ArrayPayload(merged, record_bytes, offset=offset), writer
+                )
+            )
+            offset += len(merged)
+        self._files[path] = chunks
+        return offset
+
     def put_chunks(self, path: str, payloads: Sequence[RecordPayload | ArrayPayload], writer: str | None = None) -> None:
         """Write pre-chunked payloads (used by the runner for job output)."""
         self._check_absent(path)
@@ -175,6 +266,16 @@ class SimulatedHDFS:
     def read_records(self, path: str) -> list[tuple[Any, Any]]:
         """All records of a file, chunk order preserved."""
         return [rec for chunk in self.chunks(path) for rec in chunk.records()]
+
+    def iter_records(self, path: str) -> Iterator[tuple[Any, Any]]:
+        """Stream a file's records chunk by chunk.
+
+        Under a memory budget each chunk rehydrates only while it is
+        being iterated, so a full-file scan stays within ~one chunk of
+        resident memory (the streaming read twin of
+        :meth:`put_trace_stream`)."""
+        for chunk in self.chunks(path):
+            yield from chunk.records()
 
     def read_trace_array(self, path: str) -> TraceArray:
         """All traces of a file as one columnar array."""

@@ -22,7 +22,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.geo.trace import TraceArray
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.config import Configuration
-from repro.mapreduce.counters import Counters, STANDARD
+from repro.mapreduce.counters import Counters
 from repro.mapreduce.types import Chunk, DEFAULT_RECORD_BYTES, estimate_nbytes
 
 __all__ = [

@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-import numpy as np
 
 from repro.geo.trace import TraceArray
 from repro.mapreduce.backends import (
@@ -68,6 +67,7 @@ from repro.mapreduce.shuffle import (
     shuffle,
 )
 from repro.mapreduce.simtime import CostModel, JobTiming
+from repro.mapreduce.spill import MB, SpillManager, SpilledMapOutput, as_pairs
 from repro.mapreduce.types import Chunk
 from repro.observability.events import EventKind, Phase
 from repro.observability.history import JobHistory
@@ -152,6 +152,17 @@ class JobRunner:
         Worker-pool size cap; ``None`` picks the backend default.
         Validated by :class:`~repro.mapreduce.config.MapReduceConfig`
         (zero/negative counts are rejected with a clear error).
+    memory_budget_mb / spill_dir:
+        Out-of-core execution knob (``None`` = unbounded, the default).
+        With a budget, map tasks spill over-budget output worker-side,
+        the shuffle switches to an external merge sort when its buffer
+        exceeds the budget, and spilled reduce partitions are loaded by
+        the reduce attempt where it runs.  Outputs, counters and
+        histories (minus the extra ``spill_*`` events and the reported
+        ``spill_s``) are byte-identical to unbudgeted runs — the budget
+        trades resident memory for local-disk IO, which the cost model
+        charges as overlapped background time.  ``spill_dir`` overrides
+        the private temp directory spill files live in.
     prefer_locality / speculative:
         Scheduler knobs (DESIGN.md locality ablation; straggler
         speculation).
@@ -178,8 +189,14 @@ class JobRunner:
         history: JobHistory | None = None,
         chaos: ChaosSchedule | None = None,
         retry_policy: RetryPolicy | None = None,
+        memory_budget_mb: float | None = None,
+        spill_dir: str | None = None,
     ):
-        self.exec_config = MapReduceConfig(backend=executor, max_workers=max_workers)
+        self.exec_config = MapReduceConfig(
+            backend=executor,
+            max_workers=max_workers,
+            memory_budget_mb=memory_budget_mb,
+        )
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.hdfs = hdfs
@@ -200,6 +217,12 @@ class JobRunner:
         else:
             workers = max_workers or max(self.cluster.total_map_slots(), 1)
         self._backend = create_backend(self.exec_config, workers)
+        self.memory_budget_mb = memory_budget_mb
+        self._spill = (
+            SpillManager(max(1, int(memory_budget_mb * MB)), spill_dir)
+            if memory_budget_mb is not None
+            else None
+        )
         self.prefer_locality = prefer_locality
         self.speculative = speculative
         self.history = history if history is not None else JobHistory()
@@ -215,6 +238,13 @@ class JobRunner:
         them too, but closing promptly avoids lingering worker processes
         between jobs."""
         self._backend.close()
+        if self._spill is not None:
+            self._spill.close()
+
+    @property
+    def spill_stats(self):
+        """Out-of-core activity counters, or ``None`` when unbudgeted."""
+        return self._spill.stats if self._spill is not None else None
 
     def __enter__(self) -> "JobRunner":
         return self
@@ -415,7 +445,7 @@ class JobRunner:
         """Run the combiner over one map task's local output (the same
         pure function backends run worker-side)."""
         return run_combiner(
-            job.combiner, job.conf, self.cache, task_output, task_id, node
+            job.combiner, job.conf, self.cache, as_pairs(task_output), task_id, node
         )
 
     # -- output side -----------------------------------------------------------
@@ -440,6 +470,10 @@ class JobRunner:
         """
         if self.hdfs.exists(job.output_path):
             raise FileExistsError(f"output path exists: {job.output_path}")
+        job_seq = self._spill.next_job() if self._spill is not None else 0
+        spill_spec = (
+            self._spill.worker_spec(job_seq) if self._spill is not None else None
+        )
         chunks = [c for path in job.input_paths for c in self.hdfs.chunks(path)]
         counters = Counters()
         counters.increment(STANDARD.GROUP_SCHEDULER, STANDARD.MAP_TASKS, len(chunks))
@@ -496,6 +530,7 @@ class JobRunner:
                     chaos=self.chaos,
                     scripted=scripted,
                     max_attempts=self.max_attempts,
+                    spill=spill_spec,
                 )
                 for a in primary
             ]
@@ -526,14 +561,27 @@ class JobRunner:
         map_outputs: list[list[tuple[Any, Any]]] = []
         retry_penalty = 0.0
         map_failures: dict[str, list[tuple]] = {}
+        map_spills: list[dict[str, Any]] = []
         for assignment, (output, task_counters, penalty, _, failures) in zip(
             primary, results
         ):
             counters.merge(task_counters)
             retry_penalty += penalty
             map_outputs.append(output)
+            if isinstance(output, SpilledMapOutput):
+                map_spills.append({
+                    "task": assignment.task_id,
+                    "records": output.n_records,
+                    "bytes": output.nbytes,
+                    "write_s": self.cost_model.spill_write_time(output.nbytes),
+                })
+                # Worker-side spills can't reach the driver's counters;
+                # account for them as their handles come back.
+                self._spill.stats.map_spills += 1
+                self._spill.stats.map_spill_bytes += output.nbytes
             if failures:
                 map_failures[assignment.task_id] = failures
+        spill_handles = [o for o in map_outputs if isinstance(o, SpilledMapOutput)]
         if node_loss is not None:
             retry_penalty += node_loss["recovery_s"]
 
@@ -571,19 +619,30 @@ class JobRunner:
             )
 
         if job.map_only:
-            flat = [pair for output in map_outputs for pair in output]
+            flat = [pair for output in map_outputs for pair in as_pairs(output)]
             self._write_output(job.output_path, flat)
-            timing = JobTiming(setup_s, plan.makespan, 0.0, retry_penalty)
+            for handle in spill_handles:
+                handle.delete()
+            spill_s = sum(s["write_s"] for s in map_spills)
+            timing = JobTiming(setup_s, plan.makespan, 0.0, retry_penalty, spill_s)
             self._emit_history(
                 job, len(chunks), plan, map_failures, None, None, None,
                 timing, counters, len(primary), 0,
                 recovery=self._recovery_info(node_loss, [], blacklist),
+                spill=self._spill_info(map_spills, None),
             )
             return JobResult(
                 job.name, job.output_path, counters, timing, plan, len(primary), 0
             )
 
-        sh = shuffle(map_outputs, job.partitioner, job.num_reducers)
+        spiller = (
+            self._spill.shuffle_spiller(job_seq, job.num_reducers, job.partitioner)
+            if self._spill is not None
+            else None
+        )
+        sh = shuffle(map_outputs, job.partitioner, job.num_reducers, spiller=spiller)
+        for handle in spill_handles:
+            handle.delete()
         counters.increment(STANDARD.GROUP_TASK, STANDARD.SHUFFLE_BYTES, sh.shuffled_bytes)
         counters.increment(
             STANDARD.GROUP_SCHEDULER, STANDARD.REDUCE_TASKS, job.num_reducers
@@ -605,16 +664,20 @@ class JobRunner:
         reduce_output: list[tuple[Any, Any]] = []
         reduce_failures: dict[str, list[tuple]] = {}
         if legacy_faults:
+            # Materialize one partition at a time (spilled partitions stay
+            # on disk until their reduce task runs).
             reduce_results = [
-                self._run_reduce_task(job, f"reduce-{r:04d}", groups, blacklist)
-                for r, groups in enumerate(sh.partitions)
+                self._run_reduce_task(
+                    job, f"reduce-{r:04d}", sh.partition(r), blacklist
+                )
+                for r in range(sh.n_reducers)
             ]
         else:
             scripted = self._scripted_set()
             reduce_requests = [
                 ReduceTaskRequest(
                     task_id=f"reduce-{r:04d}",
-                    groups=groups,
+                    groups=sh.raw_partition(r),
                     reducer=job.reducer,
                     conf=job.conf,
                     cache=self.cache,
@@ -622,7 +685,7 @@ class JobRunner:
                     scripted=scripted,
                     max_attempts=self.max_attempts,
                 )
-                for r, groups in enumerate(sh.partitions)
+                for r in range(sh.n_reducers)
             ]
             outcomes = self._backend.run_reduce_tasks(reduce_requests)
             alive = [
@@ -648,6 +711,7 @@ class JobRunner:
                 for failure in r_failed:
                     backoff = float(failure[4]) if len(failure) > 4 else 0.0
                     retry_penalty += duration + backoff
+        sh.release()
 
         blacklisted_now = sorted(blacklist.nodes())
         if len(blacklisted_now) > len(blacklisted):
@@ -667,11 +731,22 @@ class JobRunner:
             node_slowdown=slowdown,
         )
         self._write_output(job.output_path, reduce_output)
-        timing = JobTiming(setup_s, plan.makespan, reduce_makespan, retry_penalty)
+        spill_info = self._spill_info(map_spills, sh)
+        spill_s = (
+            sum(s["write_s"] for s in spill_info["map"])
+            + sum(s["write_s"] for s in spill_info["runs"])
+            + sum(s["read_s"] for s in spill_info["merges"])
+            if spill_info is not None
+            else 0.0
+        )
+        timing = JobTiming(
+            setup_s, plan.makespan, reduce_makespan, retry_penalty, spill_s
+        )
         self._emit_history(
             job, len(chunks), plan, map_failures, sh, reduce_placements,
             reduce_failures, timing, counters, len(primary), job.num_reducers,
             recovery=self._recovery_info(node_loss, refetches, blacklist),
+            spill=spill_info,
         )
         return JobResult(
             job.name,
@@ -817,6 +892,27 @@ class JobRunner:
                 ))
         return refetches
 
+    def _spill_info(
+        self, map_spills: list[dict[str, Any]], sh
+    ) -> dict[str, list[dict[str, Any]]] | None:
+        """Bundle spill facts for history emission, with IO costs priced
+        by the cost model; ``None`` when nothing spilled, so unbudgeted
+        (and under-budget) histories stay byte-identical."""
+        runs: list[dict[str, Any]] = []
+        merges: list[dict[str, Any]] = []
+        if sh is not None and sh.spilled:
+            runs = [
+                dict(ev, write_s=self.cost_model.spill_write_time(ev["bytes"]))
+                for ev in sh.spill_runs
+            ]
+            merges = [
+                dict(ev, read_s=self.cost_model.spill_read_time(ev["bytes"]))
+                for ev in sh.spill_merges
+            ]
+        if not map_spills and not runs:
+            return None
+        return {"map": map_spills, "runs": runs, "merges": merges}
+
     @staticmethod
     def _recovery_info(
         node_loss: dict[str, Any] | None,
@@ -847,6 +943,7 @@ class JobRunner:
         n_map_tasks: int,
         n_reduce_tasks: int,
         recovery: dict[str, Any] | None = None,
+        spill: dict[str, list[dict[str, Any]]] | None = None,
     ) -> None:
         """Emit the job's full event stream onto the cumulative sim clock.
 
@@ -913,6 +1010,23 @@ class JobRunner:
                     nbytes=nl["heal_bytes"],
                     rereplicate_s=nl["rereplicate_s"],
                 )
+        if spill is not None:
+            # Spill IO happens on Hadoop's background spill thread while
+            # the map phase runs; everything is stamped at the phase end
+            # (the simulated clock has no per-task sub-timeline for it).
+            ts = t_map + timing.map_s
+            for s in spill["map"]:
+                h.emit(
+                    EventKind.SPILL_START, job.name, ts, task=s["task"],
+                    source="map", records=s["records"], bytes=s["bytes"],
+                    write_s=s["write_s"],
+                )
+            for s in spill["runs"]:
+                h.emit(
+                    EventKind.SPILL_START, job.name, ts, task="shuffle",
+                    source="shuffle", run=s["run"], records=s["records"],
+                    bytes=s["bytes"], write_s=s["write_s"],
+                )
         h.emit(
             EventKind.PHASE_FINISH, job.name, t_map + timing.map_s,
             phase=Phase.MAP, duration_s=timing.map_s,
@@ -920,6 +1034,14 @@ class JobRunner:
         if sh is not None:
             t_reduce = t_map + timing.map_s
             emit_shuffle_events(h, job.name, sh, t_reduce)
+            if spill is not None:
+                for s in spill["merges"]:
+                    h.emit(
+                        EventKind.SPILL_MERGE, job.name, t_reduce,
+                        task=f"reduce-{s['partition']:04d}", runs=s["runs"],
+                        records=s["records"], groups=s["groups"],
+                        bytes=s["bytes"], read_s=s["read_s"],
+                    )
             if recovery is not None:
                 emit_shuffle_refetch_events(
                     h, job.name, recovery["refetches"], t_reduce
@@ -957,6 +1079,10 @@ class JobRunner:
                 "reduce_s": timing.reduce_s,
                 "retry_penalty_s": timing.retry_penalty_s,
                 "total_s": timing.total_s,
+                # Background spill IO, excluded from total_s; keyed only
+                # when spilling happened so unbudgeted histories don't
+                # change shape.
+                **({"spill_s": timing.spill_s} if timing.spill_s else {}),
             },
             counters=counters.to_dict(),
             n_map_tasks=n_map_tasks,

@@ -17,7 +17,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.mapreduce.cluster import ClusterSpec, Node
+from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.counters import Counters, STANDARD
 from repro.mapreduce.failures import MAX_TASK_ATTEMPTS, emit_attempt_failures
 from repro.mapreduce.types import Chunk

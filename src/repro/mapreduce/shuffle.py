@@ -18,6 +18,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.mapreduce.job import ConstantKeyPartitioner, HashPartitioner, Partitioner
+from repro.mapreduce.spill import ShuffleSpiller, SpilledPartition, as_groups, as_pairs
 from repro.mapreduce.types import estimate_nbytes
 
 __all__ = [
@@ -48,30 +49,43 @@ def _gc_paused() -> Iterator[None]:
             gc.enable()
 
 
-def _sort_key(key: Any) -> tuple[str, repr]:
-    """Total order over heterogeneous keys: type name first, then repr.
+def _sort_key(key: Any) -> tuple[str, str, Any]:
+    """Total order over heterogeneous keys: numbers first, then type/repr.
 
-    Hadoop sorts by serialized key bytes; repr-of-key is the analogous
-    deterministic order for arbitrary Python keys and keeps numeric keys
-    of one type in natural order via a numeric fast path below.
+    Hadoop sorts by serialized key bytes; for arbitrary Python keys the
+    analogous deterministic order is (type name, repr) — except numbers,
+    which repr-ordering would sort lexicographically ("10.0" < "2.0").
+    All real numbers share one bucket (tagged with a NUL so it sorts
+    before every type name) and order by numeric value, matching the
+    natural order the homogeneous fast paths produce.  The third tuple
+    slot carries the number; for non-numbers it is a constant so tuples
+    never compare a number against a string.
     """
-    return (type(key).__name__, repr(key))
+    if isinstance(key, (int, float)):
+        return ("\x00number", "", key)
+    return (type(key).__name__, repr(key), 0)
 
 
 def _key_array(keys: list[Any]) -> np.ndarray | None:
-    """Homogeneous int/str keys as a sortable NumPy array, else ``None``.
+    """Homogeneous int/float/str keys as a sortable NumPy array, else ``None``.
 
     The array must reproduce Python's comparison semantics exactly:
 
     * ``bool`` is excluded (``True`` and ``1`` are the *same* dict key in
       the generic path, but distinct int64 values here);
     * ints beyond int64 overflow and fall back;
+    * floats qualify unless any is NaN — ``np.argsort`` sorts NaN to the
+      end while Python's ``sorted`` leaves it wherever comparisons stop
+      moving it, so NaN streams fall back to the generic path (``-0.0``
+      and ``0.0`` are safe: equal, hence grouped, on both paths);
+    * mixed ``{int, float}`` falls back — a float64 cast of a large int
+      can collide with a neighbouring float that is a *distinct* dict key;
     * strings containing NUL fall back — NumPy's fixed-width unicode
       dtype pads with NUL, so ``"a"`` and ``"a\\x00"`` would collide.
     Otherwise NumPy's codepoint-wise ``<U`` comparison matches Python's
-    ``str`` ordering and int64 matches int ordering.  The homogeneity
-    check runs as one C-level ``set(map(type, ...))`` pass, not a Python
-    loop — this sits on the million-record shuffle hot path.
+    ``str`` ordering and int64/float64 match int/float ordering.  The
+    homogeneity check runs as one C-level ``set(map(type, ...))`` pass,
+    not a Python loop — this sits on the million-record shuffle hot path.
     """
     kinds = set(map(type, keys))
     if kinds == {int}:
@@ -79,6 +93,11 @@ def _key_array(keys: list[Any]) -> np.ndarray | None:
             return np.array(keys, dtype=np.int64)
         except OverflowError:
             return None
+    if kinds == {float}:
+        arr = np.array(keys, dtype=np.float64)
+        if np.isnan(arr).any():
+            return None
+        return arr
     if kinds == {str}:
         if any("\x00" in k for k in keys):
             return None
@@ -141,7 +160,7 @@ def group_sorted(pairs: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
     ordering promise for values; arrival order keeps runs deterministic
     because map outputs are concatenated in task order).
 
-    Homogeneous int/str key streams take a vectorized stable-argsort
+    Homogeneous int/float/str key streams take a vectorized stable-argsort
     path; anything else uses the generic dict-and-sort.  Both produce
     identical output (``tests/mapreduce/test_shuffle_fastpath.py``).
     """
@@ -183,50 +202,151 @@ def _fnv1a_int_hashes(arr: np.ndarray) -> np.ndarray:
 
 
 class ShuffleResult:
-    """Outcome of a shuffle: per-reducer key groups plus byte accounting."""
+    """Outcome of a shuffle: per-reducer key groups plus byte accounting.
+
+    Partitions are either in-memory group lists or, after an external
+    (spilled) shuffle, :class:`~repro.mapreduce.spill.SpilledPartition`
+    handles whose groups stay on disk until a reduce task loads them.
+    Metadata queries (:meth:`records_for`, :meth:`groups_for`,
+    ``partition_bytes``) never touch disk; :attr:`partitions` and
+    :meth:`partition` materialize.
+    """
 
     def __init__(
         self,
-        partitions: list[list[tuple[Any, list[Any]]]],
+        partitions: list[list[tuple[Any, list[Any]]] | SpilledPartition],
         shuffled_bytes: int,
         partition_bytes: list[int] | None = None,
     ):
-        self.partitions = partitions
+        self._partitions = partitions
         self.shuffled_bytes = shuffled_bytes
         self.partition_bytes = (
             partition_bytes if partition_bytes is not None else [0] * len(partitions)
         )
+        #: Per-run / per-merge facts of the external path (empty when the
+        #: shuffle ran in memory); the runner turns these into
+        #: ``spill_start`` / ``spill_merge`` history events.
+        self.spill_runs: list[dict[str, int]] = []
+        self.spill_merges: list[dict[str, int]] = []
+
+    @property
+    def partitions(self) -> list[list[tuple[Any, list[Any]]]]:
+        """Every partition's groups, materialized (loads spilled ones)."""
+        return [as_groups(p) for p in self._partitions]
+
+    @property
+    def spilled(self) -> bool:
+        return bool(self.spill_runs)
 
     @property
     def n_reducers(self) -> int:
-        return len(self.partitions)
+        return len(self._partitions)
+
+    def partition(self, r: int) -> list[tuple[Any, list[Any]]]:
+        """One partition's groups, materialized."""
+        return as_groups(self._partitions[r])
+
+    def raw_partition(self, r: int) -> "list[tuple[Any, list[Any]]] | SpilledPartition":
+        """One partition as stored — a spill handle stays a handle, so it
+        can cross to a worker process without shipping the data."""
+        return self._partitions[r]
 
     def records_for(self, partition: int) -> int:
-        return sum(len(values) for _, values in self.partitions[partition])
+        p = self._partitions[partition]
+        if isinstance(p, SpilledPartition):
+            return p.n_records
+        return sum(len(values) for _, values in p)
+
+    def groups_for(self, partition: int) -> int:
+        p = self._partitions[partition]
+        if isinstance(p, SpilledPartition):
+            return p.n_groups
+        return len(p)
+
+    def release(self) -> None:
+        """Delete spilled partition files (call once reducers are done)."""
+        for p in self._partitions:
+            if isinstance(p, SpilledPartition):
+                p.delete()
 
 
 def shuffle(
     map_outputs: Sequence[list[tuple[Any, Any]]],
     partitioner: Partitioner,
     n_reducers: int,
+    spiller: ShuffleSpiller | None = None,
 ) -> ShuffleResult:
     """Partition, transfer and sort the map outputs.
 
     ``map_outputs`` is one list of (key, value) pairs per completed map
-    task, in task order.  Returns sorted, grouped input per reduce task and
-    the total modelled bytes crossing the network.
+    task, in task order (entries may be
+    :class:`~repro.mapreduce.spill.SpilledMapOutput` handles when a worker
+    spilled its output under a memory budget).  Returns sorted, grouped
+    input per reduce task and the total modelled bytes crossing the
+    network.
 
     Known partitioners over homogeneous key streams dispatch to a
     vectorized path (argsort grouping, FNV hashing in NumPy); custom
-    partitioners and mixed keys take the per-record generic loop.  Both
-    produce identical :class:`ShuffleResult` contents.
+    partitioners and mixed keys take the per-record generic loop.  With a
+    ``spiller`` (memory-budgeted runs), an external merge sort takes over
+    once the in-flight buffer exceeds the budget.  All paths produce
+    identical :class:`ShuffleResult` contents.
     """
     if n_reducers < 1:
         raise ValueError("n_reducers must be >= 1")
+    if spiller is not None:
+        external = _shuffle_external(map_outputs, spiller)
+        if external is not None:
+            return external
     fast = _shuffle_fast(map_outputs, partitioner, n_reducers)
     if fast is not None:
         return fast
     return _shuffle_generic(map_outputs, partitioner, n_reducers)
+
+
+def _shuffle_external(
+    map_outputs: Sequence[list[tuple[Any, Any]]],
+    spiller: ShuffleSpiller,
+) -> ShuffleResult | None:
+    """Memory-budgeted external merge-sort shuffle, or ``None`` when the
+    in-memory paths should run instead.
+
+    Feeds map outputs through the spiller in task order, cutting a stably
+    sorted run to disk whenever the buffer exceeds the budget, then k-way
+    merges the runs per partition.  Because each run covers a contiguous
+    arrival window and both the per-run sort and ``heapq.merge`` are
+    stable, equal keys come out in arrival order — the same groups, in the
+    same order, as the in-memory paths.
+
+    Returns ``None`` when nothing actually spilled (everything fit in the
+    budget) or when the key stream is unsortable *and* no run was cut yet
+    — in both cases the ordinary paths handle the original outputs.  If
+    keys turn unsortable *after* runs exist, the spilled records are
+    reloaded in arrival order and regrouped in memory (correctness over
+    budget — mirroring real Hadoop, where unsortable keys are simply a
+    job error).
+    """
+    for task_output in map_outputs:
+        spiller.feed(as_pairs(task_output))
+        if spiller.disabled and not spiller.runs:
+            # Unsortable keys before any run was cut: the original outputs
+            # are intact, so skip straight to the in-memory paths.
+            return None
+    if spiller.disabled:
+        pairs = spiller.fallback_pairs()
+        return _shuffle_generic([pairs], spiller.partitioner, spiller.n_reducers)
+    spiller.finish()
+    if not spiller.spilled():
+        return None  # everything fit in the budget; no external state
+    partitions, merge_events = spiller.merge()
+    result = ShuffleResult(
+        partitions,
+        sum(spiller.partition_bytes),
+        list(spiller.partition_bytes),
+    )
+    result.spill_runs = list(spiller.run_events)
+    result.spill_merges = merge_events
+    return result
 
 
 def _shuffle_generic(
@@ -238,7 +358,7 @@ def _shuffle_generic(
     buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(n_reducers)]
     partition_bytes = [0] * n_reducers
     for task_output in map_outputs:
-        for key, value in task_output:
+        for key, value in as_pairs(task_output):
             part = partitioner.partition(key, n_reducers)
             if not 0 <= part < n_reducers:
                 raise ValueError(
@@ -270,7 +390,7 @@ def _shuffle_fast(
         return None
     flat: list[tuple[Any, Any]] = []
     for task_output in map_outputs:
-        flat.extend(task_output)
+        flat.extend(as_pairs(task_output))
     if not flat:
         return _shuffle_generic(map_outputs, partitioner, n_reducers)
     keys = list(map(operator.itemgetter(0), flat))
@@ -343,7 +463,7 @@ def emit_shuffle_events(history, job_name: str, result: ShuffleResult, ts: float
             reducer=f"reduce-{r:04d}",
             bytes=result.partition_bytes[r],
             records=result.records_for(r),
-            groups=len(result.partitions[r]),
+            groups=result.groups_for(r),
         )
 
 

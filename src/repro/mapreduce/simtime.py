@@ -78,6 +78,11 @@ class CostModel:
     #: Cost per MB a reducer re-fetches after a failed shuffle fetch (the
     #: retry reads from a surviving replica / re-executed map's output).
     shuffle_refetch_s_per_mb: float = 0.02
+    #: Local-disk write cost per MB of spilled run data (memory-budgeted
+    #: runs; sequential local writes, cheaper than network shuffle).
+    spill_write_s_per_mb: float = 0.008
+    #: Local-disk read cost per MB merged back from spilled runs.
+    spill_read_s_per_mb: float = 0.005
 
     @property
     def map_cost_s_per_mb(self) -> float:
@@ -116,23 +121,41 @@ class CostModel:
         """Cost of one reducer re-fetching ``nbytes`` of map output."""
         return (nbytes / MB_F) * self.shuffle_refetch_s_per_mb
 
+    def spill_write_time(self, nbytes: int) -> float:
+        """Cost of writing ``nbytes`` of spill data to local disk."""
+        return (nbytes / MB_F) * self.spill_write_s_per_mb
+
+    def spill_read_time(self, nbytes: int) -> float:
+        """Cost of reading ``nbytes`` of spill data back during a merge."""
+        return (nbytes / MB_F) * self.spill_read_s_per_mb
+
 
 @dataclass
 class JobTiming:
-    """Breakdown of one job's simulated duration."""
+    """Breakdown of one job's simulated duration.
+
+    ``spill_s`` is the simulated local-disk IO of memory-budget spills
+    (run writes + merge reads).  Hadoop performs these on a background
+    spill thread overlapped with map compute, so it is reported but
+    **excluded** from ``total_s`` — a budgeted run finishes at the same
+    simulated instant as an unbudgeted one, which is what keeps job
+    histories comparable across budgets.
+    """
 
     setup_s: float
     map_s: float
     reduce_s: float
     retry_penalty_s: float = 0.0
+    spill_s: float = 0.0
 
     @property
     def total_s(self) -> float:
         return self.setup_s + self.map_s + self.reduce_s + self.retry_penalty_s
 
     def __repr__(self) -> str:
+        spill = f", spill={self.spill_s:.1f}" if self.spill_s else ""
         return (
             f"JobTiming(total={self.total_s:.1f}s: setup={self.setup_s:.1f}, "
             f"map={self.map_s:.1f}, reduce={self.reduce_s:.1f}, "
-            f"retries={self.retry_penalty_s:.1f})"
+            f"retries={self.retry_penalty_s:.1f}{spill})"
         )

@@ -18,22 +18,35 @@ faithful text path:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.algorithms.sampling import SamplingTechnique
 from repro.geo.geolife import format_plt_line, parse_plt_line
-from repro.geo.trace import GeolocatedDataset, MobilityTrace, TraceArray
+from repro.geo.trace import GeolocatedDataset, MobilityTrace, Trail, TraceArray
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import JobSpec, MapContext, Mapper
 from repro.mapreduce.runner import JobResult, JobRunner
 
 __all__ = [
     "put_geolife_text",
+    "put_geolife_text_stream",
     "read_geolife_text",
     "GeoLifeTextMapper",
     "TextSamplingMapper",
     "run_text_sampling_job",
 ]
+
+
+def _array_lines(array: TraceArray) -> Iterator[tuple[str, str]]:
+    users = array.user_ids()
+    for i in range(len(array)):
+        line = format_plt_line(
+            float(array.latitude[i]),
+            float(array.longitude[i]),
+            float(array.altitude[i]),
+            float(array.timestamp[i]),
+        )
+        yield str(users[i]), line
 
 
 def put_geolife_text(
@@ -46,28 +59,47 @@ def put_geolife_text(
 
     Unlike the array path, chunk sizes here reflect the genuine text
     length of each line (~64 bytes), matching the paper's on-disk model.
+    For corpora that must never be fully resident, feed
+    :func:`put_geolife_text_stream` from
+    :func:`repro.geo.geolife.stream_geolife_trails` instead.
     """
     array = dataset.flat() if isinstance(dataset, GeolocatedDataset) else dataset
-    users = array.user_ids()
+    hdfs.put_records(path, _array_lines(array), writer=writer)
 
-    def lines():
-        for i in range(len(array)):
-            line = format_plt_line(
-                float(array.latitude[i]),
-                float(array.longitude[i]),
-                float(array.altitude[i]),
-                float(array.timestamp[i]),
-            )
-            yield str(users[i]), line
+
+def put_geolife_text_stream(
+    hdfs: SimulatedHDFS,
+    path: str,
+    trails: Iterable[Trail],
+    writer: str | None = None,
+) -> int:
+    """Upload a stream of trails as text records, one trajectory resident
+    at a time.
+
+    The streaming twin of :func:`put_geolife_text`: records flow straight
+    from each trail into the namenode's chunk cutter, and under a memory
+    budget each completed chunk pages out before the next trajectory is
+    even read — end-to-end ingestion of a dataset larger than RAM.
+    Returns the number of traces written.
+    """
+    count = 0
+
+    def lines() -> Iterator[tuple[str, str]]:
+        nonlocal count
+        for trail in trails:
+            for record in _array_lines(trail.traces):
+                count += 1
+                yield record
 
     hdfs.put_records(path, lines(), writer=writer)
+    return count
 
 
 def read_geolife_text(hdfs: SimulatedHDFS, path: str) -> TraceArray:
     """Read a text file written by :func:`put_geolife_text` (or produced
     by a text job) back into a columnar array."""
     traces = []
-    for user, line in hdfs.read_records(path):
+    for user, line in hdfs.iter_records(path):
         lat, lon, alt, ts = parse_plt_line(line)
         traces.append(MobilityTrace(str(user), lat, lon, ts, alt))
     return TraceArray.from_traces(traces)

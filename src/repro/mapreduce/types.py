@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import pickle
 import sys
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -30,6 +30,8 @@ __all__ = [
     "estimate_nbytes",
     "RecordPayload",
     "ArrayPayload",
+    "PagedPayload",
+    "concrete_payload",
     "Chunk",
     "record_stream",
     "DEFAULT_RECORD_BYTES",
@@ -51,7 +53,13 @@ def estimate_nbytes(value: Any) -> int:
     if isinstance(value, np.ndarray):
         return int(value.nbytes)
     if isinstance(value, TraceArray):
-        return len(value) * DEFAULT_RECORD_BYTES
+        # Actual columnar footprint (packed rows + user side table), not a
+        # flat per-record guess: a TraceArray crossing the shuffle moves
+        # its 36-byte packed rows, and pricing them at DEFAULT_RECORD_BYTES
+        # (the *text* record size) overstated transfer by ~78%.
+        return value.data_nbytes + sum(
+            len(u.encode("utf-8", errors="replace")) for u in value.users
+        )
     if isinstance(value, (bytes, bytearray)):
         return len(value)
     if isinstance(value, str):
@@ -110,6 +118,52 @@ class ArrayPayload:
 
 
 @dataclass
+class PagedPayload:
+    """A payload stub whose contents live in a budgeted store until read.
+
+    Under ``mapreduce.memory_budget_mb`` the namenode keeps chunk
+    payloads in a :class:`~repro.mapreduce.spill.PayloadStore` that pages
+    them to disk LRU-style; chunks then carry this stub instead of the
+    data.  The stub answers every *metadata* question (record count,
+    modelled bytes) from hints captured at write time — so scheduling and
+    cost modelling never touch disk — and forwards *data* access through
+    ``load`` (which rehydrates and re-pins the payload in the store).
+    Holders of the stub must not cache the loaded payload beyond one
+    task's processing, or the budget stops meaning anything.
+    """
+
+    load: Callable[[], "RecordPayload | ArrayPayload"]
+    kind: str  # "records" or "array"
+    n_records_hint: int
+    nbytes_hint: int
+    record_bytes: int = 0
+    offset: int = 0
+
+    @property
+    def n_records(self) -> int:
+        return self.n_records_hint
+
+    def nbytes(self) -> int:
+        return self.nbytes_hint
+
+    def iter_records(self) -> Iterator[tuple[Any, Any]]:
+        return self.load().iter_records()
+
+    def materialize(self) -> "RecordPayload | ArrayPayload":
+        """The concrete payload (rehydrated from disk if paged out)."""
+        return self.load()
+
+
+def concrete_payload(
+    payload: "RecordPayload | ArrayPayload | PagedPayload",
+) -> "RecordPayload | ArrayPayload":
+    """``payload`` with any paging indirection removed."""
+    if isinstance(payload, PagedPayload):
+        return payload.materialize()
+    return payload
+
+
+@dataclass
 class Chunk:
     """One HDFS chunk: payload plus the metadata the control plane needs.
 
@@ -119,7 +173,7 @@ class Chunk:
     """
 
     chunk_id: str
-    payload: RecordPayload | ArrayPayload
+    payload: RecordPayload | ArrayPayload | PagedPayload
     replicas: tuple[str, ...] = ()
 
     @property
@@ -139,11 +193,12 @@ class Chunk:
         Record payloads whose values are :class:`MobilityTrace` objects are
         converted; anything else raises ``TypeError``.
         """
-        if isinstance(self.payload, ArrayPayload):
-            return self.payload.array
+        payload = concrete_payload(self.payload)
+        if isinstance(payload, ArrayPayload):
+            return payload.array
         from repro.geo.trace import MobilityTrace
 
-        values = [v for _, v in self.payload.records]
+        values = [v for _, v in payload.records]
         if not all(isinstance(v, MobilityTrace) for v in values):
             raise TypeError(f"chunk {self.chunk_id} does not hold traces")
         return TraceArray.from_traces(values)

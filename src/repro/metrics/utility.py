@@ -14,7 +14,6 @@ Three complementary views:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -82,6 +82,15 @@ class EventKind:
     #: died and the re-executed map's output was read from a surviving
     #: replica); data: bytes, refetch_s, reason.
     SHUFFLE_REFETCH = "shuffle_refetch"
+    #: The memory budget forced data to local disk: a map task spilled
+    #: its output worker-side (``source="map"``; data: records, bytes,
+    #: write_s) or the shuffle cut one sorted run (``source="shuffle"``;
+    #: data: run, records, bytes, write_s).  Only budgeted runs emit
+    #: these; they never change job outputs or counters.
+    SPILL_START = "spill_start"
+    #: The external shuffle k-way merged one reduce partition's spilled
+    #: runs; data: runs, records, groups, bytes, read_s.
+    SPILL_MERGE = "spill_merge"
 
     @classmethod
     def all(cls) -> tuple[str, ...]:

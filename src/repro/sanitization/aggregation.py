@@ -12,7 +12,6 @@ coordinate" (Section VIII).  Two mechanisms:
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

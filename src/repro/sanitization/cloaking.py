@@ -16,8 +16,6 @@ pipeline performs dataset-side.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,7 +21,6 @@ the tests assert.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -9,7 +9,6 @@ from repro.algorithms.kmeans import (
     run_kmeans_mapreduce,
 )
 from repro.geo.trace import TraceArray
-from repro.mapreduce.counters import STANDARD
 
 
 def three_blobs(n_per=100, seed=0):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.attacks.prediction import PredictionReport, evaluate_next_place_prediction
-from repro.geo.trace import TraceArray
 
 from tests.attacks.test_mmc import POIS, _trail_visiting
 

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.geo.trace import Trail, TraceArray
-from repro.geo.trajectory import Stay, Trip, segment_trail, stays_as_array
+from repro.geo.trace import TraceArray
+from repro.geo.trajectory import Stay, segment_trail, stays_as_array
 
 
 def _build(segments, user="u"):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geo.distance import haversine_m
-from repro.index.rtree import DEFAULT_MAX_ENTRIES, Rect, RTree
+from repro.index.rtree import Rect, RTree
 
 from tests.conftest import city_points
 

@@ -13,7 +13,6 @@ from repro import Gepeto
 from repro.algorithms.djcluster import DJClusterParams
 from repro.algorithms.sampling import run_sampling_job
 from repro.attacks.poi import extract_pois, label_home_work
-from repro.geo.distance import haversine_m
 from repro.metrics.privacy import poi_recovery
 from repro.metrics.utility import utility_report
 from repro.sanitization import GaussianMask

@@ -57,7 +57,7 @@ class TestSamplingEquivalence:
 class TestPreprocessingEquivalence:
     def test_pipeline_equals_sequential_filters(self, sampled_data, single_chunk_runner):
         params = DJClusterParams()
-        result = run_preprocessing_pipeline(
+        run_preprocessing_pipeline(
             single_chunk_runner, "traces", params, workdir="w"
         )
         hdfs = single_chunk_runner.hdfs

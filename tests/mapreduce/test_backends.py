@@ -16,7 +16,6 @@ from repro.mapreduce.backends import (
 )
 from repro.mapreduce.cluster import paper_cluster
 from repro.mapreduce.config import BACKENDS, MapReduceConfig
-from repro.mapreduce.counters import STANDARD
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import JobSpec, Mapper, Reducer
 from repro.mapreduce.runner import JobRunner

@@ -9,7 +9,6 @@ from repro.mapreduce.counters import STANDARD
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import JobSpec, Mapper, Reducer
 from repro.mapreduce.runner import JobRunner
-from repro.mapreduce.types import Chunk
 
 
 class WordCountMapper(Mapper):

@@ -1,6 +1,5 @@
 """Unit tests for the jobtracker scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.mapreduce.cluster import ClusterSpec, Node, paper_cluster
@@ -91,7 +90,7 @@ class TestMakespan:
     def test_negative_duration_rejected(self):
         cluster = paper_cluster(2)
         with pytest.raises(ValueError):
-            plan_map_phase([_chunk("c", [])], cluster, lambda c, l: -1.0)
+            plan_map_phase([_chunk("c", [])], cluster, lambda c, loc: -1.0)
 
     def test_empty_chunk_list(self):
         plan = plan_map_phase([], paper_cluster(2), _flat_time)

@@ -39,6 +39,9 @@ def _assert_same_result(got, want):
         ["b", "a", "ab", "abc", "", "a", "b"],
         ["same"] * 5,
         list(range(50, -50, -1)) * 3,
+        [10.0, 2.0, -0.5, 2.0, 10.0],  # floats sort numerically, not by repr
+        [0.0, -0.0, 1.0],  # equal under ==, one group on both paths
+        [float("inf"), float("-inf"), 0.0],
     ],
 )
 def test_group_sorted_fast_matches_generic(keys):
@@ -54,7 +57,8 @@ def test_group_sorted_fast_matches_generic(keys):
         [2**70, 1],  # beyond int64
         [np.int64(1), np.int64(2)],  # numpy scalars are not int
         ["a", "a\x00"],  # NUL would collide in fixed-width unicode
-        [1.5, 0.5],  # floats stay generic
+        [1.5, float("nan"), 0.5],  # NaN breaks the total order
+        [1, 2.5],  # mixed int/float could collide in float64
         [(1, 2), (0, 1)],  # tuples stay generic
     ],
 )

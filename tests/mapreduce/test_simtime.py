@@ -4,7 +4,7 @@ import pytest
 
 from repro.mapreduce.scheduler import Locality
 from repro.mapreduce.simtime import CostModel, JobTiming, MB_F
-from repro.mapreduce.types import ArrayPayload, Chunk, RecordPayload
+from repro.mapreduce.types import ArrayPayload, Chunk
 
 import numpy as np
 

@@ -1,0 +1,267 @@
+"""Unit tests for the out-of-core machinery (``repro.mapreduce.spill``).
+
+The contract under test everywhere: a memory budget changes *where data
+lives*, never *what is computed* — paged chunks rehydrate byte-identical,
+an externally sorted shuffle groups exactly like the in-memory one, and
+spilled map outputs reload exactly what was emitted.
+"""
+
+import pickle
+
+import pytest
+
+from repro.mapreduce.bench import synthetic_corpus
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import MB, SimulatedHDFS
+from repro.mapreduce.job import HashPartitioner
+from repro.mapreduce.spill import (
+    PayloadStore,
+    ShuffleSpiller,
+    SpillDirectory,
+    SpillManager,
+    SpillStats,
+    WorkerSpillSpec,
+    as_groups,
+    as_pairs,
+    spill_map_output,
+)
+from repro.mapreduce.shuffle import shuffle
+from repro.mapreduce.types import RecordPayload
+
+
+def _payload(n, tag="k"):
+    return RecordPayload([(f"{tag}{i}", i) for i in range(n)])
+
+
+class TestSpillDirectory:
+    def test_new_paths_never_repeat(self, tmp_path):
+        d = SpillDirectory(tmp_path / "s")
+        paths = {d.new_path("run") for _ in range(10)}
+        assert len(paths) == 10
+
+    def test_cleanup_removes_tree_and_is_idempotent(self, tmp_path):
+        d = SpillDirectory(tmp_path / "s")
+        p = d.new_path("run")
+        p.write_bytes(b"x")
+        d.cleanup()
+        assert not (tmp_path / "s").exists()
+        d.cleanup()  # no error
+
+
+class TestPayloadStore:
+    def test_under_budget_nothing_pages(self, tmp_path):
+        store = PayloadStore(10 * MB, SpillDirectory(tmp_path / "s"))
+        store.put("c0", _payload(5))
+        assert store.stats.pages_out == 0
+        assert store.get("c0").records == _payload(5).records
+
+    def test_over_budget_pages_lru_and_rehydrates(self, tmp_path):
+        payloads = [_payload(50, tag=f"t{i}-") for i in range(4)]
+        budget = payloads[0].nbytes() * 2 + 1
+        store = PayloadStore(budget, SpillDirectory(tmp_path / "s"))
+        for i, p in enumerate(payloads):
+            store.put(f"c{i}", p)
+        assert store.stats.pages_out > 0
+        assert store.resident_bytes <= budget
+        # Every chunk — paged or resident — reads back byte-identical.
+        for i, p in enumerate(payloads):
+            assert store.get(f"c{i}").records == p.records
+        assert store.stats.pages_in > 0
+
+    def test_get_repins_to_mru(self, tmp_path):
+        a, b, c = (_payload(50, tag=t) for t in ("a", "b", "c"))
+        budget = a.nbytes() * 2 + 1
+        store = PayloadStore(budget, SpillDirectory(tmp_path / "s"))
+        store.put("a", a)
+        store.put("b", b)
+        store.get("a")  # now MRU; "b" is the eviction victim
+        store.put("c", c)
+        assert "a" in store._resident and "b" not in store._resident
+
+    def test_at_least_one_resident(self, tmp_path):
+        store = PayloadStore(1, SpillDirectory(tmp_path / "s"))
+        store.put("big", _payload(100))
+        assert len(store._resident) == 1
+
+    def test_duplicate_put_rejected(self, tmp_path):
+        store = PayloadStore(MB, SpillDirectory(tmp_path / "s"))
+        store.put("c", _payload(1))
+        with pytest.raises(ValueError, match="already registered"):
+            store.put("c", _payload(1))
+
+    def test_unknown_chunk_raises(self, tmp_path):
+        store = PayloadStore(MB, SpillDirectory(tmp_path / "s"))
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_paged_stub_refuses_to_pickle(self, tmp_path):
+        store = PayloadStore(MB, SpillDirectory(tmp_path / "s"))
+        payload = _payload(3)
+        store.put("c", payload)
+        stub = store.paged_stub("c", payload)
+        assert stub.materialize().records == payload.records
+        with pytest.raises(pickle.PicklingError, match="process boundary"):
+            pickle.dumps(stub)
+
+
+class TestMapOutputSpill:
+    def test_round_trip(self, tmp_path):
+        spec = WorkerSpillSpec(str(tmp_path), threshold_bytes=1, prefix="j1")
+        output = [(i % 3, f"v{i}") for i in range(20)]
+        handle = spill_map_output(spec, "map-0000", output, 640)
+        assert handle.n_records == 20 and handle.nbytes == 640
+        assert as_pairs(handle) == output
+        handle.delete()
+        assert as_pairs(output) is output  # lists pass through untouched
+        handle.delete()  # idempotent
+
+
+def _reference(map_outputs, n_reducers):
+    sh = shuffle(map_outputs, HashPartitioner(), n_reducers)
+    return [sh.partition(r) for r in range(n_reducers)], sh
+
+
+def _spilled(map_outputs, n_reducers, budget_bytes, tmp_path):
+    spiller = ShuffleSpiller(
+        budget_bytes, SpillDirectory(tmp_path / "sp"), n_reducers,
+        HashPartitioner(), SpillStats(),
+    )
+    sh = shuffle(map_outputs, HashPartitioner(), n_reducers, spiller=spiller)
+    return [sh.partition(r) for r in range(n_reducers)], sh
+
+
+class TestShuffleSpillerEquivalence:
+    @pytest.mark.parametrize("n_reducers", [1, 3])
+    def test_int_keys_identical(self, tmp_path, n_reducers):
+        outputs = [[(i % 11, (t, i)) for i in range(60)] for t in range(4)]
+        want, _ = _reference(outputs, n_reducers)
+        got, sh = _spilled(outputs, n_reducers, budget_bytes=256, tmp_path=tmp_path)
+        assert sh.spilled and got == want
+
+    def test_str_keys_identical(self, tmp_path):
+        outputs = [[(f"user{i % 7}", i * t) for i in range(40)] for t in range(3)]
+        want, _ = _reference(outputs, 2)
+        got, sh = _spilled(outputs, 2, budget_bytes=128, tmp_path=tmp_path)
+        assert sh.spilled and got == want
+
+    def test_equal_keys_keep_arrival_order(self, tmp_path):
+        # Every record shares one key: grouping reduces to pure arrival
+        # order, the property external sorting is most likely to break.
+        outputs = [[(0, (t, i)) for i in range(30)] for t in range(5)]
+        want, _ = _reference(outputs, 2)
+        got, sh = _spilled(outputs, 2, budget_bytes=64, tmp_path=tmp_path)
+        assert sh.spilled and got == want
+
+    def test_unsortable_keys_fall_back_identically(self, tmp_path):
+        # Int keys long enough to cut runs, then tuple keys: external
+        # sorting is impossible, the fallback must still match exactly.
+        outputs = [
+            [(i % 5, i) for i in range(50)],
+            [((1, 2), "odd"), ((0, 1), "ball")],
+        ]
+        want, _ = _reference(outputs, 2)
+        got, sh = _spilled(outputs, 2, budget_bytes=64, tmp_path=tmp_path)
+        assert not sh.spilled and got == want
+
+    def test_under_budget_uses_in_memory_path(self, tmp_path):
+        outputs = [[(i, i) for i in range(5)]]
+        want, _ = _reference(outputs, 2)
+        got, sh = _spilled(outputs, 2, budget_bytes=10 * MB, tmp_path=tmp_path)
+        assert not sh.spilled and got == want
+
+    def test_spilled_result_metadata_lazy(self, tmp_path):
+        outputs = [[(i % 4, i) for i in range(80)] for _ in range(3)]
+        _, want_sh = _reference(outputs, 2)
+        _, sh = _spilled(outputs, 2, budget_bytes=128, tmp_path=tmp_path)
+        for r in range(2):
+            assert sh.records_for(r) == want_sh.records_for(r)
+            assert sh.groups_for(r) == want_sh.groups_for(r)
+        assert sh.shuffled_bytes == want_sh.shuffled_bytes
+        assert sh.partition_bytes == want_sh.partition_bytes
+        sh.release()
+
+    def test_bad_partitioner_rejected(self, tmp_path):
+        class Bad:
+            def partition(self, key, n):
+                return n  # out of range
+
+        spiller = ShuffleSpiller(
+            64, SpillDirectory(tmp_path / "sp"), 2, Bad(), SpillStats()
+        )
+        with pytest.raises(ValueError, match="partitioner returned"):
+            spiller.feed([(1, 1)])
+
+
+class TestSpillManager:
+    def test_specs_and_cleanup(self, tmp_path):
+        mgr = SpillManager(1024, tmp_path / "mgr")
+        j1, j2 = mgr.next_job(), mgr.next_job()
+        assert j2 == j1 + 1
+        spec = mgr.worker_spec(j1)
+        assert spec.threshold_bytes == 1024 and str(mgr.directory.path) == spec.directory
+        spiller = mgr.shuffle_spiller(j1, 2, HashPartitioner())
+        assert spiller.budget_bytes == 1024
+        mgr.close()
+        assert not (tmp_path / "mgr").exists()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            SpillManager(0)
+
+
+class TestBudgetedHDFS:
+    def test_paged_file_reads_back_identical(self, tmp_path):
+        corpus = synthetic_corpus(4000, seed=1)
+        plain = SimulatedHDFS(paper_cluster(3), chunk_size=16 * 1024, seed=0)
+        paged = SimulatedHDFS(
+            paper_cluster(3), chunk_size=16 * 1024, seed=0,
+            memory_budget_mb=0.01, spill_root=str(tmp_path / "hdfs"),
+        )
+        plain.put_trace_array("f", corpus)
+        paged.put_trace_array("f", corpus)
+        assert paged.spill_stats.pages_out > 0
+        a, b = plain.read_trace_array("f"), paged.read_trace_array("f")
+        assert (a.latitude == b.latitude).all()
+        assert (a.timestamp == b.timestamp).all()
+        assert plain.spill_stats is None
+
+    def test_stream_ingest_matches_bulk_ingest(self):
+        corpus = synthetic_corpus(3000, seed=2)
+        bulk = SimulatedHDFS(paper_cluster(3), chunk_size=8 * 1024, seed=0)
+        bulk.put_trace_array("f", corpus)
+        streamed = SimulatedHDFS(paper_cluster(3), chunk_size=8 * 1024, seed=0)
+        pieces = [corpus[i : i + 700] for i in range(0, len(corpus), 700)]
+        n = streamed.put_trace_stream("f", pieces)
+        assert n == len(corpus)
+        want, got = bulk.chunks("f"), streamed.chunks("f")
+        assert [c.n_records for c in got] == [c.n_records for c in want]
+        for cw, cg in zip(want, got):
+            aw, ag = cw.trace_array(), cg.trace_array()
+            assert (aw.latitude == ag.latitude).all()
+            assert (aw.user_index == ag.user_index).all()
+
+    def test_iter_records_streams_whole_file(self):
+        hdfs = SimulatedHDFS(
+            paper_cluster(3), chunk_size=4 * 1024, seed=0, memory_budget_mb=0.005
+        )
+        corpus = synthetic_corpus(2000, seed=3)
+        hdfs.put_trace_array("f", corpus)
+        assert list(hdfs.iter_records("f")) == hdfs.read_records("f")
+
+
+class TestSpilledReduceInput:
+    def test_as_groups_round_trip(self, tmp_path):
+        spiller = ShuffleSpiller(
+            32, SpillDirectory(tmp_path / "sp"), 2, HashPartitioner(), SpillStats()
+        )
+        spiller.feed([(i % 3, i) for i in range(40)])
+        spiller.finish()
+        assert spiller.spilled()
+        partitions, events = spiller.merge()
+        assert len(partitions) == 2 and len(events) == 2
+        for handle in partitions:
+            groups = as_groups(handle)
+            assert handle.n_groups == len(groups)
+            assert handle.n_records == sum(len(vs) for _, vs in groups)
+            assert as_groups(groups) is groups
+            handle.delete()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms.sampling import sample_array
-from repro.geo.trace import GeolocatedDataset, MobilityTrace, Trail, TraceArray
+from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
 from repro.mapreduce.cluster import paper_cluster
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import JobSpec

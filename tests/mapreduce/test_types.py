@@ -28,9 +28,12 @@ class TestEstimateNbytes:
         assert estimate_nbytes(1.5) == 8
         assert estimate_nbytes(None) == 8
 
-    def test_trace_array_modelled_size(self):
+    def test_trace_array_real_columnar_size(self):
         arr = TraceArray.from_columns(["u"], np.zeros(5), np.zeros(5), np.arange(5.0))
-        assert estimate_nbytes(arr) == 5 * DEFAULT_RECORD_BYTES
+        # Packed 36-byte rows plus the user side table — the actual buffer
+        # footprint, not DEFAULT_RECORD_BYTES * n (the text-record model).
+        assert estimate_nbytes(arr) == arr.data_nbytes + len("u")
+        assert estimate_nbytes(arr) != 5 * DEFAULT_RECORD_BYTES
 
     def test_generic_object_picklable(self):
         assert estimate_nbytes({"a": [1, 2, 3]}) > 0

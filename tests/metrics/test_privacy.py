@@ -67,12 +67,14 @@ class TestPoiRecovery:
 
 class TestAnonymitySets:
     def _two_user_ds(self):
-        mk = lambda u: Trail(
-            u,
-            TraceArray.from_columns(
-                [u], np.full(5, 39.9), np.full(5, 116.4), np.arange(5.0) * 60
-            ),
-        )
+        def mk(u):
+            return Trail(
+                u,
+                TraceArray.from_columns(
+                    [u], np.full(5, 39.9), np.full(5, 116.4), np.arange(5.0) * 60
+                ),
+            )
+
         return GeolocatedDataset([mk("a"), mk("b")])
 
     def test_shared_cell_counts_both_users(self):

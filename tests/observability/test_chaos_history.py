@@ -9,7 +9,6 @@ stream validates, fault/retry events sit inside their task's span, and
 per-phase durations plus the retry penalty still reproduce JobTiming.
 """
 
-from pathlib import Path
 
 import pytest
 
@@ -55,7 +54,7 @@ class TestGoldenChaosTrace:
     def test_retried_tasks_marked_in_gantt(self):
         text = GOLDEN_REPORT.read_text()
         for task in ("map-0001", "map-0002", "reduce-0001"):
-            (line,) = [l for l in text.splitlines() if l.lstrip().startswith(task)]
+            (line,) = [ln for ln in text.splitlines() if ln.lstrip().startswith(task)]
             assert "x2 attempts" in line
 
     def test_summary_chaos_metrics(self, golden):

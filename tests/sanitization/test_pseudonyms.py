@@ -1,7 +1,6 @@
 """Unit tests for pseudonymization."""
 
 import numpy as np
-import pytest
 
 from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
 from repro.sanitization.pseudonyms import ANONYMOUS_ID, Pseudonymizer

@@ -6,7 +6,6 @@ by the integration suite exercising the same code paths.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

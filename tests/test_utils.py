@@ -1,7 +1,6 @@
 """Unit tests for the counter-based hashing RNG."""
 
 import numpy as np
-import pytest
 
 from repro.utils.hashrng import hash_normal, hash_uniform, splitmix64, trace_keys
 
