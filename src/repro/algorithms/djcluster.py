@@ -358,7 +358,16 @@ def run_preprocessing_pipeline(
     params: DJClusterParams,
     workdir: str = "tmp/djcluster",
 ) -> PipelineResult:
-    """Figure 5's two pipelined map-only preprocessing jobs."""
+    """Figure 5's two pipelined map-only preprocessing jobs.
+
+    ``runner`` is anything runner-shaped, including a
+    :class:`~repro.mapreduce.service.TenantClient`; multi-tenant
+    callers pass a per-tenant ``workdir`` so pipelines never collide on
+    HDFS paths.  Note the jobs of a DJ-Cluster *clustering* run are
+    uncacheable by the service's result cache (the R-tree handle in the
+    distributed cache has no stable fingerprint) — correctness over hit
+    rate (``docs/JOBSERVICE.md``).
+    """
     conf = Configuration(
         {
             "djcluster.speed_threshold_ms": params.speed_threshold_ms,

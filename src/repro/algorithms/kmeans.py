@@ -331,6 +331,13 @@ def run_kmeans_mapreduce(
     event per iteration (centroid movement, convergence), so the history
     file is the per-iteration trace Table III's analysis needs; pass
     ``history_path`` to export it (``.json``/``.jsonl``).
+
+    ``runner`` may also be a
+    :class:`~repro.mapreduce.service.TenantClient`: the per-iteration
+    centroid publishes then touch only that tenant's distributed cache,
+    and each iteration's job is snapshotted at submit time, so
+    concurrent tenants iterating on the same input never see each
+    other's centroids (``docs/JOBSERVICE.md``).
     """
     get_metric(distance)
     hdfs = runner.hdfs

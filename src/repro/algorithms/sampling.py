@@ -148,6 +148,12 @@ def run_sampling_job(
     structured trace accumulates in ``runner.history``; pass
     ``history_path`` to also export it as a JSON/JSONL history file
     readable by ``python -m repro history``.
+
+    ``runner`` is anything runner-shaped: a
+    :class:`~repro.mapreduce.runner.JobRunner`, or a
+    :class:`~repro.mapreduce.service.TenantClient` to run the job as
+    one tenant of a shared :class:`~repro.mapreduce.service.JobService`
+    (each ``run`` becomes a submit + fair-share-scheduled wait).
     """
     technique = SamplingTechnique.parse(technique)
     if window_s <= 0:

@@ -16,6 +16,8 @@ Commands
 ``history``    render a job-history trace report (docs/OBSERVABILITY.md)
 ``chaos``      seeded fault-injection campaign over a driver (docs/CHAOS.md)
 ``bench``      wall-clock benchmark of the execution backends (docs/PERFORMANCE.md)
+``submit``     submit one job to a JobService and trace its future (docs/JOBSERVICE.md)
+``service``    multi-tenant campaign over the algorithm drivers (docs/JOBSERVICE.md)
 """
 
 from __future__ import annotations
@@ -150,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
         "file", nargs="?", help="history file (.json or .jsonl)"
     )
     hist.add_argument("--job", action="append", help="restrict to job name(s)")
+    hist.add_argument(
+        "--tenant",
+        help="restrict to one tenant's jobs (service histories tag each "
+        "job_start with its tenant)",
+    )
     hist.add_argument(
         "--no-gantt", action="store_true", help="omit the per-task timeline"
     )
@@ -291,6 +298,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-mb", type=float, default=8.0,
         help="memory budget for the --spill budgeted cells (default 8)",
     )
+    ben.add_argument(
+        "--multitenant", action="store_true",
+        help="benchmark the multi-tenant JobService instead: a weighted "
+        "tenant roster drains a mixed backlog under fair share; reports "
+        "contended-window fairness, interleaved vs serial makespan, and "
+        "the result-cache resubmission cell (fixed workload so the "
+        "document doubles as a baseline; combine with --check/--out)",
+    )
+
+    smt = sub.add_parser(
+        "submit",
+        help="submit one job to a JobService and trace its future",
+        description=(
+            "The worked docs/JOBSERVICE.md example: builds a miniature "
+            "simulated deployment, submits a sampling job through a "
+            "JobService as one tenant, and prints the future's lifecycle "
+            "(queued -> running -> done) plus the job summary.  With "
+            "--resubmit the same spec is submitted a second time under a "
+            "fresh output path, demonstrating the result cache: the "
+            "second run is a hit and executes zero map tasks."
+        ),
+    )
+    smt.add_argument("--users", type=int, default=3, help="synthetic corpus users")
+    smt.add_argument("--days", type=int, default=1, help="synthetic corpus days")
+    smt.add_argument("--seed", type=int, default=42, help="corpus seed")
+    smt.add_argument("--tenant", default="analyst", help="tenant name to submit as")
+    smt.add_argument(
+        "--window", type=float, default=600.0, help="sampling window (seconds)"
+    )
+    smt.add_argument(
+        "--resubmit", action="store_true",
+        help="submit the identical spec again and show the cache hit",
+    )
+    smt.add_argument(
+        "--history", help="export the service's job history (.json/.jsonl)"
+    )
+
+    svc = sub.add_parser(
+        "service",
+        help="multi-tenant campaign over the MapReduce algorithm drivers",
+        description=(
+            "Runs each driver solo on a clean deployment, then again with "
+            "every tenant of a weighted roster submitting it concurrently "
+            "through one shared JobService (optionally under a seeded "
+            "chaos schedule), and verifies each tenant's output is "
+            "byte-identical to the solo run.  Prints the per-driver "
+            "verdicts and the service's fair-share report."
+        ),
+    )
+    svc.add_argument(
+        "--driver",
+        action="append",
+        choices=driver_names(),
+        help="driver(s) to campaign over (default: all)",
+    )
+    svc.add_argument("--seed", type=int, default=0, help="chaos schedule seed")
+    svc.add_argument(
+        "--weights", default="alice=2,bob=1",
+        help="tenant roster as name=weight pairs (default alice=2,bob=1)",
+    )
+    svc.add_argument(
+        "--no-chaos", action="store_true",
+        help="run fault-free instead of under the default chaos schedule",
+    )
+    svc.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="execution backend for the shared service",
+    )
+    svc.add_argument("--users", type=int, default=3, help="synthetic corpus users")
+    svc.add_argument("--days", type=int, default=1, help="synthetic corpus days")
+    svc.add_argument("--workers", type=int, default=3, help="simulated worker nodes")
+    svc.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run the fixed two-tenant equivalence campaign over all "
+        "drivers, with and without chaos (used by the CI smoke step)",
+    )
     return parser
 
 
@@ -425,7 +509,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"{len(violations)} ordering violation(s)"
             )
             return 1 if violations else 0
-        print(render_report(history, jobs=args.job, gantt=not args.no_gantt, width=args.width))
+        print(
+            render_report(
+                history,
+                jobs=args.job,
+                gantt=not args.no_gantt,
+                width=args.width,
+                tenant=args.tenant,
+            )
+        )
         if violations:
             print(f"\nWARNING: {len(violations)} ordering violation(s); run --validate-only")
             return 1
@@ -471,15 +563,48 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         from repro.mapreduce.bench import (
             DEFAULT_BASELINE,
+            DEFAULT_MULTITENANT_OUT,
             DEFAULT_SPILL_OUT,
             check_against_baseline,
+            check_multitenant_against_baseline,
+            check_multitenant_result,
             load_result,
+            render_multitenant_result,
             render_result,
             render_spill_result,
             run_backend_benchmark,
+            run_multitenant_benchmark,
             run_spill_benchmark,
             save_result,
         )
+
+        if args.multitenant:
+            try:
+                doc = run_multitenant_benchmark()
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(f"bench: {exc}")
+            print(render_multitenant_result(doc))
+            problems = check_multitenant_result(doc)
+            if args.check:
+                # Compare before (possibly) overwriting the baseline.
+                baseline_path = args.baseline or DEFAULT_MULTITENANT_OUT
+                try:
+                    baseline = load_result(baseline_path)
+                    problems += check_multitenant_against_baseline(doc, baseline)
+                except FileNotFoundError:
+                    print(f"(no baseline at {baseline_path}; intrinsic gates only)")
+            if args.out or not args.check:
+                # Generation mode writes the artifact; --check without
+                # --out leaves the committed baseline untouched.
+                out = args.out or DEFAULT_MULTITENANT_OUT
+                print(f"result written to {save_result(doc, out)}")
+            if problems:
+                print("\nFAILED gates:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print("all fairness and result-cache gates passed")
+            return 0
 
         if args.spill:
             try:
@@ -527,6 +652,131 @@ def main(argv: list[str] | None = None) -> int:
                 return 1
             print(f"\nwithin tolerance of baseline {baseline_path}")
         return 0
+
+    if args.command == "submit":
+        from repro.algorithms.sampling import SamplingMapper
+        from repro.mapreduce.cluster import paper_cluster
+        from repro.mapreduce.config import Configuration
+        from repro.mapreduce.hdfs import SimulatedHDFS
+        from repro.mapreduce.job import JobSpec
+        from repro.mapreduce.service import JobService
+
+        dataset, _ = generate_dataset(
+            SyntheticConfig(n_users=args.users, days=args.days, seed=args.seed)
+        )
+        array = dataset.flat().sort_by_time()
+        hdfs = SimulatedHDFS(paper_cluster(3), chunk_size=64 * 1024, seed=0)
+        hdfs.put_trace_array("input/traces", array, record_bytes=64)
+        if args.window <= 0:
+            raise SystemExit("submit: --window must be positive")
+        conf = Configuration(
+            {"sampling.window_s": args.window, "sampling.technique": "upper"}
+        )
+
+        def sampling_spec(name: str, out: str) -> JobSpec:
+            return JobSpec(
+                name=name,
+                mapper=SamplingMapper,
+                input_paths=["input/traces"],
+                output_path=out,
+                conf=conf,
+                map_cost_factor=0.6,
+            )
+
+        # Paused service: the future is observably QUEUED before start().
+        with JobService(hdfs, tenants={args.tenant: 1.0}, start=False) as service:
+            future = service.submit(sampling_spec("sampling", "out/sampled"),
+                                    tenant=args.tenant)
+            print(
+                f"submitted {future.job_name!r} as tenant {args.tenant!r}: "
+                f"status={future.status}"
+            )
+            service.start()
+            result = future.result()
+            print(
+                f"future resolved: status={future.status} "
+                f"cache_hit={future.cache_hit}"
+            )
+            print(
+                f"  {result.output_path}: {result.n_map_tasks} map task(s), "
+                f"{result.n_reduce_tasks} reduce task(s), "
+                f"{result.timing.total_s:.1f} sim s"
+            )
+            if args.resubmit:
+                fut2 = service.submit(
+                    sampling_spec("sampling-resubmit", "out/sampled-resubmit"),
+                    tenant=args.tenant,
+                )
+                r2 = fut2.result()
+                print(
+                    f"resubmitted identical spec as {fut2.job_name!r}: "
+                    f"cache_hit={fut2.cache_hit}, {r2.n_map_tasks} map task(s), "
+                    f"setup charge {r2.timing.total_s:.1f} sim s"
+                )
+            print()
+            print(service.report().render())
+            if args.history:
+                service.history.save(args.history)
+                print(f"history exported to {args.history}")
+        return 0
+
+    if args.command == "service":
+        from repro.mapreduce.chaos import run_multitenant_check
+
+        def show(outcomes) -> bool:
+            for o in outcomes:
+                verdict = "identical" if o.ok else "DIVERGED"
+                tenants_txt = ", ".join(sorted(o.signatures))
+                chaos_txt = "chaos" if o.chaos_active else "fault-free"
+                print(
+                    f"  {o.driver:<10} [{chaos_txt}] tenants {tenants_txt}: "
+                    f"outputs {verdict} to solo"
+                )
+            return all(o.ok for o in outcomes)
+
+        if args.selfcheck:
+            ok = True
+            for with_chaos in (False, True):
+                outcomes = run_multitenant_check(
+                    seed=args.seed, with_chaos=with_chaos
+                )
+                ok = show(outcomes) and ok
+            print(
+                "service selfcheck OK: every tenant matched solo"
+                if ok
+                else "service selfcheck FAILED"
+            )
+            return 0 if ok else 1
+
+        tenants: dict[str, float] = {}
+        for part in args.weights.split(","):
+            name, sep, weight = part.partition("=")
+            if not sep:
+                raise SystemExit(
+                    f"service: bad --weights entry {part!r} (want name=weight)"
+                )
+            try:
+                tenants[name.strip()] = float(weight)
+            except ValueError:
+                raise SystemExit(f"service: bad weight in {part!r}")
+        try:
+            outcomes = run_multitenant_check(
+                drivers=args.driver,
+                seed=args.seed,
+                with_chaos=not args.no_chaos,
+                tenants=tenants,
+                n_users=args.users,
+                days=args.days,
+                n_workers=args.workers,
+                executor=args.backend,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"service: {exc}")
+        ok = show(outcomes)
+        if outcomes:
+            print()
+            print(outcomes[-1].report)
+        return 0 if ok else 1
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -46,12 +46,18 @@ __all__ = [
     "synthetic_corpus_blocks",
     "run_backend_benchmark",
     "run_spill_benchmark",
+    "run_multitenant_benchmark",
     "check_against_baseline",
+    "check_multitenant_result",
+    "check_multitenant_against_baseline",
     "render_result",
     "render_spill_result",
+    "render_multitenant_result",
     "DEFAULT_SIZES",
     "DEFAULT_BASELINE",
     "DEFAULT_SPILL_OUT",
+    "DEFAULT_MULTITENANT_OUT",
+    "DEFAULT_TENANT_WEIGHTS",
 ]
 
 #: Corpus sizes the trajectory is measured over (traces).
@@ -63,8 +69,16 @@ DEFAULT_BASELINE = Path("benchmarks") / "BENCH_backends.json"
 #: Default artifact path for the spill-on/off trajectory.
 DEFAULT_SPILL_OUT = Path("benchmarks") / "results" / "BENCH_spill.json"
 
+#: Default artifact path (and ``--check`` baseline) for the
+#: multi-tenant contention benchmark.
+DEFAULT_MULTITENANT_OUT = Path("benchmarks") / "results" / "BENCH_multitenant.json"
+
+#: The contention roster: three tenants with 3:2:1 weights.
+DEFAULT_TENANT_WEIGHTS = {"alice": 3.0, "bob": 2.0, "carol": 1.0}
+
 _SCHEMA = 1
 _SPILL_SCHEMA = 1
+_MULTITENANT_SCHEMA = 1
 
 
 def _blob_centers(rng: np.random.Generator, n_clusters: int) -> np.ndarray:
@@ -514,6 +528,284 @@ def run_spill_benchmark(
         "isolated_cells": isolate_cells,
         "results": results,
     }
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant contention benchmark (repro bench --multitenant).
+# ---------------------------------------------------------------------------
+
+
+def run_multitenant_benchmark(
+    n_traces: int = 50_000,
+    tenants: Mapping[str, float] | None = None,
+    jobs_per_tenant: int = 4,
+    *,
+    k: int = 4,
+    chunk_mb: int = 1,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Contention run: a weighted tenant roster floods one JobService.
+
+    Every tenant submits a mixed backlog — single-pass k-means jobs
+    (map + combine + shuffle + reduce, per-job centroids through the
+    tenant's distributed cache) and map-only sampling jobs (per-tenant
+    window sizes, so nothing dedups across tenants) — against a *paused*
+    service, then the dispatcher opens and drains the whole backlog
+    under weighted fair share.  The first tenant additionally resubmits
+    its first sampling spec verbatim under a fresh output path: the
+    result-cache cell, which must come back as a hit with **zero** map
+    tasks.
+
+    Reported metrics split into the real and the simulated: wall-clock
+    to drain the backlog (host-dependent, excluded from baseline
+    checks) and the fair-share interleave's simulated makespan vs the
+    serial sum, the contended-window fairness shares, and the cache
+    economics — all deterministic, so they double as a regression
+    baseline.
+    """
+    from repro.algorithms.kmeans import (
+        CENTROIDS_CACHE_KEY,
+        KMeansCombiner,
+        KMeansMapper,
+        KMeansReducer,
+    )
+    from repro.algorithms.sampling import SamplingMapper
+    from repro.mapreduce.config import Configuration
+    from repro.mapreduce.job import JobSpec
+    from repro.mapreduce.service import JobService
+
+    weights = dict(tenants) if tenants else dict(DEFAULT_TENANT_WEIGHTS)
+    if jobs_per_tenant < 2:
+        raise ValueError("jobs_per_tenant must be >= 2 (the mix needs both kinds)")
+    corpus = synthetic_corpus(int(n_traces), seed=seed)
+    hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=chunk_mb * MB, seed=0)
+    hdfs.put_trace_array("input/traces", corpus)
+    futures: dict[tuple[str, str], Any] = {}
+    wall_start = time.perf_counter()
+    with JobService(hdfs, tenants=weights, start=False) as service:
+        # Backlog model: everything queues against a paused dispatcher,
+        # so the drain order is a pure function of the weights.
+        resubmit_tenant: str | None = None
+        resubmit_spec: JobSpec | None = None
+        n_kmeans = jobs_per_tenant // 2
+        for ti, tenant in enumerate(sorted(weights)):
+            client = service.client(tenant)
+            for j in range(n_kmeans):
+                # Per-(tenant, job) centroids: the submit-time cache
+                # snapshot isolates job j from job j+1's publish, and
+                # distinct centroids keep cache keys distinct.
+                init = corpus.coordinates()[ti * k + j : ti * k + j + k].copy()
+                client.cache.replace(CENTROIDS_CACHE_KEY, init)
+                spec = JobSpec(
+                    name=f"kmeans-{j}",
+                    mapper=KMeansMapper,
+                    reducer=KMeansReducer,
+                    combiner=KMeansCombiner,
+                    input_paths=["input/traces"],
+                    output_path=f"tenants/{tenant}/out/kmeans-{j}",
+                    conf=Configuration(
+                        {"kmeans.distance": "squared_euclidean", "kmeans.k": k}
+                    ),
+                    num_reducers=min(k, service.cluster.total_reduce_slots()),
+                )
+                futures[(tenant, spec.name)] = client.submit(spec)
+            for j in range(jobs_per_tenant - n_kmeans):
+                spec = JobSpec(
+                    name=f"sampling-{j}",
+                    mapper=SamplingMapper,
+                    input_paths=["input/traces"],
+                    output_path=f"tenants/{tenant}/out/sampling-{j}",
+                    conf=Configuration(
+                        {
+                            # ti offsets the window so no two tenants
+                            # share a cache key.
+                            "sampling.window_s": 60.0 * (j + 1) + ti,
+                            "sampling.technique": "upper",
+                        }
+                    ),
+                    map_cost_factor=0.6,
+                )
+                futures[(tenant, spec.name)] = client.submit(spec)
+                if resubmit_spec is None:
+                    resubmit_tenant, resubmit_spec = tenant, spec
+        # The cache-hit cell.  Per-tenant FIFO dispatch guarantees the
+        # original (the store) runs before the verbatim resubmission.
+        assert resubmit_tenant is not None and resubmit_spec is not None
+        resubmission = JobSpec(
+            name="sampling-resubmit",
+            mapper=resubmit_spec.mapper,
+            input_paths=list(resubmit_spec.input_paths),
+            output_path=f"tenants/{resubmit_tenant}/out/sampling-resubmit",
+            conf=resubmit_spec.conf,
+            map_cost_factor=resubmit_spec.map_cost_factor,
+        )
+        hit_future = service.submit(resubmission, tenant=resubmit_tenant)
+        futures[(resubmit_tenant, resubmission.name)] = hit_future
+        service.start()
+        service.wait()
+        wall = time.perf_counter() - wall_start
+        report = service.report()
+        hit_result = hit_future.result()
+        cache = service.result_cache
+        assert cache is not None
+        if not hit_future.cache_hit or hit_result.n_map_tasks != 0:
+            raise RuntimeError(
+                "resubmission was not served from the result cache "
+                f"(cache_hit={hit_future.cache_hit}, "
+                f"n_map_tasks={hit_result.n_map_tasks})"
+            )
+        cache_stats = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "entries": len(cache),
+        }
+    return {
+        "schema": _MULTITENANT_SCHEMA,
+        "workload": {
+            "n_traces": int(n_traces),
+            "jobs_per_tenant": int(jobs_per_tenant),
+            "mix": "kmeans single-pass + map-only sampling",
+            "k": k,
+            "chunk_mb": chunk_mb,
+            "seed": seed,
+        },
+        "cpu_count": os.cpu_count(),
+        "wall_clock_s": wall,
+        "simulated": {
+            "interleaved_makespan_s": report.interleaved_makespan_s,
+            "serial_s": report.serial_s,
+            "speedup_vs_serial": report.speedup,
+            "contended_window_s": report.contended_window_s,
+            "max_abs_fairness_deviation": report.max_abs_deviation,
+        },
+        "fairness": report.tenants,
+        "result_cache": {
+            **cache_stats,
+            "resubmission": {
+                "tenant": resubmit_tenant,
+                "job": hit_result.job_name,
+                "cache_hit": bool(hit_future.cache_hit),
+                "n_map_tasks": int(hit_result.n_map_tasks),
+                "setup_charge_s": hit_result.timing.total_s,
+            },
+        },
+    }
+
+
+def check_multitenant_result(
+    doc: Mapping[str, Any], fairness_tolerance: float = 0.2
+) -> list[str]:
+    """Intrinsic gates on one multi-tenant document (no baseline needed).
+
+    * no tenant's contended-window slot share deviates from its weight
+      share by more than ``fairness_tolerance`` (the paper-level 20%
+      fair-share gate);
+    * the resubmission cell was a result-cache hit that ran zero map
+      tasks;
+    * the fair-share interleave is no slower than running the same jobs
+      back to back.
+    """
+    problems: list[str] = []
+    sim = doc.get("simulated", {})
+    deviation = float(sim.get("max_abs_fairness_deviation", 1.0))
+    if deviation > fairness_tolerance:
+        problems.append(
+            f"fairness: max |deviation| {deviation:.1%} exceeds "
+            f"tolerance {fairness_tolerance:.0%}"
+        )
+    resub = doc.get("result_cache", {}).get("resubmission", {})
+    if not resub.get("cache_hit"):
+        problems.append("result cache: resubmission was not a cache hit")
+    if resub.get("n_map_tasks", -1) != 0:
+        problems.append(
+            f"result cache: resubmission ran {resub.get('n_map_tasks')} "
+            "map tasks (expected 0)"
+        )
+    if int(doc.get("result_cache", {}).get("hits", 0)) < 1:
+        problems.append("result cache: no hits recorded")
+    speedup = float(sim.get("speedup_vs_serial", 0.0))
+    if speedup < 1.0:
+        problems.append(
+            f"interleave: simulated speedup vs serial {speedup:.2f}x < 1.00x"
+        )
+    return problems
+
+
+def check_multitenant_against_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.01,
+) -> list[str]:
+    """Drift of the *simulated* metrics versus a committed baseline.
+
+    Wall-clock is host-dependent and ignored; the simulated makespan,
+    serial sum, and per-tenant fairness shares are deterministic given
+    the same workload, so they must match within ``tolerance``
+    (fractional for times, absolute for shares).
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems
+    if baseline.get("workload") != current.get("workload"):
+        problems.append("workload mismatch: run with the baseline's parameters")
+        return problems
+    cur_sim, base_sim = current.get("simulated", {}), baseline.get("simulated", {})
+    for key in ("interleaved_makespan_s", "serial_s", "contended_window_s"):
+        now, then = float(cur_sim.get(key, 0.0)), float(base_sim.get(key, 0.0))
+        if then > 0 and abs(now - then) > then * tolerance:
+            problems.append(
+                f"simulated {key}: {now:.2f} vs baseline {then:.2f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+    cur_fair, base_fair = current.get("fairness", {}), baseline.get("fairness", {})
+    for tenant in sorted(set(cur_fair) & set(base_fair)):
+        now = float(cur_fair[tenant].get("share", 0.0))
+        then = float(base_fair[tenant].get("share", 0.0))
+        if abs(now - then) > tolerance:
+            problems.append(
+                f"fairness share of {tenant}: {now:.3f} vs baseline {then:.3f}"
+            )
+    return problems
+
+
+def render_multitenant_result(doc: Mapping[str, Any]) -> str:
+    """Terminal table for one multi-tenant benchmark document."""
+    w = doc["workload"]
+    sim = doc["simulated"]
+    lines = [
+        f"multi-tenant contention ({w['n_traces']:,} traces, "
+        f"{w['jobs_per_tenant']} jobs/tenant, {w['mix']})",
+        "",
+        f"{'tenant':<10} {'weight':>7} {'jobs':>5} {'hits':>5} "
+        f"{'slot-s':>9} {'share':>7} {'fair':>7} {'dev':>8}",
+    ]
+    for tenant in sorted(doc["fairness"]):
+        row = doc["fairness"][tenant]
+        lines.append(
+            f"{tenant:<10} {row['weight']:>7.1f} {row['jobs']:>5} "
+            f"{row['cache_hits']:>5} {row['slot_seconds']:>9.1f} "
+            f"{row['share']:>6.1%} {row['weight_share']:>6.1%} "
+            f"{row['deviation']:>+7.1%}"
+        )
+    resub = doc["result_cache"]["resubmission"]
+    lines += [
+        "",
+        f"interleaved makespan {sim['interleaved_makespan_s']:.1f} sim s "
+        f"vs serial {sim['serial_s']:.1f} sim s "
+        f"({sim['speedup_vs_serial']:.2f}x), "
+        f"max fairness deviation {sim['max_abs_fairness_deviation']:.1%} "
+        f"over a {sim['contended_window_s']:.1f} s contended window",
+        f"result cache: {doc['result_cache']['hits']} hit(s) / "
+        f"{doc['result_cache']['misses']} miss(es); resubmission "
+        f"{resub['job']!r} ran {resub['n_map_tasks']} map tasks "
+        f"(setup charge {resub['setup_charge_s']:.1f} sim s)",
+        f"wall-clock {doc['wall_clock_s']:.2f}s on cpu_count={doc['cpu_count']}",
+    ]
+    return "\n".join(lines)
 
 
 def render_spill_result(doc: Mapping[str, Any]) -> str:

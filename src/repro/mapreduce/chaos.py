@@ -41,6 +41,8 @@ __all__ = [
     "default_schedule",
     "run_chaos_campaign",
     "run_chaos_selfcheck",
+    "MultiTenantOutcome",
+    "run_multitenant_check",
 ]
 
 #: HDFS path every campaign deployment stores its corpus under.
@@ -91,8 +93,9 @@ class ChaosDriver:
 def _drive_sampling(runner, context) -> str:
     from repro.algorithms.sampling import run_sampling_job
 
+    prefix = context.get("prefix", "")
     result = run_sampling_job(
-        runner, INPUT_PATH, "out/chaos-sampled", window_s=600.0
+        runner, INPUT_PATH, f"{prefix}out/chaos-sampled", window_s=600.0
     )
     return _trace_array_signature(runner.hdfs.read_trace_array(result.output_path))
 
@@ -107,7 +110,7 @@ def _drive_kmeans(runner, context) -> str:
         max_iter=3,
         seed=7,
         use_combiner=True,
-        workdir="tmp/chaos-kmeans",
+        workdir=f"{context.get('prefix', '')}tmp/chaos-kmeans",
     )
     return _digest(
         np.ascontiguousarray(result.centroids).tobytes(),
@@ -119,7 +122,8 @@ def _drive_djcluster(runner, context) -> str:
     from repro.algorithms.djcluster import DJClusterParams, run_preprocessing_pipeline
 
     pipeline = run_preprocessing_pipeline(
-        runner, INPUT_PATH, DJClusterParams(), workdir="tmp/chaos-dj"
+        runner, INPUT_PATH, DJClusterParams(),
+        workdir=f"{context.get('prefix', '')}tmp/chaos-dj",
     )
     return _trace_array_signature(
         runner.hdfs.read_trace_array(pipeline.output_path)
@@ -133,7 +137,7 @@ def _drive_mmc(runner, context) -> str:
         runner,
         INPUT_PATH,
         context["poi_coords"],
-        output_path="tmp/chaos-mmc/models",
+        output_path=f"{context.get('prefix', '')}tmp/chaos-mmc/models",
     )
     blobs = []
     for user in sorted(models):
@@ -444,6 +448,145 @@ def run_chaos_campaign(
             )
         )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant equivalence: tenants on a shared service == solo runs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MultiTenantOutcome:
+    """One driver's tenants-vs-solo verdict.
+
+    ``signatures`` holds each tenant's output fingerprint from a shared
+    :class:`~repro.mapreduce.service.JobService` deployment; every one
+    must equal ``solo_signature`` (the driver on a pristine solo runner)
+    — concurrent tenancy, and any chaos schedule applied to the shared
+    deployment, must be invisible in the outputs.
+    """
+
+    driver: str
+    title: str
+    solo_signature: str
+    signatures: dict[str, str]
+    chaos_active: bool
+    #: The shared service's rendered fair-share report (for display).
+    report: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.signatures) and all(
+            s == self.solo_signature for s in self.signatures.values()
+        )
+
+
+def run_multitenant_check(
+    drivers: "list[str] | None" = None,
+    seed: int = 0,
+    with_chaos: bool = True,
+    tenants: "dict[str, float] | None" = None,
+    n_users: int = 3,
+    days: int = 1,
+    data_seed: int = 42,
+    n_workers: int = 3,
+    chunk_size: int = 64 * 1024,
+    executor: str = "serial",
+    result_cache: bool = True,
+) -> list[MultiTenantOutcome]:
+    """Run each driver concurrently for every tenant on one shared service.
+
+    Per driver: fingerprint a pristine solo run, then stand up a fresh
+    :class:`~repro.mapreduce.service.JobService` (optionally under the
+    seeded chaos schedule, with node loss enabled) and run the *same*
+    driver from one thread per tenant, each under its own
+    ``tenants/<name>/`` path prefix.  Every tenant's fingerprint must be
+    byte-identical to the solo run — the acceptance invariant of the
+    service layer.  With ``result_cache=True`` later tenants typically
+    hit the result cache for identical sub-jobs, which must not change a
+    byte either.
+    """
+    import threading
+
+    from repro.mapreduce.cluster import paper_cluster
+    from repro.mapreduce.hdfs import SimulatedHDFS
+    from repro.mapreduce.service import JobService
+
+    chosen = drivers or driver_names()
+    unknown = [d for d in chosen if d not in DRIVERS]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos driver(s) {unknown}; known: {driver_names()}"
+        )
+    roster = tenants or {"alice": 2.0, "bob": 1.0}
+    array = _build_corpus(n_users, days, data_seed)
+    context: dict = {}
+    if "mmc" in chosen:
+        from repro.algorithms.kmeans import kmeans_sequential
+
+        context["poi_coords"] = kmeans_sequential(
+            array.coordinates(), k=4, seed=0
+        ).centroids
+
+    outcomes: list[MultiTenantOutcome] = []
+    for name in chosen:
+        driver = DRIVERS[name]
+        solo = _run_once(
+            driver, array, context, n_workers, chunk_size, None,
+            executor=executor,
+        )
+        schedule = (
+            default_schedule(seed, node_loss=True) if with_chaos else None
+        )
+        hdfs = SimulatedHDFS(
+            paper_cluster(n_workers), chunk_size=chunk_size, seed=0
+        )
+        hdfs.put_trace_array(INPUT_PATH, array, record_bytes=64)
+        service = JobService(
+            hdfs,
+            tenants=roster,
+            chaos=schedule,
+            executor=executor,
+            result_cache=result_cache,
+        )
+        signatures: dict[str, str] = {}
+        errors: dict[str, BaseException] = {}
+
+        def tenant_workload(tenant: str) -> None:
+            ctx = dict(context)
+            ctx["prefix"] = f"tenants/{tenant}/"
+            try:
+                signatures[tenant] = driver.run(service.client(tenant), ctx)
+            except BaseException as exc:
+                errors[tenant] = exc
+
+        try:
+            threads = [
+                threading.Thread(target=tenant_workload, args=(t,))
+                for t in sorted(roster)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            service.close()
+        if errors:
+            tenant, exc = sorted(errors.items())[0]
+            raise RuntimeError(
+                f"driver {name!r} failed for tenant {tenant!r}: {exc!r}"
+            ) from exc
+        outcomes.append(
+            MultiTenantOutcome(
+                driver=name,
+                title=driver.title,
+                solo_signature=solo.signature,
+                signatures=signatures,
+                chaos_active=with_chaos,
+                report=service.report().render(),
+            )
+        )
+    return outcomes
 
 
 def run_chaos_selfcheck(verbose: bool = True) -> int:

@@ -9,10 +9,10 @@ every mapper/reducer at ``setup`` time, mirroring Hadoop's ``Configuration``
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
-__all__ = ["Configuration", "MapReduceConfig", "BACKENDS"]
+__all__ = ["Configuration", "MapReduceConfig", "BACKENDS", "validate_tenants"]
 
 _MISSING = object()
 
@@ -43,11 +43,23 @@ class MapReduceConfig:
     sort, and a budgeted namenode pages chunk payloads to disk.  ``None``
     (the default) means unbounded — everything stays in memory.  Results
     are byte-identical either way.
+
+    ``tenants`` declares the multi-tenant roster for a
+    :class:`~repro.mapreduce.service.JobService` deployment: a mapping
+    of tenant name to either a numeric fair-share weight or a knob dict
+    ``{"weight": float, "max_queued": int | None}`` (``max_queued`` is
+    the tenant's admission quota — the most jobs it may have queued or
+    running at once).  Zero/negative weights and quotas are rejected
+    here, mirroring the ``max_workers`` validation: the fair-share
+    scheduler divides by the weight and a zero quota would silently
+    reject every submit.  ``None`` means single-tenant (``"default"``
+    with weight 1).
     """
 
     backend: str = "serial"
     max_workers: int | None = None
     memory_budget_mb: float | None = None
+    tenants: Mapping[str, Any] | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -79,6 +91,68 @@ class MapReduceConfig:
                     f"memory_budget_mb must be positive (got "
                     f"{self.memory_budget_mb}); pass None for unbounded"
                 )
+        if self.tenants is not None:
+            validate_tenants(self.tenants)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_tenants(tenants: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
+    """Validate a tenant roster; returns ``{name: {weight, max_queued}}``.
+
+    Accepts the two spellings :class:`MapReduceConfig.tenants` documents
+    (bare weight, or a ``{"weight", "max_queued"}`` dict) and normalizes
+    both.  Raises ``ValueError`` with an actionable message on empty
+    rosters, blank names, non-positive/non-finite weights, non-positive
+    quotas, and unknown per-tenant keys — the same fail-at-construction
+    stance as the ``max_workers`` check above.
+    """
+    if not isinstance(tenants, Mapping):
+        raise ValueError(
+            f"tenants must be a mapping of name -> weight or knob dict, "
+            f"got {type(tenants).__name__}"
+        )
+    if not tenants:
+        raise ValueError("tenants must not be empty; pass None for single-tenant")
+    normalized: dict[str, dict[str, Any]] = {}
+    for name, knobs in tenants.items():
+        if not isinstance(name, str) or not name.strip():
+            raise ValueError(f"tenant names must be non-empty strings, got {name!r}")
+        if _is_number(knobs):
+            weight, max_queued = knobs, None
+        elif isinstance(knobs, Mapping):
+            unknown = set(knobs) - {"weight", "max_queued"}
+            if unknown:
+                raise ValueError(
+                    f"tenant {name!r}: unknown knobs {sorted(unknown)}; "
+                    f"expected 'weight' and/or 'max_queued'"
+                )
+            weight = knobs.get("weight", 1.0)
+            max_queued = knobs.get("max_queued")
+        else:
+            raise ValueError(
+                f"tenant {name!r}: expected a weight or a knob dict, got {knobs!r}"
+            )
+        if not _is_number(weight) or not 0 < weight < float("inf"):
+            raise ValueError(
+                f"tenant {name!r}: weight must be a positive finite number "
+                f"(got {weight!r})"
+            )
+        if max_queued is not None:
+            if not isinstance(max_queued, int) or isinstance(max_queued, bool):
+                raise ValueError(
+                    f"tenant {name!r}: max_queued must be a positive int or "
+                    f"None, got {max_queued!r}"
+                )
+            if max_queued < 1:
+                raise ValueError(
+                    f"tenant {name!r}: max_queued must be >= 1 (got "
+                    f"{max_queued}); pass None for unlimited"
+                )
+        normalized[name] = {"weight": float(weight), "max_queued": max_queued}
+    return normalized
 
 
 class Configuration:

@@ -25,6 +25,7 @@ from repro.mapreduce.types import (
     Chunk,
     DEFAULT_RECORD_BYTES,
     RecordPayload,
+    concrete_payload,
     estimate_nbytes,
 )
 
@@ -63,6 +64,8 @@ class SimulatedHDFS:
         self.memory_budget_mb = memory_budget_mb
         self._rng = np.random.default_rng(seed)
         self._files: dict[str, list[Chunk]] = {}
+        self._versions: dict[str, int] = {}
+        self._version_counter = itertools.count(1)
         self._dead_nodes: set[str] = set()
         self._chunk_counter = itertools.count()
         self._store: PayloadStore | None = None
@@ -145,7 +148,7 @@ class SimulatedHDFS:
             used += size
         if current:
             chunks.append(self._new_chunk(RecordPayload(current), writer))
-        self._files[path] = chunks
+        self._commit(path, chunks)
 
     def put_trace_array(
         self,
@@ -169,7 +172,7 @@ class SimulatedHDFS:
             chunks.append(
                 self._new_chunk(ArrayPayload(piece, record_bytes, offset=start), writer)
             )
-        self._files[path] = chunks
+        self._commit(path, chunks)
 
     def put_trace_stream(
         self,
@@ -230,17 +233,22 @@ class SimulatedHDFS:
                 )
             )
             offset += len(merged)
-        self._files[path] = chunks
+        self._commit(path, chunks)
         return offset
 
     def put_chunks(self, path: str, payloads: Sequence[RecordPayload | ArrayPayload], writer: str | None = None) -> None:
         """Write pre-chunked payloads (used by the runner for job output)."""
         self._check_absent(path)
-        self._files[path] = [self._new_chunk(p, writer) for p in payloads]
+        self._commit(path, [self._new_chunk(p, writer) for p in payloads])
 
     def _check_absent(self, path: str) -> None:
         if path in self._files:
             raise FileExistsError(f"HDFS path already exists: {path}")
+
+    def _commit(self, path: str, chunks: list[Chunk]) -> None:
+        """Install a file's chunks and stamp its namenode version."""
+        self._files[path] = chunks
+        self._versions[path] = next(self._version_counter)
 
     # -- reads -------------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -288,10 +296,24 @@ class SimulatedHDFS:
     def file_records(self, path: str) -> int:
         return sum(c.n_records for c in self.chunks(path))
 
+    def version(self, path: str) -> int:
+        """The file's namenode mutation stamp.
+
+        A globally monotonic counter assigned at every write: two paths
+        (or the same path across delete/re-create cycles) share a version
+        only if they are literally the same committed write.  This is the
+        "dataset version" half of the service-layer result-cache key — a
+        job resubmitted against a rewritten input must miss.
+        """
+        if path not in self._files:
+            raise FileNotFoundError(f"HDFS path not found: {path}")
+        return self._versions[path]
+
     # -- mutation ------------------------------------------------------------
     def delete(self, path: str, missing_ok: bool = False) -> None:
         if path in self._files:
             del self._files[path]
+            del self._versions[path]
         elif not missing_ok:
             raise FileNotFoundError(f"HDFS path not found: {path}")
 
@@ -300,6 +322,25 @@ class SimulatedHDFS:
             raise FileNotFoundError(f"HDFS path not found: {src}")
         self._check_absent(dst)
         self._files[dst] = self._files.pop(src)
+        self._versions[dst] = self._versions.pop(src)
+
+    def copy(self, src: str, dst: str, writer: str | None = None) -> int:
+        """Server-side copy: clone ``src``'s chunks under a new path.
+
+        Chunk boundaries and payload contents are preserved exactly (the
+        result cache relies on a cache-hit output being byte-identical to
+        the original job's output); chunk ids and replica placements are
+        fresh, like any other write.  Returns the modelled bytes copied.
+        Payloads are materialized one chunk at a time, so budgeted
+        deployments stay within ~one chunk of extra residency.
+        """
+        source = self.chunks(src)
+        self._check_absent(dst)
+        chunks = [
+            self._new_chunk(concrete_payload(c.payload), writer) for c in source
+        ]
+        self._commit(dst, chunks)
+        return sum(c.nbytes for c in chunks)
 
     # -- failures ------------------------------------------------------------
     def kill_datanode(self, node_name: str) -> None:

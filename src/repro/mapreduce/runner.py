@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -53,6 +53,7 @@ from repro.mapreduce.job import (
 from repro.mapreduce.scheduler import (
     MapPhasePlan,
     NodeBlacklist,
+    ReduceAssignment,
     RetryPolicy,
     TaskAssignment,
     emit_map_phase_events,
@@ -86,6 +87,10 @@ class JobResult:
     map_plan: MapPhasePlan
     n_map_tasks: int
     n_reduce_tasks: int
+    #: Per-reduce-task placements (empty for map-only jobs).  The service
+    #: layer's fair-share interleave replans these durations over the
+    #: shared slot pool.
+    reduce_plan: list[ReduceAssignment] = field(default_factory=list)
 
     @property
     def sim_seconds(self) -> float:
@@ -226,6 +231,11 @@ class JobRunner:
         self.prefer_locality = prefer_locality
         self.speculative = speculative
         self.history = history if history is not None else JobHistory()
+        #: Tenant label stamped into JOB_START events; ``None`` (solo
+        #: deployments) keeps histories byte-identical to pre-service
+        #: runs.  Set by the :class:`~repro.mapreduce.service.JobService`
+        #: dispatcher around each job it executes.
+        self.tenant: str | None = None
         #: Simulated one-time deployment overhead (HDFS install + upload);
         #: reported separately, as the paper does (~25 s).
         self.deploy_overhead_s = self.cost_model.deploy_overhead_s
@@ -756,6 +766,7 @@ class JobRunner:
             plan,
             len(primary),
             job.num_reducers,
+            reduce_plan=reduce_placements,
         )
 
     def _apply_node_loss(
@@ -968,6 +979,7 @@ class JobRunner:
             map_only=job.map_only,
             num_reducers=0 if job.map_only else job.num_reducers,
             combiner=job.combiner is not None,
+            **({"tenant": self.tenant} if self.tenant is not None else {}),
         )
         h.emit(EventKind.PHASE_START, job.name, t0, phase=Phase.SETUP)
         if len(self.cache):

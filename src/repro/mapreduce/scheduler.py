@@ -36,6 +36,10 @@ __all__ = [
     "emit_reduce_phase_events",
     "record_locality",
     "Locality",
+    "FairShareJob",
+    "FairShareTask",
+    "FairSharePlan",
+    "plan_fair_share",
 ]
 
 
@@ -462,6 +466,229 @@ def emit_reduce_phase_events(
             attempts=attempts,
             wasted_s=(attempts - 1) * p.duration,
         )
+
+
+# ---------------------------------------------------------------------------
+# Weighted fair-share over the shared slot pool (the multi-tenant scheduler).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FairShareJob:
+    """One completed job's task demand, as the fair-share planner sees it.
+
+    ``map_durations``/``reduce_durations`` are the per-task simulated
+    durations the single-job planners already computed (the service reads
+    them off :class:`~repro.mapreduce.runner.JobResult`'s plans), so the
+    interleave reuses the exact locality/cost modelling of the solo run.
+    ``order`` is the global dispatch index — FIFO tiebreak within a
+    tenant.
+    """
+
+    tenant: str
+    weight: float
+    name: str
+    order: int
+    map_durations: tuple[float, ...]
+    reduce_durations: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"job {self.name!r}: weight must be positive")
+        if any(d < 0 for d in (*self.map_durations, *self.reduce_durations)):
+            raise ValueError(f"job {self.name!r}: negative task duration")
+
+
+@dataclass(frozen=True)
+class FairShareTask:
+    """One task occupation on the interleaved multi-tenant timeline."""
+
+    tenant: str
+    job: str
+    task_id: str
+    phase: str
+    node: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class FairSharePlan:
+    """The interleaved schedule of many tenants' jobs over one slot pool."""
+
+    tasks: list[FairShareTask]
+    makespan: float
+    weights: dict[str, float]
+
+    def slot_seconds(self, window: float | None = None) -> dict[str, float]:
+        """Per-tenant busy slot-seconds, optionally clipped to ``[0, window]``."""
+        out = {t: 0.0 for t in self.weights}
+        for task in self.tasks:
+            end = task.end if window is None else min(task.end, window)
+            start = task.start if window is None else min(task.start, window)
+            out[task.tenant] += max(0.0, end - start)
+        return out
+
+    def contended_window(self) -> float:
+        """End of the interval during which *every* tenant still has work.
+
+        Fairness is only meaningful while tenants actually contend: once a
+        tenant's last task ends, the survivors legitimately absorb its
+        share.  The window is the earliest per-tenant last-task end.
+        """
+        last_end: dict[str, float] = {}
+        for task in self.tasks:
+            last_end[task.tenant] = max(last_end.get(task.tenant, 0.0), task.end)
+        return min(last_end.values()) if last_end else 0.0
+
+    def tenant_shares(self, window: float | None = None) -> dict[str, float]:
+        """Each tenant's fraction of busy slot-seconds in the window.
+
+        ``window=None`` uses :meth:`contended_window`.
+        """
+        if window is None:
+            window = self.contended_window()
+        used = self.slot_seconds(window)
+        total = sum(used.values())
+        if total <= 0:
+            return {t: 0.0 for t in used}
+        return {t: s / total for t, s in used.items()}
+
+    def fairness_deviations(self, window: float | None = None) -> dict[str, float]:
+        """Relative deviation of each tenant's share from its weight share.
+
+        ``0.0`` is perfectly fair; ``+0.2`` means the tenant got 20% more
+        slot-seconds than its weight entitles it to.  The acceptance gate
+        is ``max(abs(deviation)) <= 0.2`` over the contended window.
+        """
+        shares = self.tenant_shares(window)
+        total_weight = sum(self.weights.values())
+        return {
+            t: (shares[t] / (w / total_weight)) - 1.0 if w else 0.0
+            for t, w in self.weights.items()
+        }
+
+
+def plan_fair_share(
+    jobs: Sequence[FairShareJob],
+    cluster: ClusterSpec,
+    dead_nodes: frozenset[str] = frozenset(),
+) -> FairSharePlan:
+    """Interleave many tenants' jobs over the cluster's slots, fairly.
+
+    Stride scheduling over *virtual time*: each tenant carries a vtime
+    that advances by ``duration / weight`` for every slot-second it
+    consumes, and whenever a slot frees the planner hands it to the
+    pending tenant with the smallest ``(vtime, name)`` — so a weight-2
+    tenant's clock runs at half speed and it receives twice the
+    slot-seconds of a weight-1 peer while both have demand (the backlog
+    model: all submitted jobs are assumed available from t=0, which is
+    exactly the contention benchmark's shape).  Within a tenant, jobs
+    drain FIFO by ``order`` and tasks in task-id order.
+
+    Map and reduce slots are disjoint pools, so maps are packed first and
+    each job's reduces become eligible only once its map phase ends —
+    identical to the single-job planners' phase barrier.  Everything is
+    deterministic: ties break on tenant name, job order, then slot index.
+    """
+    workers = [n for n in cluster.tasktrackers() if n.name not in dead_nodes]
+    if not workers:
+        raise RuntimeError("no alive tasktrackers")
+
+    vtime: dict[str, float] = {}
+    weights: dict[str, float] = {}
+    for job in jobs:
+        weights.setdefault(job.tenant, job.weight)
+        vtime.setdefault(job.tenant, 0.0)
+        if weights[job.tenant] != job.weight:
+            raise ValueError(
+                f"tenant {job.tenant!r} appears with conflicting weights"
+            )
+
+    def slot_heap(kind: str) -> list[tuple[float, int, str]]:
+        counter = itertools.count()
+        heap: list[tuple[float, int, str]] = []
+        for node in workers:
+            n_slots = node.map_slots if kind == Phase.MAP else node.reduce_slots
+            for _ in range(max(n_slots, 0)):
+                heapq.heappush(heap, (0.0, next(counter), node.name))
+        return heap
+
+    tasks: list[FairShareTask] = []
+    makespan = 0.0
+
+    def pick(pending: dict[int, FairShareJob]) -> FairShareJob:
+        tenant = min(
+            {j.tenant for j in pending.values()}, key=lambda t: (vtime[t], t)
+        )
+        order = min(o for o, j in pending.items() if j.tenant == tenant)
+        return pending[order]
+
+    def assign(job: FairShareJob, phase: str, index: int,
+               start: float, duration: float, node: str) -> None:
+        nonlocal makespan
+        prefix = "map" if phase == Phase.MAP else "reduce"
+        tasks.append(
+            FairShareTask(
+                tenant=job.tenant, job=job.name,
+                task_id=f"{prefix}-{index:04d}", phase=phase,
+                node=node, start=start, duration=duration,
+            )
+        )
+        vtime[job.tenant] += duration / job.weight
+        makespan = max(makespan, start + duration)
+
+    # -- map pass: no preconditions, pack greedily under fair-share ---------
+    map_slots = slot_heap(Phase.MAP)
+    if any(job.map_durations for job in jobs) and not map_slots:
+        raise RuntimeError("cluster has zero map slots")
+    next_map = {job.order: 0 for job in jobs}
+    pending_maps = {job.order: job for job in jobs if job.map_durations}
+    map_done = {job.order: 0.0 for job in jobs}
+    counter = itertools.count(len(map_slots))
+    while pending_maps:
+        free_time, _, node = heapq.heappop(map_slots)
+        job = pick(pending_maps)
+        index = next_map[job.order]
+        duration = job.map_durations[index]
+        assign(job, Phase.MAP, index, free_time, duration, node)
+        map_done[job.order] = max(map_done[job.order], free_time + duration)
+        next_map[job.order] += 1
+        if next_map[job.order] >= len(job.map_durations):
+            del pending_maps[job.order]
+        heapq.heappush(map_slots, (free_time + duration, next(counter), node))
+
+    # -- reduce pass: a job's reduces unlock when its map phase ends --------
+    reduce_slots = slot_heap(Phase.REDUCE)
+    pending_reduces = {job.order: job for job in jobs if job.reduce_durations}
+    if pending_reduces and not reduce_slots:
+        raise RuntimeError("cluster has zero reduce slots")
+    next_reduce = {job.order: 0 for job in jobs}
+    counter = itertools.count(len(reduce_slots))
+    while pending_reduces:
+        free_time, tiebreak, node = heapq.heappop(reduce_slots)
+        eligible = {
+            o: j for o, j in pending_reduces.items() if map_done[o] <= free_time
+        }
+        if not eligible:
+            # The slot idles until the next map phase completes.
+            wake = min(map_done[o] for o in pending_reduces)
+            heapq.heappush(reduce_slots, (wake, tiebreak, node))
+            continue
+        job = pick(eligible)
+        index = next_reduce[job.order]
+        duration = job.reduce_durations[index]
+        assign(job, Phase.REDUCE, index, free_time, duration, node)
+        next_reduce[job.order] += 1
+        if next_reduce[job.order] >= len(job.reduce_durations):
+            del pending_reduces[job.order]
+        heapq.heappush(reduce_slots, (free_time + duration, next(counter), node))
+
+    return FairSharePlan(tasks=tasks, makespan=makespan, weights=weights)
 
 
 def record_locality(counters: Counters, plan: MapPhasePlan) -> None:

@@ -91,6 +91,24 @@ class EventKind:
     #: The external shuffle k-way merged one reduce partition's spilled
     #: runs; data: runs, records, groups, bytes, read_s.
     SPILL_MERGE = "spill_merge"
+    #: A tenant handed a job to the :class:`~repro.mapreduce.service.JobService`
+    #: queue; data: tenant, queue_depth (jobs queued service-wide after
+    #: this submit, this one included).  Emitted at submit time, before
+    #: the fair-share dispatcher picks the job up.
+    JOB_SUBMIT = "job_submit"
+    #: The service's fair-share dispatcher pulled a queued job for
+    #: execution; data: tenant, dispatch_index (0-based global dispatch
+    #: order), queued (jobs still waiting service-wide).  Falls between
+    #: the job's JOB_SUBMIT and JOB_START.
+    JOB_DISPATCH = "job_dispatch"
+    #: The result cache satisfied a submission without running any tasks;
+    #: data: tenant, key (cache-key digest), source_path, saved_map_tasks.
+    #: Replaces the whole JOB_START..JOB_FINISH task timeline except the
+    #: job_start/job_finish pair itself.
+    RESULT_CACHE_HIT = "result_cache_hit"
+    #: A completed job's output was copied into the result cache for
+    #: future identical submissions; data: tenant, key, nbytes.
+    RESULT_CACHE_STORE = "result_cache_store"
 
     @classmethod
     def all(cls) -> tuple[str, ...]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -70,6 +71,9 @@ class JobHistory:
         self.events: list[Event] = []
         self.clock: float = 0.0
         self._seq = 0
+        # Guards seq assignment + append: a JobService's submit threads
+        # emit job_submit events concurrently with the dispatcher.
+        self._emit_lock = threading.Lock()
 
     # -- collection ---------------------------------------------------------
     def emit(
@@ -81,18 +85,20 @@ class JobHistory:
         node: str | None = None,
         **data: Any,
     ) -> Event:
-        """Append one event; returns it (mainly for tests)."""
-        event = Event(
-            seq=self._seq, ts=float(ts), kind=kind, job=job, task=task,
-            node=node, data=data,
-        )
-        self._seq += 1
-        self.events.append(event)
-        return event
+        """Append one event; returns it (mainly for tests).  Thread-safe."""
+        with self._emit_lock:
+            event = Event(
+                seq=self._seq, ts=float(ts), kind=kind, job=job, task=task,
+                node=node, data=data,
+            )
+            self._seq += 1
+            self.events.append(event)
+            return event
 
     def advance(self, until: float) -> None:
         """Move the cumulative clock forward (never backwards)."""
-        self.clock = max(self.clock, float(until))
+        with self._emit_lock:
+            self.clock = max(self.clock, float(until))
 
     def __len__(self) -> int:
         return len(self.events)

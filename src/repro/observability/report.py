@@ -24,6 +24,7 @@ __all__ = [
     "JobSummary",
     "summarize",
     "summarize_job",
+    "tenant_accounting",
     "render_gantt",
     "render_report",
 ]
@@ -41,6 +42,10 @@ class JobSummary:
     start_ts: float
     timing: dict[str, float]
     phases: dict[str, float]
+    #: Owning tenant when the job ran through a JobService (None = solo run).
+    tenant: str | None = None
+    #: True when the output was served from the service result cache.
+    cache_hit: bool = False
     n_map_tasks: int = 0
     n_reduce_tasks: int = 0
     locality: dict[str, int] = field(default_factory=dict)
@@ -162,8 +167,11 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
     healed_bytes = 0
     shuffle_refetches = 0
     refetched_bytes = 0
+    cache_hit = False
     for event in history.events_for(job):
-        if event.kind == EventKind.SHUFFLE_TRANSFER:
+        if event.kind == EventKind.RESULT_CACHE_HIT:
+            cache_hit = True
+        elif event.kind == EventKind.SHUFFLE_TRANSFER:
             shuffle[str(event.data.get("reducer", event.task))] = int(
                 event.data.get("bytes", 0)
             )
@@ -200,6 +208,8 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
         start_ts=start.ts,
         timing=timing,
         phases=history.phase_durations(job),
+        tenant=start.data.get("tenant"),
+        cache_hit=cache_hit,
         n_map_tasks=int(finish.data.get("n_map_tasks", 0)),
         n_reduce_tasks=int(finish.data.get("n_reduce_tasks", 0)),
         locality=locality,
@@ -231,6 +241,39 @@ def summarize(history: JobHistory) -> list[JobSummary]:
             continue  # job still running / truncated history
         out.append(summarize_job(history, job))
     return out
+
+
+def tenant_accounting(
+    summaries: list[JobSummary],
+) -> dict[str, dict[str, Any]]:
+    """Aggregate job summaries per tenant (empty if no job is tenant-tagged).
+
+    For each tenant: job count, result-cache hits, simulated seconds the
+    tenant's jobs occupied (cache hits cost only their setup charge), and
+    map/reduce task counts.  Jobs without a tenant tag (solo ``run(job)``
+    histories) are grouped under ``"-"`` only when tagged jobs are also
+    present, so a pure solo history yields no accounting block.
+    """
+    if not any(s.tenant for s in summaries):
+        return {}
+    accounts: dict[str, dict[str, Any]] = {}
+    for s in summaries:
+        row = accounts.setdefault(
+            s.tenant or "-",
+            {
+                "jobs": 0,
+                "cache_hits": 0,
+                "total_s": 0.0,
+                "map_tasks": 0,
+                "reduce_tasks": 0,
+            },
+        )
+        row["jobs"] += 1
+        row["cache_hits"] += int(s.cache_hit)
+        row["total_s"] += s.total_s
+        row["map_tasks"] += s.n_map_tasks
+        row["reduce_tasks"] += s.n_reduce_tasks
+    return accounts
 
 
 # ---------------------------------------------------------------------------
@@ -283,8 +326,13 @@ def render_gantt(history: JobHistory, job: str, width: int = 48) -> str:
 
 def _render_job(history: JobHistory, summary: JobSummary, gantt: bool, width: int) -> str:
     t = summary.timing
+    header = summary.name
+    if summary.tenant:
+        header += f" [tenant {summary.tenant}]"
+    if summary.cache_hit:
+        header += " (result-cache hit)"
     lines = [
-        f"== {summary.name} " + "=" * max(4, 58 - len(summary.name)),
+        f"== {header} " + "=" * max(4, 58 - len(header)),
         (
             f"  total {summary.total_s:.1f} sim s"
             f"  (setup {t.get('setup_s', 0.0):.1f}"
@@ -367,15 +415,35 @@ def render_report(
     jobs: list[str] | None = None,
     gantt: bool = True,
     width: int = 48,
+    tenant: str | None = None,
 ) -> str:
-    """The full ``repro history`` report: one block per job + totals."""
+    """The full ``repro history`` report: one block per job + totals.
+
+    ``tenant`` restricts the report to one tenant's jobs in a service
+    history (jobs whose ``job_start`` carries that tenant tag).
+    """
     summaries = summarize(history)
     if jobs is not None:
         wanted = set(jobs)
         summaries = [s for s in summaries if s.name in wanted]
+    if tenant is not None:
+        summaries = [s for s in summaries if s.tenant == tenant]
     if not summaries:
         return "history contains no finished jobs"
     blocks = [_render_job(history, s, gantt, width) for s in summaries]
+    accounts = tenant_accounting(summaries)
+    if accounts:
+        acct_lines = ["== per-tenant accounting " + "=" * 37]
+        name_w = max(len(t) for t in accounts)
+        for name in sorted(accounts):
+            row = accounts[name]
+            acct_lines.append(
+                f"  {name:<{name_w}}  {row['jobs']} job(s)"
+                f"  ({row['cache_hits']} cache hit(s))"
+                f"  {row['total_s']:.1f} sim s"
+                f"  {row['map_tasks']} maps / {row['reduce_tasks']} reduces"
+            )
+        blocks.append("\n".join(acct_lines))
     total = sum(s.total_s for s in summaries)
     shuffle_total = sum(s.shuffle_bytes for s in summaries)
     blocks.append(

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.mapreduce.config import Configuration
+from repro.mapreduce.config import (
+    Configuration,
+    MapReduceConfig,
+    validate_tenants,
+)
 
 
 class TestConfiguration:
@@ -77,3 +81,56 @@ class TestTypedGetters:
         conf.require("a")
         with pytest.raises(KeyError, match=r"\['b', 'c'\]"):
             conf.require("a", "b", "c")
+
+
+class TestValidateTenants:
+    """The tenant-roster validation MapReduceConfig runs at construction."""
+
+    def test_bare_weights_normalized(self):
+        roster = validate_tenants({"alice": 2, "bob": 1.5})
+        assert roster == {
+            "alice": {"weight": 2.0, "max_queued": None},
+            "bob": {"weight": 1.5, "max_queued": None},
+        }
+
+    def test_knob_dict_spelling(self):
+        roster = validate_tenants({"a": {"weight": 3, "max_queued": 4}, "b": {}})
+        assert roster["a"] == {"weight": 3.0, "max_queued": 4}
+        assert roster["b"] == {"weight": 1.0, "max_queued": None}  # defaults
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            validate_tenants({})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            validate_tenants(["alice", "bob"])
+
+    @pytest.mark.parametrize("name", ["", "   ", 7, None])
+    def test_blank_or_nonstring_names_rejected(self, name):
+        with pytest.raises(ValueError, match="non-empty strings"):
+            validate_tenants({name: 1.0})
+
+    @pytest.mark.parametrize(
+        "weight", [0, -1, -0.5, float("nan"), float("inf"), True, "2", None]
+    )
+    def test_bad_weights_rejected(self, weight):
+        with pytest.raises(ValueError, match="weight"):
+            validate_tenants({"t": weight})
+
+    @pytest.mark.parametrize("quota", [0, -3, 1.5, True, "4"])
+    def test_bad_quotas_rejected(self, quota):
+        with pytest.raises(ValueError, match="max_queued"):
+            validate_tenants({"t": {"weight": 1.0, "max_queued": quota}})
+
+    def test_unknown_knobs_rejected(self):
+        with pytest.raises(ValueError, match="unknown knobs.*'priority'"):
+            validate_tenants({"t": {"weight": 1.0, "priority": 9}})
+
+    def test_mapreduce_config_validates_at_construction(self):
+        MapReduceConfig("serial", tenants={"alice": 2.0})  # fine
+        with pytest.raises(ValueError, match="weight"):
+            MapReduceConfig("serial", tenants={"alice": -2.0})
+
+    def test_none_means_single_tenant(self):
+        assert MapReduceConfig("serial").tenants is None

@@ -4,7 +4,9 @@ import pytest
 
 from repro.mapreduce.cluster import ClusterSpec, Node, paper_cluster
 from repro.mapreduce.scheduler import (
+    FairShareJob,
     Locality,
+    plan_fair_share,
     plan_map_phase,
     plan_reduce_phase,
 )
@@ -156,3 +158,106 @@ class TestReducePhase:
         placements, makespan = plan_reduce_phase(1, paper_cluster(3), lambda r: 2.0)
         assert len(placements) == 1
         assert makespan == pytest.approx(2.0)
+
+
+class TestFairShare:
+    """The multi-tenant stride planner behind JobService.report()."""
+
+    @staticmethod
+    def _jobs(n_per_tenant=4, n_maps=6, dur=10.0,
+              weights=(("alice", 2.0), ("bob", 1.0))):
+        jobs = []
+        order = 0
+        for tenant, weight in weights:
+            for j in range(n_per_tenant):
+                jobs.append(
+                    FairShareJob(
+                        tenant=tenant, weight=weight,
+                        name=f"{tenant}:job-{j}", order=order,
+                        map_durations=(dur,) * n_maps,
+                        reduce_durations=(dur / 2.0,),
+                    )
+                )
+                order += 1
+        return jobs
+
+    def test_weighted_shares_within_gate(self):
+        # Enough small tasks that slot quantization can't mask the
+        # weighting (the gate is over slot-seconds, not task counts).
+        plan = plan_fair_share(
+            self._jobs(n_per_tenant=8, n_maps=20, dur=2.0), paper_cluster(4)
+        )
+        deviations = plan.fairness_deviations()
+        # The acceptance gate the contention benchmark enforces.
+        assert max(abs(d) for d in deviations.values()) <= 0.2
+        shares = plan.tenant_shares()
+        assert shares["alice"] > shares["bob"]
+
+    def test_equal_weights_equal_slot_seconds(self):
+        jobs = self._jobs(weights=(("a", 1.0), ("b", 1.0)))
+        plan = plan_fair_share(jobs, paper_cluster(4))
+        used = plan.slot_seconds(plan.contended_window())
+        assert used["a"] == pytest.approx(used["b"], rel=0.15)
+
+    def test_no_starvation_under_extreme_weights(self):
+        """A weight-100 tenant cannot lock a weight-1 peer out of the
+        contended window entirely: stride vtime guarantees progress."""
+        jobs = self._jobs(weights=(("big", 100.0), ("small", 1.0)))
+        plan = plan_fair_share(jobs, paper_cluster(4))
+        used = plan.slot_seconds(plan.contended_window())
+        assert used["small"] > 0.0
+        first_small = min(
+            t.start for t in plan.tasks if t.tenant == "small"
+        )
+        # The small tenant runs within the first couple of task slots,
+        # not after the big tenant's whole backlog.
+        assert first_small <= 20.0
+
+    def test_deterministic_across_calls(self):
+        a = plan_fair_share(self._jobs(), paper_cluster(4))
+        b = plan_fair_share(self._jobs(), paper_cluster(4))
+        assert a.tasks == b.tasks
+        assert a.makespan == b.makespan
+
+    def test_fifo_within_tenant(self):
+        plan = plan_fair_share(self._jobs(), paper_cluster(4))
+        for tenant in ("alice", "bob"):
+            starts = {}
+            for task in plan.tasks:
+                if task.tenant == tenant and task.phase == "map":
+                    starts.setdefault(task.job, task.start)
+            jobs_by_first_start = sorted(starts, key=lambda j: starts[j])
+            assert jobs_by_first_start == sorted(starts)  # job-0, job-1, ...
+
+    def test_reduce_waits_for_own_map_phase(self):
+        plan = plan_fair_share(self._jobs(), paper_cluster(4))
+        map_done = {}
+        for task in plan.tasks:
+            if task.phase == "map":
+                map_done[task.job] = max(map_done.get(task.job, 0.0), task.end)
+        for task in plan.tasks:
+            if task.phase == "reduce":
+                assert task.start >= map_done[task.job]
+
+    def test_conflicting_weights_rejected(self):
+        jobs = [
+            FairShareJob("t", 1.0, "t:a", 0, (1.0,)),
+            FairShareJob("t", 2.0, "t:b", 1, (1.0,)),
+        ]
+        with pytest.raises(ValueError, match="conflicting weights"):
+            plan_fair_share(jobs, paper_cluster(2))
+
+    def test_all_dead_raises(self):
+        cluster = paper_cluster(2)
+        dead = frozenset(n.name for n in cluster.tasktrackers())
+        with pytest.raises(RuntimeError, match="no alive tasktrackers"):
+            plan_fair_share(self._jobs(), cluster, dead_nodes=dead)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative task duration"):
+            FairShareJob("t", 1.0, "t:a", 0, (1.0, -0.5))
+
+    def test_empty_plan(self):
+        plan = plan_fair_share([], paper_cluster(2))
+        assert plan.tasks == [] and plan.makespan == 0.0
+        assert plan.contended_window() == 0.0

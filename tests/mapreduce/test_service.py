@@ -1,0 +1,265 @@
+"""The multi-tenant JobService: submit → future lifecycle, admission
+control, result-cache semantics, fair-share accounting, and the
+byte-identity invariant (every tenant of a shared service produces the
+same bytes as a solo run, on every backend and under chaos)."""
+
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.algorithms.sampling import SamplingMapper
+from repro.geo.synthetic import SyntheticConfig, generate_dataset
+from repro.mapreduce.chaos import _trace_array_signature, run_multitenant_check
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.config import BACKENDS, Configuration
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.service import (
+    RESULT_CACHE_HITS,
+    SERVICE_GROUP,
+    JobService,
+    JobStatus,
+    QuotaExceededError,
+    UnknownTenantError,
+)
+from repro.observability.report import summarize, tenant_accounting
+
+
+def _hdfs(n_workers=3):
+    dataset, _ = generate_dataset(SyntheticConfig(n_users=2, days=1, seed=7))
+    corpus = dataset.flat().sort_by_time()
+    hdfs = SimulatedHDFS(paper_cluster(n_workers), chunk_size=64 * 1024, seed=0)
+    hdfs.put_trace_array("input/traces", corpus)
+    return hdfs
+
+
+def _sampling_spec(name, out, window=600.0):
+    return JobSpec(
+        name=name,
+        mapper=SamplingMapper,
+        input_paths=["input/traces"],
+        output_path=out,
+        conf=Configuration(
+            {"sampling.window_s": window, "sampling.technique": "upper"}
+        ),
+        map_cost_factor=0.6,
+    )
+
+
+# -- futures lifecycle -------------------------------------------------------
+
+def test_future_lifecycle_queued_then_done():
+    with JobService(_hdfs(), tenants={"t1": 1.0}, start=False) as service:
+        future = service.submit(_sampling_spec("samp", "out/a"), tenant="t1")
+        assert future.status == JobStatus.QUEUED
+        assert not future.done()
+        service.start()
+        result = future.result(timeout=60)
+        assert future.done()
+        assert future.status == JobStatus.DONE
+        assert future.exception() is None
+        # The service namespaces job names by tenant (history validation
+        # requires unique names across tenants).
+        assert result.job_name == "t1:samp"
+        assert result.n_map_tasks > 0
+        assert len(service.hdfs.read_trace_array("out/a")) > 0
+
+
+def test_failed_job_resolves_future_with_exception():
+    bad = JobSpec(
+        name="bad",
+        mapper=SamplingMapper,
+        input_paths=["input/does-not-exist"],
+        output_path="out/bad",
+    )
+    with JobService(_hdfs(), tenants={"t1": 1.0}) as service:
+        future = service.submit(bad, tenant="t1")
+        with pytest.raises(Exception):
+            future.result(timeout=60)
+        assert future.status == JobStatus.FAILED
+        assert future.exception() is not None
+
+
+def test_unknown_tenant_rejected():
+    with JobService(_hdfs(), tenants={"alice": 1.0}, start=False) as service:
+        with pytest.raises(UnknownTenantError):
+            service.submit(_sampling_spec("s", "out/s"), tenant="mallory")
+
+
+def test_quota_caps_queued_jobs_per_tenant():
+    roster = {"t": {"weight": 1.0, "max_queued": 1}}
+    with JobService(_hdfs(), tenants=roster, start=False) as service:
+        first = service.submit(_sampling_spec("s0", "out/s0"), tenant="t")
+        with pytest.raises(QuotaExceededError):
+            service.submit(_sampling_spec("s1", "out/s1"), tenant="t")
+        service.start()
+        first.result(timeout=60)
+        # Admission is a queue-depth cap, not a lifetime cap: once the
+        # backlog drains the tenant may submit again.
+        service.submit(_sampling_spec("s2", "out/s2"), tenant="t").result(
+            timeout=60
+        )
+
+
+def test_cancel_queued_job():
+    with JobService(_hdfs(), tenants={"t": 1.0}, start=False) as service:
+        keep = service.submit(_sampling_spec("keep", "out/keep"), tenant="t")
+        drop = service.submit(_sampling_spec("drop", "out/drop"), tenant="t")
+        assert drop.cancel()
+        assert drop.status == JobStatus.CANCELLED
+        with pytest.raises(CancelledError):
+            drop.result(timeout=5)
+        service.start()
+        keep.result(timeout=60)
+        # A completed future can no longer be cancelled.
+        assert not keep.cancel()
+        assert not service.hdfs.exists("out/drop")
+
+
+# -- result cache ------------------------------------------------------------
+
+def test_resubmission_is_cache_hit_with_zero_map_tasks():
+    with JobService(_hdfs(), tenants={"t": 1.0}) as service:
+        spec = _sampling_spec("first", "out/first")
+        r1 = service.submit(spec, tenant="t").result(timeout=60)
+        assert r1.n_map_tasks > 0
+        r2 = service.submit(
+            _sampling_spec("again", "out/again"), tenant="t"
+        ).result(timeout=60)
+        assert r2.n_map_tasks == 0
+        assert r2.counters.value(SERVICE_GROUP, RESULT_CACHE_HITS) == 1
+        assert service.result_cache.hits == 1
+        sig = _trace_array_signature(service.hdfs.read_trace_array("out/first"))
+        assert (
+            _trace_array_signature(service.hdfs.read_trace_array("out/again"))
+            == sig
+        )
+        # A hit is charged one job-setup, not a map phase.
+        assert r2.timing.map_s == 0.0
+        assert r2.timing.setup_s == pytest.approx(service.cost_model.job_setup_s)
+
+
+def test_different_conf_is_not_a_hit():
+    with JobService(_hdfs(), tenants={"t": 1.0}) as service:
+        service.submit(_sampling_spec("a", "out/a"), tenant="t").result(timeout=60)
+        other = service.submit(
+            _sampling_spec("b", "out/b", window=120.0), tenant="t"
+        ).result(timeout=60)
+        assert other.n_map_tasks > 0
+        assert service.result_cache.hits == 0
+        assert service.result_cache.misses == 2
+
+
+def test_cache_can_be_disabled():
+    with JobService(_hdfs(), tenants={"t": 1.0}, result_cache=False) as service:
+        assert service.result_cache is None
+        service.submit(_sampling_spec("a", "out/a"), tenant="t").result(timeout=60)
+        rerun = service.submit(
+            _sampling_spec("b", "out/b"), tenant="t"
+        ).result(timeout=60)
+        assert rerun.n_map_tasks > 0
+
+
+# -- multi-tenant equivalence ------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_two_tenants_byte_identical_to_solo(backend):
+    workers = None if backend == "serial" else 2
+    solo_hdfs = _hdfs()
+    with JobRunner(solo_hdfs, executor=backend, max_workers=workers) as runner:
+        runner.run(_sampling_spec("solo", "out/solo"))
+        solo_sig = _trace_array_signature(solo_hdfs.read_trace_array("out/solo"))
+
+    hdfs = _hdfs()
+    with JobService(
+        hdfs, tenants={"alice": 2.0, "bob": 1.0},
+        executor=backend, max_workers=workers,
+    ) as service:
+        futures = {
+            t: service.client(t).submit(
+                _sampling_spec("samp", f"tenants/{t}/out")
+            )
+            for t in ("alice", "bob")
+        }
+        for tenant, future in futures.items():
+            future.result(timeout=120)
+            sig = _trace_array_signature(
+                hdfs.read_trace_array(f"tenants/{tenant}/out")
+            )
+            assert sig == solo_sig, (backend, tenant)
+    assert not service.history.validate()
+
+
+def test_two_tenants_equivalent_under_chaos():
+    outcomes = run_multitenant_check(
+        drivers=["sampling"], seed=3, with_chaos=True
+    )
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert outcome.chaos_active
+    assert outcome.ok, outcome
+    assert "alice" in outcome.report and "bob" in outcome.report
+
+
+# -- fair-share accounting and observability ---------------------------------
+
+def _run_contended_service():
+    hdfs = _hdfs()
+    service = JobService(hdfs, tenants={"alice": 2.0, "bob": 1.0}, start=False)
+    for tenant in ("alice", "bob"):
+        client = service.client(tenant)
+        for j in range(2):
+            client.submit(
+                _sampling_spec(
+                    f"samp-{j}", f"tenants/{tenant}/out-{j}",
+                    window=300.0 * (j + 1) + (7 if tenant == "bob" else 0),
+                )
+            )
+    service.start()
+    service.wait(timeout=120)
+    return service
+
+
+def test_interleave_is_deterministic():
+    a = _run_contended_service()
+    b = _run_contended_service()
+    try:
+        assert a.fair_share_plan().tasks == b.fair_share_plan().tasks
+        ra, rb = a.report(), b.report()
+        assert ra.tenants == rb.tenants
+        assert ra.interleaved_makespan_s == rb.interleaved_makespan_s
+    finally:
+        a.close()
+        b.close()
+
+
+def test_report_shape_and_render():
+    service = _run_contended_service()
+    try:
+        report = service.report()
+        assert set(report.tenants) == {"alice", "bob"}
+        alice = report.tenants["alice"]
+        assert alice["weight"] == 2.0
+        assert alice["jobs"] == 2
+        assert alice["weight_share"] == pytest.approx(2.0 / 3.0)
+        assert 0.0 < report.contended_window_s <= report.interleaved_makespan_s
+        assert report.serial_s > 0
+        rendered = report.render()
+        assert "alice" in rendered and "bob" in rendered
+    finally:
+        service.close()
+
+
+def test_history_tags_tenants_and_accounting_rolls_up():
+    service = _run_contended_service()
+    try:
+        history = service.history
+        assert not history.validate()
+        accounts = tenant_accounting(summarize(history))
+        assert set(accounts) == {"alice", "bob"}
+        for row in accounts.values():
+            assert row["jobs"] == 2
+            assert row["total_s"] > 0
+    finally:
+        service.close()

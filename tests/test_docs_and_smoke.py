@@ -47,6 +47,32 @@ def test_chaos_selfcheck_smoke(capsys):
     assert "chaos selfcheck: ok" in capsys.readouterr().out
 
 
+def test_service_selfcheck_smoke(capsys):
+    """`python -m repro service --selfcheck`: two tenants sharing one
+    JobService (fault-free and chaotic) match solo runs byte for byte."""
+    assert main(["service", "--selfcheck"]) == 0
+    assert "service selfcheck OK" in capsys.readouterr().out
+
+
+def test_cli_help_mentions_every_documented_subcommand():
+    """Docs and CLI can't drift: every `python -m repro <cmd>` usage in
+    the markdown corpus must name a real subcommand."""
+    from repro.cli import build_parser
+
+    help_text = build_parser().format_help()
+    documented = set()
+    for doc in DOCS:
+        for match in re.finditer(
+            r"python -m repro ([a-z][a-z0-9_-]*)", doc.read_text()
+        ):
+            documented.add(match.group(1))
+    assert {"history", "chaos", "bench", "submit", "service"} <= documented
+    missing = sorted(
+        cmd for cmd in documented if not re.search(rf"\b{cmd}\b", help_text)
+    )
+    assert not missing, f"docs mention unknown subcommands {missing}"
+
+
 @pytest.mark.parametrize("doc", DOCS, ids=lambda p: str(p.relative_to(REPO)))
 def test_markdown_links_resolve(doc):
     broken = []
