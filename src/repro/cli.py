@@ -18,12 +18,14 @@ Commands
 ``bench``      wall-clock benchmark of the execution backends (docs/PERFORMANCE.md)
 ``submit``     submit one job to a JobService and trace its future (docs/JOBSERVICE.md)
 ``service``    multi-tenant campaign over the algorithm drivers (docs/JOBSERVICE.md)
+``query``      build/reuse a persistent R-tree and serve queries from it (docs/SERVING.md)
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime as _dt
+import math
 import sys
 
 from repro.algorithms.djcluster import DJClusterParams
@@ -306,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the result-cache resubmission cell (fixed workload so the "
         "document doubles as a baseline; combine with --check/--out)",
     )
+    ben.add_argument(
+        "--query", action="store_true",
+        help="benchmark the index serving path instead: persist the "
+        "Figure-6 R-tree through the catalog under --budget-mb, prove "
+        "the second ensure is a zero-job reuse hit, and answer a seeded "
+        "point/range/radius/kNN workload byte-identically to the "
+        "in-memory tree (fixed workload so the document doubles as a "
+        "baseline; combine with --check/--out)",
+    )
 
     smt = sub.add_parser(
         "submit",
@@ -374,6 +385,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the fixed two-tenant equivalence campaign over all "
         "drivers, with and without chaos (used by the CI smoke step)",
+    )
+
+    qry = sub.add_parser(
+        "query",
+        help="build/reuse a persistent R-tree index and serve queries",
+        description=(
+            "The worked docs/SERVING.md example: persists the Figure-6 "
+            "MapReduce R-tree build as checksummed node pages in "
+            "simulated HDFS under a memory budget, shows the second "
+            "catalog ensure coming back as a zero-job reuse hit, then "
+            "serves point/range/radius/kNN queries through a tenant's "
+            "QueryEngine — zero map tasks per query — and verifies the "
+            "answers byte-identical to the in-memory tree."
+        ),
+    )
+    qry.add_argument(
+        "--traces", type=int, default=50_000, help="synthetic corpus size"
+    )
+    qry.add_argument("--seed", type=int, default=0, help="corpus/workload seed")
+    qry.add_argument(
+        "--budget-mb", type=float, default=8.0,
+        help="memory budget the index is served under (default 8)",
+    )
+    qry.add_argument(
+        "--queries", type=int, default=12,
+        help="seeded demo queries to serve (round-robin over the kinds)",
+    )
+    qry.add_argument("--tenant", default="analyst", help="tenant name to serve as")
+    qry.add_argument(
+        "--point", help="one point lookup as 'lat,lon' (replaces the demo mix)"
+    )
+    qry.add_argument(
+        "--range",
+        dest="range_query",
+        help="one range query as 'min_lat,min_lon,max_lat,max_lon'",
+    )
+    qry.add_argument(
+        "--radius-query", help="one radius query as 'lat,lon,metres'"
+    )
+    qry.add_argument("--knn", help="one kNN query as 'lat,lon,k'")
+    qry.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the in-memory reference build and byte-identity check",
+    )
+    qry.add_argument(
+        "--history", help="export the serving job history (.json/.jsonl)"
     )
     return parser
 
@@ -564,19 +621,53 @@ def main(argv: list[str] | None = None) -> int:
         from repro.mapreduce.bench import (
             DEFAULT_BASELINE,
             DEFAULT_MULTITENANT_OUT,
+            DEFAULT_QUERY_OUT,
             DEFAULT_SPILL_OUT,
             check_against_baseline,
             check_multitenant_against_baseline,
             check_multitenant_result,
+            check_query_against_baseline,
+            check_query_result,
             load_result,
             render_multitenant_result,
+            render_query_result,
             render_result,
             render_spill_result,
             run_backend_benchmark,
             run_multitenant_benchmark,
+            run_query_benchmark,
             run_spill_benchmark,
             save_result,
         )
+
+        if args.query:
+            try:
+                sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+                doc = run_query_benchmark(sizes=sizes, budget_mb=args.budget_mb)
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(f"bench: {exc}")
+            print(render_query_result(doc))
+            problems = check_query_result(doc)
+            if args.check:
+                # Compare before (possibly) overwriting the baseline.
+                baseline_path = args.baseline or DEFAULT_QUERY_OUT
+                try:
+                    baseline = load_result(baseline_path)
+                    problems += check_query_against_baseline(doc, baseline)
+                except FileNotFoundError:
+                    print(f"(no baseline at {baseline_path}; intrinsic gates only)")
+            if args.out or not args.check:
+                # Generation mode writes the artifact; --check without
+                # --out leaves the committed baseline untouched.
+                out = args.out or DEFAULT_QUERY_OUT
+                print(f"result written to {save_result(doc, out)}")
+            if problems:
+                print("\nFAILED gates:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print("all serving gates passed")
+            return 0
 
         if args.multitenant:
             try:
@@ -777,6 +868,166 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(outcomes[-1].report)
         return 0 if ok else 1
+
+    if args.command == "query":
+        import numpy as np
+
+        from repro.index.persistent import IndexCatalog
+        from repro.index.rtree import Rect
+        from repro.index.rtree_mr import build_rtree_mapreduce
+        from repro.mapreduce.bench import _query_workload, synthetic_corpus
+        from repro.mapreduce.cluster import paper_cluster
+        from repro.mapreduce.hdfs import MB, SimulatedHDFS
+        from repro.mapreduce.runner import JobRunner
+        from repro.mapreduce.service import JobService
+        from repro.observability.events import EventKind
+
+        def parse_floats(spec: str, n: int, what: str) -> tuple[float, ...]:
+            parts = [p for p in spec.split(",") if p.strip()]
+            if len(parts) != n:
+                raise SystemExit(f"query: {what} wants {n} comma-separated values")
+            try:
+                values = tuple(float(p) for p in parts)
+            except ValueError as exc:
+                raise SystemExit(f"query: bad {what}: {exc}")
+            if not all(math.isfinite(v) for v in values):
+                raise SystemExit(f"query: {what} values must be finite, got {spec!r}")
+            return values
+
+        if args.traces < 1:
+            raise SystemExit("query: --traces must be positive")
+        if args.budget_mb is not None and args.budget_mb <= 0:
+            raise SystemExit("query: --budget-mb must be positive")
+        explicit: list[tuple[str, tuple[float, ...]]] = []
+        if args.point:
+            explicit.append(("point", parse_floats(args.point, 2, "--point")))
+        if args.range_query:
+            explicit.append(("range", parse_floats(args.range_query, 4, "--range")))
+        if args.radius_query:
+            explicit.append(
+                ("radius", parse_floats(args.radius_query, 3, "--radius-query"))
+            )
+        if args.knn:
+            lat, lon, k = parse_floats(args.knn, 3, "--knn")
+            if k < 1:
+                raise SystemExit("query: --knn k must be positive")
+            explicit.append(("knn", (lat, lon, int(k))))
+        corpus = synthetic_corpus(args.traces, seed=args.seed)
+        hdfs = SimulatedHDFS(
+            paper_cluster(4),
+            chunk_size=1 * MB,
+            seed=0,
+            memory_budget_mb=args.budget_mb,
+        )
+        hdfs.put_trace_array("input/traces", corpus)
+        with JobRunner(hdfs, executor="serial", memory_budget_mb=args.budget_mb) as runner:
+            n_partitions = max(1, runner.cluster.total_reduce_slots() // 2)
+            catalog = IndexCatalog(hdfs)
+            index, built = catalog.ensure(
+                runner, "input/traces", n_partitions=n_partitions
+            )
+            entry = catalog.entries()[0]
+            print(
+                f"published index {entry.key}: {entry.n_points:,} points, "
+                f"{index.meta['n_pages']} pages "
+                f"({index.meta['page_bytes'] / MB:.1f} MB) built in "
+                f"{entry.build_sim_seconds:.1f} sim s under a "
+                f"{args.budget_mb} MB budget"
+            )
+            starts_before = sum(
+                1 for e in runner.history.events if e.kind == EventKind.JOB_START
+            )
+            index, rebuilt = catalog.ensure(
+                runner, "input/traces", n_partitions=n_partitions
+            )
+            reuse_jobs = (
+                sum(1 for e in runner.history.events if e.kind == EventKind.JOB_START)
+                - starts_before
+            )
+            if rebuilt or reuse_jobs:
+                print(f"WARNING: second ensure rebuilt ({reuse_jobs} job(s) ran)")
+            else:
+                print("second ensure: catalog hit, 0 jobs ran")
+
+        ref_tree = None
+        if not args.no_verify:
+            # The identical MapReduce build on an unbudgeted twin keeps
+            # its merged tree in memory as the byte-identity reference.
+            ref_hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=1 * MB, seed=0)
+            ref_hdfs.put_trace_array("input/traces", corpus)
+            with JobRunner(ref_hdfs, executor="serial") as ref_runner:
+                ref_tree = build_rtree_mapreduce(
+                    ref_runner,
+                    "input/traces",
+                    n_partitions=n_partitions,
+                    workdir="tmp/rtree-ref",
+                ).tree
+
+        workload = explicit or _query_workload(corpus, args.queries, args.seed)
+
+        mismatches = 0
+        with JobService(hdfs, tenants={args.tenant: 1.0}) as service:
+            client = service.client(args.tenant)
+            engine = client.query_engine(key=entry.key)
+            for kind, params in workload:
+                if kind == "point":
+                    got = engine.point(*params)
+                    want = ref_tree.query_rect(
+                        Rect(params[0], params[1], params[0], params[1])
+                    ) if ref_tree is not None else None
+                    same = want is None or np.array_equal(got, want)
+                elif kind == "range":
+                    got = engine.range(*params)
+                    want = (
+                        ref_tree.query_rect(Rect(*params))
+                        if ref_tree is not None
+                        else None
+                    )
+                    same = want is None or np.array_equal(got, want)
+                elif kind == "radius":
+                    got = engine.radius(*params)
+                    want = (
+                        ref_tree.query_radius(*params)
+                        if ref_tree is not None
+                        else None
+                    )
+                    same = want is None or np.array_equal(got, want)
+                else:
+                    got = engine.knn(params[0], params[1], int(params[2]))
+                    want = (
+                        ref_tree.knn(params[0], params[1], int(params[2]))
+                        if ref_tree is not None
+                        else None
+                    )
+                    same = want is None or got == want
+                mismatches += 0 if same else 1
+                last = engine.stats.last
+                verdict = "" if ref_tree is None else (
+                    "  [identical]" if same else "  [DIVERGED]"
+                )
+                shown = ", ".join(f"{p:g}" for p in params)
+                print(
+                    f"  {kind:<7} ({shown}): {last['n_results']} result(s), "
+                    f"{last['page_faults']} page fault(s), "
+                    f"{1000 * last['latency_s']:.2f} ms sim{verdict}"
+                )
+            report = engine.report()
+            print(
+                f"served {report['n_queries']} queries with zero map tasks: "
+                f"{report['page_faults']} page fault(s) "
+                f"({report['fault_bytes'] / MB:.2f} MB paged in), "
+                f"mean sim latency {report['mean_latency_ms']:.2f} ms"
+            )
+            if ref_tree is not None:
+                print(
+                    "answers byte-identical to the in-memory R-tree"
+                    if mismatches == 0
+                    else f"{mismatches} quer(ies) DIVERGED from the in-memory R-tree"
+                )
+            if args.history:
+                service.history.save(args.history)
+                print(f"history exported to {args.history}")
+        return 1 if mismatches else 0
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -16,6 +16,13 @@ from repro.index.spacefilling import (
 )
 from repro.index.rtree import RTree, Rect
 from repro.index.rtree_mr import build_rtree_mapreduce, RTreeBuildResult
+from repro.index.persistent import (
+    IndexCatalog,
+    IndexCorruptError,
+    PersistentRTree,
+    PortableIndex,
+    QueryEngine,
+)
 from repro.index.selfjoin import radius_self_join
 
 __all__ = [
@@ -29,4 +36,9 @@ __all__ = [
     "Rect",
     "build_rtree_mapreduce",
     "RTreeBuildResult",
+    "IndexCatalog",
+    "IndexCorruptError",
+    "PersistentRTree",
+    "PortableIndex",
+    "QueryEngine",
 ]

@@ -1,0 +1,890 @@
+"""Persistent disk-backed R-tree pages in SimulatedHDFS + a serving path.
+
+The paper's Figure-6 pipeline builds a global R-tree with MapReduce, but
+the merged index only ever lived in driver memory: every analysis paid
+the build again.  This module makes the index a first-class HDFS
+artifact and puts a query path in front of it:
+
+* **Node pages** — every tree node serializes to one checksummed block
+  (``RTP1`` magic + CRC-32 + a fixed little-endian body), DFS-numbered
+  with the root at page 0.  Pages are grouped into HDFS chunks, so under
+  ``mapreduce.memory_budget_mb`` they ride the PR-4 ``PayloadStore``
+  LRU: a million-point index serves queries while only the touched page
+  groups are resident.
+* :class:`PersistentRTree` — save/open of a bulk-loaded
+  :class:`~repro.index.rtree.RTree`.  Opening builds a *facade* tree
+  whose nodes decode lazily from pages; the facade reuses ``RTree``'s
+  own traversal code verbatim, so every answer (including kNN tie
+  order) is byte-identical to the in-memory tree.
+* :class:`IndexCatalog` — a namenode-side registry keyed by (dataset
+  version, build parameters): ``ensure`` answers repeat builds with a
+  zero-job catalog hit and records ``index_publish`` /
+  ``index_reuse`` history events.
+* :class:`QueryEngine` — point / range / radius / kNN serving with
+  per-query simulated latency (dispatch + page-fault read time from the
+  cost model) and ``query_served`` history events; no map task ever
+  launches.
+* :class:`PortableIndex` — a picklable, self-contained page set that
+  crosses process-pool boundaries (paged chunks refuse to pickle), used
+  to broadcast the shared index to DJ-Cluster's neighborhood mappers.
+
+Corruption never produces garbage answers: a truncated block, a bad
+checksum, or a missing catalog entry raises :class:`IndexCorruptError`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import math
+import struct
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, TYPE_CHECKING
+
+import numpy as np
+
+from repro.index.rtree import DEFAULT_MAX_ENTRIES, Rect, RTree
+from repro.index.spacefilling import DEFAULT_ORDER
+from repro.mapreduce.simtime import CostModel
+from repro.mapreduce.types import RecordPayload, concrete_payload
+from repro.observability.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.hdfs import SimulatedHDFS
+    from repro.mapreduce.runner import JobRunner
+    from repro.observability.history import JobHistory
+
+__all__ = [
+    "IndexCorruptError",
+    "PersistentRTree",
+    "PortableIndex",
+    "IndexCatalog",
+    "CatalogEntry",
+    "QueryEngine",
+    "QUERY_DISPATCH_S",
+    "INDEX_ROOT",
+    "DEFAULT_PAGE_GROUP_BYTES",
+]
+
+#: Magic prefix of every serialized node page (version 1 of the format).
+PAGE_MAGIC = b"RTP1"
+
+#: Fixed header: magic + CRC-32 of the body.
+_HEADER = struct.Struct("<4sI")
+
+#: Body prefix: is_leaf flag + entry count, then the node MBR (4 f64).
+_BODY_PREFIX = struct.Struct("<BI")
+
+_MBR_BYTES = 4 * 8
+_LEAF_ENTRY_BYTES = 8 + 16  # int64 id + (lat, lon) float64
+_CHILD_ENTRY_BYTES = 8 + 32  # int64 page id + child MBR (4 f64)
+
+#: Modelled bytes per page-group chunk.  Small groups (vs the 64 MB data
+#: chunks) are what make the LRU useful: an 8 MB budget holds the hot
+#: ~32 groups of a million-point index instead of thrashing whole files.
+DEFAULT_PAGE_GROUP_BYTES = 256 * 1024
+
+#: HDFS prefix under which the catalog stores its indexes.
+INDEX_ROOT = ".index"
+
+#: Simulated seconds to dispatch one query to the serving path (no job
+#: setup, no map wave — the whole point of serving from a persisted
+#: index).  Page faults add ``CostModel.spill_read_time`` on top.
+QUERY_DISPATCH_S = 1e-3
+
+
+class IndexCorruptError(RuntimeError):
+    """A persisted index page or catalog entry failed validation."""
+
+
+# -- page codec -------------------------------------------------------------
+
+
+def _encode_leaf_page(ids: np.ndarray, points: np.ndarray, mbr: Rect) -> bytes:
+    n = len(ids)
+    body = (
+        _BODY_PREFIX.pack(1, n)
+        + mbr.as_array().astype("<f8").tobytes()
+        + np.ascontiguousarray(ids, dtype="<i8").tobytes()
+        + np.ascontiguousarray(points, dtype="<f8").tobytes()
+    )
+    return _HEADER.pack(PAGE_MAGIC, zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def _encode_internal_page(
+    child_ids: list[int], child_mbrs: np.ndarray, mbr: Rect
+) -> bytes:
+    n = len(child_ids)
+    body = (
+        _BODY_PREFIX.pack(0, n)
+        + mbr.as_array().astype("<f8").tobytes()
+        + np.asarray(child_ids, dtype="<i8").tobytes()
+        + np.ascontiguousarray(child_mbrs, dtype="<f8").tobytes()
+    )
+    return _HEADER.pack(PAGE_MAGIC, zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+@dataclass
+class _DecodedPage:
+    """One node page, decoded and validated."""
+
+    is_leaf: bool
+    mbr: Rect
+    ids: np.ndarray | None = None
+    points: np.ndarray | None = None
+    child_ids: np.ndarray | None = None
+    child_mbrs: np.ndarray | None = None
+
+
+def decode_page(blob: bytes, page_id: int) -> _DecodedPage:
+    """Decode one node block, raising :class:`IndexCorruptError` on a
+    short read, bad magic, checksum mismatch or inconsistent length."""
+    if len(blob) < _HEADER.size + _BODY_PREFIX.size + _MBR_BYTES:
+        raise IndexCorruptError(
+            f"page {page_id}: truncated block ({len(blob)} bytes)"
+        )
+    magic, crc = _HEADER.unpack_from(blob, 0)
+    if magic != PAGE_MAGIC:
+        raise IndexCorruptError(f"page {page_id}: bad magic {magic!r}")
+    body = blob[_HEADER.size :]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise IndexCorruptError(f"page {page_id}: checksum mismatch")
+    is_leaf, n = _BODY_PREFIX.unpack_from(body, 0)
+    offset = _BODY_PREFIX.size
+    mbr_arr = np.frombuffer(body[offset : offset + _MBR_BYTES], dtype="<f8")
+    offset += _MBR_BYTES
+    per_entry = _LEAF_ENTRY_BYTES if is_leaf else _CHILD_ENTRY_BYTES
+    if len(body) != offset + n * per_entry:
+        raise IndexCorruptError(
+            f"page {page_id}: body length {len(body)} does not match "
+            f"{n} entries"
+        )
+    mbr = Rect(*(float(x) for x in mbr_arr))
+    if is_leaf:
+        ids = np.frombuffer(body[offset : offset + 8 * n], dtype="<i8")
+        points = np.frombuffer(body[offset + 8 * n :], dtype="<f8").reshape(n, 2)
+        return _DecodedPage(True, mbr, ids=ids, points=points)
+    child_ids = np.frombuffer(body[offset : offset + 8 * n], dtype="<i8")
+    child_mbrs = np.frombuffer(body[offset + 8 * n :], dtype="<f8").reshape(n, 4)
+    return _DecodedPage(False, mbr, child_ids=child_ids, child_mbrs=child_mbrs)
+
+
+def _pages_from_tree(tree: RTree) -> list[bytes]:
+    """DFS-preorder page blobs of a tree (root at page 0)."""
+    pages: list[bytes | None] = []
+
+    def encode(node) -> int:
+        page_id = len(pages)
+        pages.append(None)
+        if node.is_leaf:
+            pages[page_id] = _encode_leaf_page(node.ids, node.points, node.mbr)
+        else:
+            child_ids = [encode(c) for c in node.children]
+            pages[page_id] = _encode_internal_page(
+                child_ids, node.child_mbrs(), node.mbr
+            )
+        return page_id
+
+    if tree._root is not None:
+        encode(tree._root)
+    return pages  # type: ignore[return-value]
+
+
+# -- lazy facade over a page source -----------------------------------------
+
+
+class _PageSource:
+    """Decodes pages on demand through a bounded decoded-page LRU.
+
+    Residency of the *raw* page groups is governed by the HDFS payload
+    store (when budgeted); this cache only bounds how many *decoded*
+    nodes are alive at once, so a full-tree walk over a million points
+    never materializes the whole index as Python objects.
+    """
+
+    def __init__(self, reader: Callable[[int], bytes], cache_pages: int = 128):
+        self._reader = reader
+        self._cache: OrderedDict[int, _DecodedPage] = OrderedDict()
+        self._cache_pages = max(1, cache_pages)
+
+    def decoded(self, page_id: int) -> _DecodedPage:
+        try:
+            page = self._cache[page_id]
+            self._cache.move_to_end(page_id)
+            return page
+        except KeyError:
+            pass
+        page = decode_page(self._reader(page_id), page_id)
+        self._cache[page_id] = page
+        if len(self._cache) > self._cache_pages:
+            self._cache.popitem(last=False)
+        return page
+
+    def node(self, page_id: int, mbr: Rect | None = None) -> "_PagedNode":
+        return _PagedNode(self, page_id, mbr)
+
+
+class _PagedChildren:
+    """Lazy child sequence exposing the ``list[_Node]`` surface."""
+
+    __slots__ = ("_source", "_child_ids", "_child_mbrs")
+
+    def __init__(self, source: _PageSource, child_ids, child_mbrs):
+        self._source = source
+        self._child_ids = child_ids
+        self._child_mbrs = child_mbrs
+
+    def __len__(self) -> int:
+        return len(self._child_ids)
+
+    def __getitem__(self, i: int) -> "_PagedNode":
+        pid = int(self._child_ids[i])
+        return self._source.node(pid, Rect(*(float(x) for x in self._child_mbrs[i])))
+
+    def __iter__(self) -> Iterator["_PagedNode"]:
+        for i in range(len(self._child_ids)):
+            yield self[i]
+
+
+class _PagedNode:
+    """A node proxy with the exact ``_Node`` read surface.
+
+    ``mbr`` is known from the parent page without decoding this one (the
+    kNN best-first heap prioritizes children by MBR distance before ever
+    visiting them); everything else decodes on first access.
+    """
+
+    __slots__ = ("_source", "_page_id", "_mbr")
+
+    def __init__(self, source: _PageSource, page_id: int, mbr: Rect | None):
+        self._source = source
+        self._page_id = page_id
+        self._mbr = mbr
+
+    @property
+    def mbr(self) -> Rect:
+        if self._mbr is None:
+            self._mbr = self._source.decoded(self._page_id).mbr
+        return self._mbr
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._source.decoded(self._page_id).is_leaf
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self._source.decoded(self._page_id).ids
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._source.decoded(self._page_id).points
+
+    @property
+    def children(self) -> _PagedChildren:
+        page = self._source.decoded(self._page_id)
+        return _PagedChildren(self._source, page.child_ids, page.child_mbrs)
+
+    def child_mbrs(self) -> np.ndarray:
+        return self._source.decoded(self._page_id).child_mbrs
+
+    def n_entries(self) -> int:
+        page = self._source.decoded(self._page_id)
+        return len(page.ids) if page.is_leaf else len(page.child_ids)
+
+
+def _facade_tree(source: _PageSource, meta: dict[str, Any]) -> RTree:
+    """An ``RTree`` whose root is a lazy page proxy.
+
+    The facade reuses the in-memory tree's own query methods unmodified
+    — identical pruning, identical refinement, identical tie-breaking —
+    which is what makes persistent answers byte-identical by
+    construction rather than by reimplementation.
+    """
+    tree = RTree(max_entries=int(meta["max_entries"]))
+    if int(meta["n_pages"]) > 0:
+        tree._root = source.node(int(meta["root"]), None)
+    tree._size = int(meta["size"])
+    return tree
+
+
+# -- HDFS-backed storage -----------------------------------------------------
+
+
+class _HDFSPageReader:
+    """Locates a page blob via the meta record's chunk-start table.
+
+    ``chunk_starts[i]`` is the first page id stored in chunk ``i`` of the
+    pages file, so a read is one bisect + one record index — no payload
+    scans.  Under a memory budget, touching a paged-out group counts a
+    page fault in the store's :class:`~repro.mapreduce.spill.SpillStats`.
+    """
+
+    def __init__(self, hdfs: "SimulatedHDFS", pages_path: str, chunk_starts, n_pages: int):
+        self._hdfs = hdfs
+        self._pages_path = pages_path
+        self._chunk_starts = list(chunk_starts)
+        self._n_pages = n_pages
+
+    def __call__(self, page_id: int) -> bytes:
+        if not 0 <= page_id < self._n_pages:
+            raise IndexCorruptError(
+                f"page {page_id} out of range (index has {self._n_pages} pages)"
+            )
+        ordinal = bisect.bisect_right(self._chunk_starts, page_id) - 1
+        try:
+            chunks = self._hdfs.chunks(self._pages_path)
+        except FileNotFoundError as exc:
+            raise IndexCorruptError(
+                f"pages file missing: {self._pages_path}"
+            ) from exc
+        if ordinal < 0 or ordinal >= len(chunks):
+            raise IndexCorruptError(
+                f"page {page_id}: chunk ordinal {ordinal} missing from "
+                f"{self._pages_path}"
+            )
+        payload = concrete_payload(chunks[ordinal].payload)
+        if not isinstance(payload, RecordPayload):
+            raise IndexCorruptError(
+                f"{self._pages_path}: chunk {ordinal} is not a record payload"
+            )
+        pos = page_id - self._chunk_starts[ordinal]
+        if pos >= len(payload.records):
+            raise IndexCorruptError(
+                f"page {page_id} missing from chunk {ordinal} of "
+                f"{self._pages_path}"
+            )
+        key, blob = payload.records[pos]
+        if key != page_id or not isinstance(blob, (bytes, bytearray)):
+            raise IndexCorruptError(
+                f"page {page_id}: record mismatch in {self._pages_path} "
+                f"(found key {key!r})"
+            )
+        return bytes(blob)
+
+
+class PersistentRTree:
+    """A bulk-loaded R-tree persisted as checksummed node pages in HDFS.
+
+    Layout under ``path``:
+
+    * ``{path}/pages`` — ``(page_id, block_bytes)`` records, grouped
+      into ~``group_bytes`` chunks (the paging unit under a budget);
+    * ``{path}/meta`` — one record: root page, page/entry counts,
+      height, fanout, and the per-chunk first-page table that makes a
+      page read one bisect instead of a scan.
+    """
+
+    def __init__(self, hdfs: "SimulatedHDFS", path: str, meta: dict[str, Any]):
+        self._hdfs = hdfs
+        self.path = path
+        self.meta = meta
+        reader = _HDFSPageReader(
+            hdfs, f"{path}/pages", meta["chunk_starts"], int(meta["n_pages"])
+        )
+        self._source = _PageSource(reader)
+        self._tree = _facade_tree(self._source, meta)
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def save(
+        cls,
+        hdfs: "SimulatedHDFS",
+        path: str,
+        tree: RTree,
+        group_bytes: int = DEFAULT_PAGE_GROUP_BYTES,
+    ) -> "PersistentRTree":
+        """Serialize ``tree`` under ``path`` and return the opened index."""
+        if group_bytes <= 0:
+            raise ValueError("group_bytes must be positive")
+        pages = _pages_from_tree(tree)
+        payloads: list[RecordPayload] = []
+        chunk_starts: list[int] = []
+        current: list[tuple[int, bytes]] = []
+        used = 0
+        for page_id, blob in enumerate(pages):
+            size = 8 + len(blob)
+            if current and used + size > group_bytes:
+                payloads.append(RecordPayload(current))
+                current, used = [], 0
+            if not current:
+                chunk_starts.append(page_id)
+            current.append((page_id, blob))
+            used += size
+        if current:
+            payloads.append(RecordPayload(current))
+        hdfs.delete(f"{path}/pages", missing_ok=True)
+        hdfs.delete(f"{path}/meta", missing_ok=True)
+        hdfs.put_chunks(f"{path}/pages", payloads)
+        meta = {
+            "format": "rtree-pages-v1",
+            "root": 0,
+            "n_pages": len(pages),
+            "size": len(tree),
+            "height": tree.height(),
+            "max_entries": tree.max_entries,
+            "page_bytes": sum(len(b) for b in pages),
+            "chunk_starts": chunk_starts,
+        }
+        hdfs.put_records(f"{path}/meta", [("meta", meta)])
+        return cls(hdfs, path, meta)
+
+    @classmethod
+    def open(cls, hdfs: "SimulatedHDFS", path: str) -> "PersistentRTree":
+        """Open a persisted index from its meta record (no page scans)."""
+        try:
+            records = hdfs.read_records(f"{path}/meta")
+        except FileNotFoundError as exc:
+            raise IndexCorruptError(f"no persisted index at {path}") from exc
+        if not records or records[0][0] != "meta" or not isinstance(records[0][1], dict):
+            raise IndexCorruptError(f"{path}/meta is not an index meta record")
+        meta = records[0][1]
+        if meta.get("format") != "rtree-pages-v1":
+            raise IndexCorruptError(
+                f"{path}: unknown index format {meta.get('format')!r}"
+            )
+        return cls(hdfs, path, meta)
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def tree(self) -> RTree:
+        """The lazy facade tree (the full ``RTree`` query surface)."""
+        return self._tree
+
+    def __len__(self) -> int:
+        return self._tree._size
+
+    @property
+    def bounds(self) -> Rect | None:
+        return self._tree.bounds
+
+    def height(self) -> int:
+        return int(self.meta["height"])
+
+    # -- queries (delegating to RTree's own code) ----------------------------
+    def query_point(self, lat: float, lon: float) -> np.ndarray:
+        return self._tree.query_rect(Rect(lat, lon, lat, lon))
+
+    def query_rect(self, rect: Rect) -> np.ndarray:
+        return self._tree.query_rect(rect)
+
+    def query_radius(self, lat: float, lon: float, radius_m: float) -> np.ndarray:
+        return self._tree.query_radius(lat, lon, radius_m)
+
+    def query_radius_batch(self, points: np.ndarray, radius_m: float) -> list[np.ndarray]:
+        return self._tree.query_radius_batch(points, radius_m)
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[int, float]]:
+        return self._tree.knn(lat, lon, k)
+
+    # -- portability ---------------------------------------------------------
+    def to_portable(self) -> "PortableIndex":
+        """Self-contained in-memory copy of the page set.
+
+        Budgeted chunks deliberately refuse to pickle (their loader holds
+        the driver's payload store), so the distributed-cache broadcast
+        to process-pool workers ships this portable form instead.
+        """
+        blobs: list[bytes] = [b""] * int(self.meta["n_pages"])
+        seen = 0
+        for chunk in self._hdfs.chunks(f"{self.path}/pages"):
+            for page_id, blob in chunk.records():
+                if not 0 <= page_id < len(blobs):
+                    raise IndexCorruptError(
+                        f"page {page_id} out of range in {self.path}/pages"
+                    )
+                blobs[page_id] = bytes(blob)
+                seen += 1
+        if seen != len(blobs):
+            raise IndexCorruptError(
+                f"{self.path}: expected {len(blobs)} pages, found {seen}"
+            )
+        meta = {k: v for k, v in self.meta.items() if k != "chunk_starts"}
+        return PortableIndex(meta, blobs)
+
+
+class PortableIndex:
+    """A picklable page set with the same lazy facade on top.
+
+    Equality of answers with :class:`PersistentRTree` (and hence with
+    the in-memory tree) is structural: both decode the same page bytes
+    through the same facade.
+    """
+
+    def __init__(self, meta: dict[str, Any], blobs: list[bytes]):
+        self._meta = meta
+        self._blobs = blobs
+        self._tree: RTree | None = None
+
+    def __getstate__(self):
+        return {"meta": self._meta, "blobs": self._blobs}
+
+    def __setstate__(self, state):
+        self._meta = state["meta"]
+        self._blobs = state["blobs"]
+        self._tree = None
+
+    @property
+    def tree(self) -> RTree:
+        if self._tree is None:
+            blobs = self._blobs
+            source = _PageSource(lambda pid: blobs[pid])
+            self._tree = _facade_tree(source, self._meta)
+        return self._tree
+
+    def __len__(self) -> int:
+        return int(self._meta["size"])
+
+    def query_point(self, lat: float, lon: float) -> np.ndarray:
+        return self.tree.query_rect(Rect(lat, lon, lat, lon))
+
+    def query_rect(self, rect: Rect) -> np.ndarray:
+        return self.tree.query_rect(rect)
+
+    def query_radius(self, lat: float, lon: float, radius_m: float) -> np.ndarray:
+        return self.tree.query_radius(lat, lon, radius_m)
+
+    def query_radius_batch(self, points: np.ndarray, radius_m: float) -> list[np.ndarray]:
+        return self.tree.query_radius_batch(points, radius_m)
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[int, float]]:
+        return self.tree.knn(lat, lon, k)
+
+
+# -- catalog -----------------------------------------------------------------
+
+
+@dataclass
+class CatalogEntry:
+    """One catalog row: what was indexed, how, and where it lives."""
+
+    key: str
+    path: str
+    input_path: str
+    dataset_version: int
+    params: dict[str, Any]
+    n_points: int
+    build_sim_seconds: float = 0.0
+
+
+class IndexCatalog:
+    """HDFS-resident registry of persisted R-trees.
+
+    The key digests (input path, namenode version of the input, build
+    parameters): any rewrite of the dataset or change of build knobs
+    yields a different key, so a catalog hit is always safe to reuse —
+    the same contract the service-layer result cache makes.
+    """
+
+    def __init__(self, hdfs: "SimulatedHDFS", root: str = INDEX_ROOT):
+        self._hdfs = hdfs
+        self._root = root
+
+    # -- keys ----------------------------------------------------------------
+    def _params(self, n_partitions, curve, sample_per_chunk, max_entries, curve_order):
+        return {
+            "n_partitions": int(n_partitions),
+            "curve": str(curve),
+            "sample_per_chunk": int(sample_per_chunk),
+            "max_entries": int(max_entries),
+            "curve_order": int(curve_order),
+        }
+
+    def key_for(self, input_path: str, params: dict[str, Any]) -> str:
+        version = self._hdfs.version(input_path)
+        blob = json.dumps(
+            {"input": input_path, "version": version, "params": params},
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def path_for(self, key: str) -> str:
+        return f"{self._root}/{key}"
+
+    # -- lookup --------------------------------------------------------------
+    def entry(self, key: str) -> CatalogEntry:
+        """The catalog row for ``key``; :class:`IndexCorruptError` if the
+        entry (or its index) is missing or dangling."""
+        entry_path = f"{self.path_for(key)}/entry"
+        if not self._hdfs.exists(entry_path):
+            raise IndexCorruptError(f"no catalog entry for key {key}")
+        data = self._hdfs.read_records(entry_path)[0][1]
+        if not self._hdfs.exists(f"{self.path_for(key)}/meta"):
+            raise IndexCorruptError(
+                f"catalog entry {key} dangles: index pages/meta missing"
+            )
+        return CatalogEntry(**data)
+
+    def entries(self) -> list[CatalogEntry]:
+        out = []
+        suffix = "/entry"
+        prefix = f"{self._root}/"
+        for path in self._hdfs.ls():
+            if path.startswith(prefix) and path.endswith(suffix):
+                key = path[len(prefix) : -len(suffix)]
+                try:
+                    out.append(self.entry(key))
+                except IndexCorruptError:
+                    continue
+        return out
+
+    def open(self, key: str) -> PersistentRTree:
+        """Open a cataloged index; missing entries are a typed error,
+        never a silent rebuild."""
+        entry = self.entry(key)
+        return PersistentRTree.open(self._hdfs, entry.path)
+
+    def delete(self, key: str) -> None:
+        for part in ("entry", "meta", "pages"):
+            self._hdfs.delete(f"{self.path_for(key)}/{part}", missing_ok=True)
+
+    # -- ensure --------------------------------------------------------------
+    def ensure(
+        self,
+        runner: "JobRunner",
+        input_path: str,
+        n_partitions: int | None = None,
+        curve: str = "hilbert",
+        sample_per_chunk: int = 1024,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        curve_order: int = DEFAULT_ORDER,
+        group_bytes: int = DEFAULT_PAGE_GROUP_BYTES,
+        history: "JobHistory | None" = None,
+        job: str = "index-catalog",
+    ) -> tuple[PersistentRTree, bool]:
+        """The cataloged index for (input, params), building it at most
+        once per dataset version.
+
+        Returns ``(index, built)``.  A hit opens the persisted pages with
+        zero jobs and emits ``index_reuse``; a miss runs the Figure-6
+        MapReduce build, persists the merged tree, registers the entry
+        and emits ``index_publish``.
+        """
+        if n_partitions is None:
+            n_partitions = max(1, runner.cluster.total_reduce_slots() // 2)
+        params = self._params(
+            n_partitions, curve, sample_per_chunk, max_entries, curve_order
+        )
+        key = self.key_for(input_path, params)
+        h = history if history is not None else runner.history
+        try:
+            entry = self.entry(key)
+        except IndexCorruptError:
+            entry = None
+        if entry is not None:
+            index = PersistentRTree.open(self._hdfs, entry.path)
+            if h is not None:
+                h.emit(
+                    EventKind.INDEX_REUSE,
+                    job,
+                    h.clock,
+                    key=key,
+                    path=entry.path,
+                    input_path=input_path,
+                    dataset_version=entry.dataset_version,
+                    n_points=entry.n_points,
+                )
+            return index, False
+
+        from repro.index.rtree_mr import build_rtree_mapreduce
+
+        path = self.path_for(key)
+        build = build_rtree_mapreduce(
+            runner,
+            input_path,
+            n_partitions=n_partitions,
+            curve=curve,
+            sample_per_chunk=sample_per_chunk,
+            max_entries=max_entries,
+            curve_order=curve_order,
+            workdir=f"{path}.build",
+        )
+        index = PersistentRTree.save(
+            self._hdfs, path, build.tree, group_bytes=group_bytes
+        )
+        entry = CatalogEntry(
+            key=key,
+            path=path,
+            input_path=input_path,
+            dataset_version=self._hdfs.version(input_path),
+            params=params,
+            n_points=len(build.tree),
+            build_sim_seconds=build.sim_seconds,
+        )
+        self._hdfs.delete(f"{path}/entry", missing_ok=True)
+        self._hdfs.put_records(f"{path}/entry", [("entry", entry.__dict__)])
+        if h is not None:
+            h.emit(
+                EventKind.INDEX_PUBLISH,
+                job,
+                h.clock,
+                key=key,
+                path=path,
+                input_path=input_path,
+                dataset_version=entry.dataset_version,
+                n_points=entry.n_points,
+                n_pages=int(index.meta["n_pages"]),
+                page_bytes=int(index.meta["page_bytes"]),
+                build_sim_seconds=build.sim_seconds,
+            )
+        return index, True
+
+
+# -- serving -----------------------------------------------------------------
+
+
+@dataclass
+class QueryStats:
+    """Cumulative serving counters (all on the simulated clock)."""
+
+    n_queries: int = 0
+    page_faults: int = 0
+    fault_bytes: int = 0
+    latency_s: float = 0.0
+    results: int = 0
+    last: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n_queries": self.n_queries,
+            "page_faults": self.page_faults,
+            "fault_bytes": self.fault_bytes,
+            "latency_s": self.latency_s,
+            "results": self.results,
+        }
+
+
+class QueryEngine:
+    """Point / range / radius / kNN serving over a persisted index.
+
+    Zero map tasks per query: answers come straight from the page facade.
+    Each query is charged ``QUERY_DISPATCH_S`` plus the cost model's
+    local-disk read time for the bytes actually paged in (measured as the
+    delta of the HDFS payload store's fault counters), advances the
+    history clock by that latency, and emits one ``query_served`` event.
+    """
+
+    def __init__(
+        self,
+        index: PersistentRTree | PortableIndex,
+        hdfs: "SimulatedHDFS | None" = None,
+        cost_model: CostModel | None = None,
+        history: "JobHistory | None" = None,
+        job: str = "serving",
+    ):
+        self.index = index
+        self._hdfs = hdfs if hdfs is not None else getattr(index, "_hdfs", None)
+        self._cost_model = cost_model if cost_model is not None else CostModel()
+        self._history = history
+        self._job = job
+        self.stats = QueryStats()
+
+    # -- internals -----------------------------------------------------------
+    def _fault_counters(self) -> tuple[int, int]:
+        stats = self._hdfs.spill_stats if self._hdfs is not None else None
+        if stats is None:
+            return 0, 0
+        return stats.pages_in, stats.page_in_bytes
+
+    def _serve(self, kind: str, run: Callable[[], Any], n_results: Callable[[Any], int], **detail):
+        before_faults, before_bytes = self._fault_counters()
+        result = run()
+        after_faults, after_bytes = self._fault_counters()
+        faults = after_faults - before_faults
+        fault_bytes = after_bytes - before_bytes
+        latency = QUERY_DISPATCH_S + self._cost_model.spill_read_time(fault_bytes)
+        count = n_results(result)
+        self.stats.n_queries += 1
+        self.stats.page_faults += faults
+        self.stats.fault_bytes += fault_bytes
+        self.stats.latency_s += latency
+        self.stats.results += count
+        self.stats.last = {
+            "query": kind,
+            "n_results": count,
+            "page_faults": faults,
+            "fault_bytes": fault_bytes,
+            "latency_s": latency,
+            **detail,
+        }
+        if self._history is not None:
+            t0 = self._history.clock
+            self._history.emit(
+                EventKind.QUERY_SERVED,
+                self._job,
+                t0 + latency,
+                query=kind,
+                n_results=count,
+                page_faults=faults,
+                fault_bytes=fault_bytes,
+                latency_s=latency,
+                **detail,
+            )
+            self._history.advance(t0 + latency)
+        return result
+
+    @staticmethod
+    def _check_finite(**coords: float) -> None:
+        for name, value in coords.items():
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+
+    # -- the query surface ---------------------------------------------------
+    def point(self, lat: float, lon: float) -> np.ndarray:
+        """Ids of entries at exactly (lat, lon)."""
+        self._check_finite(lat=lat, lon=lon)
+        return self._serve(
+            "point",
+            lambda: self.index.query_point(lat, lon),
+            len,
+            lat=lat,
+            lon=lon,
+        )
+
+    def range(
+        self, min_lat: float, min_lon: float, max_lat: float, max_lon: float
+    ) -> np.ndarray:
+        """Ids of entries inside the inclusive rectangle."""
+        self._check_finite(
+            min_lat=min_lat, min_lon=min_lon, max_lat=max_lat, max_lon=max_lon
+        )
+        rect = Rect(min_lat, min_lon, max_lat, max_lon)
+        return self._serve(
+            "range",
+            lambda: self.index.query_rect(rect),
+            len,
+            rect=[float(x) for x in rect.as_array()],
+        )
+
+    def radius(self, lat: float, lon: float, radius_m: float) -> np.ndarray:
+        """Ids of entries within ``radius_m`` Haversine metres."""
+        self._check_finite(lat=lat, lon=lon)
+        return self._serve(
+            "radius",
+            lambda: self.index.query_radius(lat, lon, radius_m),
+            len,
+            lat=lat,
+            lon=lon,
+            radius_m=radius_m,
+        )
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest entries as ``(id, metres)``, nearest first."""
+        self._check_finite(lat=lat, lon=lon)
+        return self._serve(
+            "knn",
+            lambda: self.index.knn(lat, lon, k),
+            len,
+            lat=lat,
+            lon=lon,
+            k=k,
+        )
+
+    def report(self) -> dict[str, Any]:
+        """Cumulative serving counters as a JSON-safe dict."""
+        out = self.stats.as_dict()
+        n = max(1, self.stats.n_queries)
+        out["mean_latency_ms"] = 1000.0 * self.stats.latency_s / n
+        return out

@@ -416,8 +416,12 @@ class RTree:
         A latitude/longitude bounding box prunes the tree; survivors are
         refined with the exact Haversine distance.
         """
+        if not math.isfinite(radius_m):
+            raise ValueError(f"radius must be finite, got {radius_m!r}")
         if radius_m < 0:
             raise ValueError("radius must be non-negative")
+        if not (math.isfinite(lat) and math.isfinite(lon)):
+            raise ValueError(f"query coordinates must be finite, got ({lat!r}, {lon!r})")
         if self._root is None:
             return np.empty(0, dtype=np.int64)
         rect = _radius_rect(lat, lon, radius_m)
@@ -466,11 +470,15 @@ class RTree:
         result arrays are exactly ``[query_radius(lat, lon, radius_m)
         for lat, lon in points]`` (the property tests assert it).
         """
+        if not math.isfinite(radius_m):
+            raise ValueError(f"radius must be finite, got {radius_m!r}")
         if radius_m < 0:
             raise ValueError("radius must be non-negative")
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 2:
             raise ValueError("points must be an (n, 2) array")
+        if not np.isfinite(points).all():
+            raise ValueError("query points must be finite (no NaN/inf coordinates)")
         n = len(points)
         empty = np.empty(0, dtype=np.int64)
         if n == 0 or self._root is None:
@@ -524,6 +532,8 @@ class RTree:
         first.  Best-first search over node MBR min-distances."""
         if k <= 0:
             raise ValueError("k must be positive")
+        if not (math.isfinite(lat) and math.isfinite(lon)):
+            raise ValueError(f"query coordinates must be finite, got ({lat!r}, {lon!r})")
         if self._root is None:
             return []
         counter = itertools.count()

@@ -28,7 +28,7 @@ from repro.index.spacefilling import DEFAULT_ORDER, get_curve
 from repro.mapreduce.config import Configuration
 from repro.mapreduce.job import JobSpec, Mapper, Partitioner, Reducer
 from repro.mapreduce.runner import JobRunner
-from repro.mapreduce.types import ArrayPayload, Chunk
+from repro.mapreduce.types import ArrayPayload, Chunk, concrete_payload
 
 __all__ = ["build_rtree_mapreduce", "RTreeBuildResult", "BOUNDARIES_CACHE_KEY"]
 
@@ -37,9 +37,15 @@ BOUNDARIES_CACHE_KEY = "rtree.partition_boundaries"
 
 
 def _chunk_points_ids(chunk: Chunk) -> tuple[np.ndarray, np.ndarray]:
-    """(points, global ids) of a chunk, vectorized."""
+    """(points, global ids) of a chunk, vectorized.
+
+    The paging indirection must be unwrapped before the offset check: a
+    memory-budgeted deployment hands out ``PagedPayload`` wrappers, and
+    treating those as offset-0 would collide every chunk's ids at zero.
+    """
     array = chunk.trace_array()
-    offset = chunk.payload.offset if isinstance(chunk.payload, ArrayPayload) else 0
+    payload = concrete_payload(chunk.payload)
+    offset = payload.offset if isinstance(payload, ArrayPayload) else 0
     ids = offset + np.arange(len(array), dtype=np.int64)
     return array.coordinates(), ids
 

@@ -47,16 +47,21 @@ __all__ = [
     "run_backend_benchmark",
     "run_spill_benchmark",
     "run_multitenant_benchmark",
+    "run_query_benchmark",
     "check_against_baseline",
     "check_multitenant_result",
     "check_multitenant_against_baseline",
+    "check_query_result",
+    "check_query_against_baseline",
     "render_result",
     "render_spill_result",
     "render_multitenant_result",
+    "render_query_result",
     "DEFAULT_SIZES",
     "DEFAULT_BASELINE",
     "DEFAULT_SPILL_OUT",
     "DEFAULT_MULTITENANT_OUT",
+    "DEFAULT_QUERY_OUT",
     "DEFAULT_TENANT_WEIGHTS",
 ]
 
@@ -76,9 +81,14 @@ DEFAULT_MULTITENANT_OUT = Path("benchmarks") / "results" / "BENCH_multitenant.js
 #: The contention roster: three tenants with 3:2:1 weights.
 DEFAULT_TENANT_WEIGHTS = {"alice": 3.0, "bob": 2.0, "carol": 1.0}
 
+#: Default artifact path (and ``--check`` baseline) for the
+#: query-serving trajectory.
+DEFAULT_QUERY_OUT = Path("benchmarks") / "results" / "BENCH_query.json"
+
 _SCHEMA = 1
 _SPILL_SCHEMA = 1
 _MULTITENANT_SCHEMA = 1
+_QUERY_SCHEMA = 1
 
 
 def _blob_centers(rng: np.random.Generator, n_clusters: int) -> np.ndarray:
@@ -842,4 +852,282 @@ def render_spill_result(doc: Mapping[str, Any]) -> str:
             extras.append(f"RSS saved {entry['rss_saved_mb']:.1f} MB")
         if extras:
             lines.append(f"{'':>12}  {', '.join(extras)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Query-serving benchmark (repro bench --query).
+# ---------------------------------------------------------------------------
+
+
+def _query_workload(
+    corpus, n_queries: int, seed: int
+) -> list[tuple[str, tuple[float, ...]]]:
+    """A seeded mix of point/range/radius/kNN queries anchored on corpus
+    points (so point lookups actually hit) — deterministic given ``seed``."""
+    rng = np.random.default_rng(seed + 1000)
+    coords = corpus.coordinates()
+    anchors = coords[rng.integers(0, len(coords), n_queries)]
+    kinds = ("point", "range", "radius", "knn")
+    out: list[tuple[str, tuple[float, ...]]] = []
+    for i in range(n_queries):
+        lat, lon = float(anchors[i, 0]), float(anchors[i, 1])
+        kind = kinds[i % len(kinds)]
+        if kind == "point":
+            out.append(("point", (lat, lon)))
+        elif kind == "range":
+            out.append(("range", (lat - 0.01, lon - 0.01, lat + 0.01, lon + 0.01)))
+        elif kind == "radius":
+            out.append(("radius", (lat, lon, 250.0)))
+        else:
+            out.append(("knn", (lat, lon, 8)))
+    return out
+
+
+def run_query_benchmark(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    budget_mb: float = 8.0,
+    *,
+    n_queries: int = 64,
+    chunk_mb: int = 2,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """The serving trajectory: build once, reuse from the catalog, query.
+
+    For each corpus size the same Figure-6 MapReduce build runs twice —
+    once on an *unbudgeted* twin deployment whose in-memory tree is kept
+    as the byte-identity reference, and once through the
+    :class:`~repro.index.persistent.IndexCatalog` on a deployment capped
+    at ``budget_mb`` (pages live in the spilling payload store, so at
+    10^6 points the index is served mostly from disk).  A second
+    ``ensure`` on the catalog must come back as an ``index_reuse`` hit
+    that runs **zero** jobs, and a seeded point/range/radius/kNN workload
+    through the :class:`~repro.index.persistent.QueryEngine` must answer
+    byte-identically to the in-memory reference.
+
+    Page-fault counts, fault bytes, and simulated serving latency are
+    deterministic given the workload, so they double as the regression
+    baseline; wall-clock columns are recorded but never gated.
+    """
+    from repro.index.persistent import IndexCatalog, QueryEngine
+    from repro.index.rtree import Rect
+    from repro.index.rtree_mr import build_rtree_mapreduce
+    from repro.observability.events import EventKind
+
+    if budget_mb <= 0:
+        raise ValueError("budget_mb must be positive")
+    if n_queries < 4:
+        raise ValueError("n_queries must be >= 4 (one of each kind)")
+    results = []
+    for size in sizes:
+        corpus = synthetic_corpus(int(size), seed=seed)
+        # Reference: the identical build on an unbudgeted twin keeps the
+        # merged tree in memory.  The simulator is deterministic, so this
+        # tree is byte-for-byte the one the catalog persists below.
+        ref_hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=chunk_mb * MB, seed=0)
+        ref_hdfs.put_trace_array("input/traces", corpus)
+        with JobRunner(ref_hdfs, executor="serial") as ref_runner:
+            n_partitions = max(1, ref_runner.cluster.total_reduce_slots() // 2)
+            ref_tree = build_rtree_mapreduce(
+                ref_runner,
+                "input/traces",
+                n_partitions=n_partitions,
+                workdir="tmp/rtree-ref",
+            ).tree
+
+        hdfs = SimulatedHDFS(
+            paper_cluster(4),
+            chunk_size=chunk_mb * MB,
+            seed=0,
+            memory_budget_mb=budget_mb,
+        )
+        hdfs.put_trace_array("input/traces", corpus)
+        build_wall = time.perf_counter()
+        with JobRunner(hdfs, executor="serial", memory_budget_mb=budget_mb) as runner:
+            catalog = IndexCatalog(hdfs)
+            index, built = catalog.ensure(
+                runner, "input/traces", n_partitions=n_partitions
+            )
+            build_wall = time.perf_counter() - build_wall
+            if not built:
+                raise RuntimeError(f"first ensure at size {size} was not a build")
+            entry = catalog.entries()[0]
+
+            def n_job_starts() -> int:
+                return sum(
+                    1 for e in runner.history.events if e.kind == EventKind.JOB_START
+                )
+
+            before = n_job_starts()
+            index, rebuilt = catalog.ensure(
+                runner, "input/traces", n_partitions=n_partitions
+            )
+            reuse_jobs = n_job_starts() - before
+
+            engine = QueryEngine(index, hdfs=hdfs, history=runner.history)
+            identical = True
+            query_wall = time.perf_counter()
+            for kind, args in _query_workload(corpus, n_queries, seed):
+                if kind == "point":
+                    same = np.array_equal(
+                        engine.point(*args),
+                        ref_tree.query_rect(Rect(args[0], args[1], args[0], args[1])),
+                    )
+                elif kind == "range":
+                    same = np.array_equal(
+                        engine.range(*args), ref_tree.query_rect(Rect(*args))
+                    )
+                elif kind == "radius":
+                    same = np.array_equal(
+                        engine.radius(*args), ref_tree.query_radius(*args)
+                    )
+                else:
+                    same = engine.knn(*args) == ref_tree.knn(*args)
+                identical = identical and same
+            query_wall = time.perf_counter() - query_wall
+            serving = engine.report()
+        results.append(
+            {
+                "size": int(size),
+                "n_points": int(entry.n_points),
+                "n_pages": int(index.meta["n_pages"]),
+                "index_bytes": int(index.meta["page_bytes"]),
+                "build_sim_seconds": float(entry.build_sim_seconds),
+                "build_wall_s": build_wall,
+                "query_wall_s": query_wall,
+                "reuse": {"built_first": bool(built), "rebuilt": bool(rebuilt), "jobs": int(reuse_jobs)},
+                "identical_to_inmemory": bool(identical),
+                "serving": serving,
+            }
+        )
+    return {
+        "schema": _QUERY_SCHEMA,
+        "workload": {
+            "driver": "query-serving",
+            "n_queries": int(n_queries),
+            "mix": "point/range/radius/knn round-robin",
+            "chunk_mb": chunk_mb,
+            "seed": seed,
+        },
+        "budget_mb": budget_mb,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+
+
+def check_query_result(doc: Mapping[str, Any]) -> list[str]:
+    """Intrinsic gates on one query-serving document (no baseline needed).
+
+    * every size answered byte-identically to the in-memory reference
+      tree (the whole point of the persistent format);
+    * the second catalog ``ensure`` was a reuse hit that ran zero jobs;
+    * any index larger than the memory budget actually paged — a
+      zero-fault run over a 3x-budget index means the budget was not
+      enforced and the "serves under N MB" claim is untested.
+    """
+    problems: list[str] = []
+    budget_bytes = float(doc.get("budget_mb", 0.0)) * MB
+    for entry in doc.get("results", []):
+        size = entry.get("size")
+        if not entry.get("identical_to_inmemory"):
+            problems.append(
+                f"{size:,} points: served answers diverged from the "
+                "in-memory reference tree"
+            )
+        reuse = entry.get("reuse", {})
+        if not reuse.get("built_first"):
+            problems.append(f"{size:,} points: first ensure was not a build")
+        if reuse.get("rebuilt"):
+            problems.append(f"{size:,} points: second ensure rebuilt the index")
+        if reuse.get("jobs", -1) != 0:
+            problems.append(
+                f"{size:,} points: catalog reuse ran {reuse.get('jobs')} "
+                "jobs (expected 0)"
+            )
+        serving = entry.get("serving", {})
+        if entry.get("index_bytes", 0) > budget_bytes and not serving.get(
+            "page_faults"
+        ):
+            problems.append(
+                f"{size:,} points: index ({entry.get('index_bytes', 0) / MB:.1f} MB) "
+                f"exceeds the {doc.get('budget_mb')} MB budget but served "
+                "with zero page faults"
+            )
+    if not doc.get("results"):
+        problems.append("no results in document")
+    return problems
+
+
+def check_query_against_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.01,
+) -> list[str]:
+    """Drift of the deterministic serving metrics versus a baseline.
+
+    Build sim-seconds, page faults, fault bytes, simulated serving
+    latency and result counts are pure functions of (corpus seed, build
+    params, budget, workload); wall-clock columns are host-dependent and
+    ignored.
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems
+    if baseline.get("workload") != current.get("workload") or baseline.get(
+        "budget_mb"
+    ) != current.get("budget_mb"):
+        problems.append("workload mismatch: run with the baseline's parameters")
+        return problems
+    cur = {int(e["size"]): e for e in current.get("results", [])}
+    base = {int(e["size"]): e for e in baseline.get("results", [])}
+    for size in sorted(set(cur) & set(base)):
+        pairs = [
+            ("build_sim_seconds", cur[size], base[size]),
+            ("n_pages", cur[size], base[size]),
+            ("index_bytes", cur[size], base[size]),
+        ] + [
+            (key, cur[size]["serving"], base[size]["serving"])
+            for key in ("page_faults", "fault_bytes", "latency_s", "results")
+        ]
+        for key, now_doc, then_doc in pairs:
+            now, then = float(now_doc.get(key, 0.0)), float(then_doc.get(key, 0.0))
+            if abs(now - then) > max(abs(then) * tolerance, 1e-9):
+                problems.append(
+                    f"{size:,} points: {key} {now:g} vs baseline {then:g} "
+                    f"(tolerance {tolerance:.0%})"
+                )
+    if not set(cur) & set(base):
+        problems.append("no overlapping corpus sizes between run and baseline")
+    return problems
+
+
+def render_query_result(doc: Mapping[str, Any]) -> str:
+    """Terminal table for one query-serving benchmark document."""
+    w = doc["workload"]
+    lines = [
+        f"index serving ({w['n_queries']} queries, {w['mix']}; "
+        f"budget {doc['budget_mb']} MB)",
+        "",
+        f"{'points':>12}  {'index':>9}  {'build sim':>10}  {'reuse':>6}  "
+        f"{'faults':>7}  {'paged in':>9}  {'sim latency':>12}  {'identical':>9}",
+    ]
+    for entry in doc["results"]:
+        serving = entry["serving"]
+        reuse = entry["reuse"]
+        hit = "hit" if not reuse["rebuilt"] and reuse["jobs"] == 0 else "MISS"
+        lines.append(
+            f"{entry['n_points']:>12,}  {entry['index_bytes'] / MB:>7.1f}MB  "
+            f"{entry['build_sim_seconds']:>9.1f}s  {hit:>6}  "
+            f"{serving['page_faults']:>7}  {serving['fault_bytes'] / MB:>7.1f}MB  "
+            f"{serving['mean_latency_ms']:>9.2f}ms  "
+            f"{'yes' if entry['identical_to_inmemory'] else 'NO':>9}"
+        )
+        lines.append(
+            f"{'':>12}  build wall {entry['build_wall_s']:.2f}s, "
+            f"{w['n_queries']} queries in {entry['query_wall_s']:.3f}s wall"
+        )
     return "\n".join(lines)

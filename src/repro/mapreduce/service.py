@@ -34,7 +34,11 @@ control plane layered on top of it:
   fingerprint of the distributed-cache snapshot (so k-means iterations
   with fresh centroids never false-hit).  Jobs whose spec cannot be
   fingerprinted (lambda mappers, unhashable cache payloads like the
-  DJ-Cluster R-tree) are simply never cached.
+  DJ-Cluster index broadcast) are simply never cached.  Repeat *index
+  builds* are deduplicated one layer down instead, by the
+  :class:`~repro.index.persistent.IndexCatalog`, and served queries go
+  through :meth:`TenantClient.query_engine` without submitting jobs at
+  all (``docs/SERVING.md``).
 
 Tenancy is threaded through observability: ``job_submit`` /
 ``job_dispatch`` / ``result_cache_hit`` / ``result_cache_store`` events
@@ -436,6 +440,39 @@ class TenantClient:
     def run(self, job: JobSpec) -> JobResult:
         """Submit and block — the drop-in for ``JobRunner.run``."""
         return self.submit(job).result()
+
+    def catalog(self):
+        """The service-wide :class:`~repro.index.persistent.IndexCatalog`
+        (indexes, like HDFS files, are shared across tenants)."""
+        from repro.index.persistent import IndexCatalog
+
+        return IndexCatalog(self.hdfs)
+
+    def query_engine(self, path: str | None = None, key: str | None = None):
+        """A :class:`~repro.index.persistent.QueryEngine` over a persisted
+        index — point/range/radius/kNN with **zero map tasks per query**.
+
+        ``path`` opens the index stored at an explicit HDFS path;
+        ``key`` resolves it through the catalog.  Queries are charged to
+        the shared simulated clock and traced as ``query_served`` events
+        under the ``{tenant}:serving`` job tag.
+        """
+        from repro.index.persistent import PersistentRTree, QueryEngine
+
+        if (path is None) == (key is None):
+            raise ValueError("pass exactly one of path= or key=")
+        index = (
+            PersistentRTree.open(self.hdfs, path)
+            if path is not None
+            else self.catalog().open(key)
+        )
+        return QueryEngine(
+            index,
+            hdfs=self.hdfs,
+            cost_model=self.cost_model,
+            history=self.history,
+            job=f"{self.tenant}:serving",
+        )
 
 
 @dataclass

@@ -109,6 +109,19 @@ class EventKind:
     #: A completed job's output was copied into the result cache for
     #: future identical submissions; data: tenant, key, nbytes.
     RESULT_CACHE_STORE = "result_cache_store"
+    #: An R-tree built by MapReduce was persisted as node pages in HDFS
+    #: and registered in the :class:`~repro.index.persistent.IndexCatalog`;
+    #: data: key, path, input_path, dataset_version, n_points, n_pages,
+    #: page_bytes, build_sim_seconds.
+    INDEX_PUBLISH = "index_publish"
+    #: The catalog answered an index request from an already-persisted
+    #: build — zero jobs ran; data: key, path, input_path,
+    #: dataset_version, n_points.
+    INDEX_REUSE = "index_reuse"
+    #: The serving path answered one point/range/radius/kNN query from
+    #: persisted pages (zero map tasks); data: query, n_results,
+    #: page_faults, fault_bytes, latency_s, plus query parameters.
+    QUERY_SERVED = "query_served"
 
     @classmethod
     def all(cls) -> tuple[str, ...]:

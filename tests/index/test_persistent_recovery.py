@@ -1,0 +1,171 @@
+"""Crash-recovery and corruption detection for the persistent R-tree.
+
+Every on-disk failure mode a serving path can meet — a truncated node
+block, a flipped body byte (checksum), a mangled magic, a record keyed
+by the wrong page, a missing meta, a missing or dangling catalog entry —
+must surface as the typed :class:`IndexCorruptError`, never as a wrong
+answer or a bare struct/numpy exception.  And after the catalog entry is
+wiped, ``ensure`` must rebuild an index whose answers are byte-identical
+to the original's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index.persistent import (
+    IndexCatalog,
+    IndexCorruptError,
+    PersistentRTree,
+    QueryEngine,
+)
+from repro.index.rtree import Rect, RTree
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.runner import JobRunner
+
+RECT = Rect(39.5, 115.5, 40.5, 117.5)
+
+
+def _deployment():
+    """An unbudgeted deployment with a multi-chunk persisted index.
+
+    Unbudgeted matters: ``chunks()`` then shares payload objects with
+    the namenode's own entries, so mutating a record in place is exactly
+    a disk-block corruption — no API needs a corruption hook.
+    """
+    rng = np.random.default_rng(11)
+    pts = np.column_stack(
+        (rng.uniform(39.0, 41.0, 400), rng.uniform(115.0, 118.0, 400))
+    )
+    tree = RTree.bulk_load(pts, max_entries=8)
+    hdfs = SimulatedHDFS(paper_cluster(2), chunk_size=64 * 1024, seed=0)
+    PersistentRTree.save(hdfs, "idx", tree, group_bytes=2048)
+    return hdfs, tree
+
+
+def _corrupt_record(hdfs, mutate, chunk_i=0, record_j=0):
+    """Replace one (page_id, blob) record of ``idx/pages`` in place."""
+    payload = hdfs._files["idx/pages"][chunk_i].payload
+    page_id, blob = payload.records[record_j]
+    payload.records[record_j] = mutate(page_id, blob)
+
+
+def test_truncated_block_is_typed_error():
+    hdfs, _ = _deployment()
+    _corrupt_record(hdfs, lambda pid, blob: (pid, blob[:7]))
+    index = PersistentRTree.open(hdfs, "idx")
+    with pytest.raises(IndexCorruptError, match="page 0"):
+        index.query_rect(RECT)
+
+
+def test_checksum_mismatch_is_typed_error():
+    hdfs, _ = _deployment()
+
+    def flip_body_byte(pid, blob):
+        body = bytearray(blob)
+        body[-1] ^= 0xFF
+        return pid, bytes(body)
+
+    _corrupt_record(hdfs, flip_body_byte)
+    index = PersistentRTree.open(hdfs, "idx")
+    with pytest.raises(IndexCorruptError, match="checksum mismatch"):
+        index.query_rect(RECT)
+
+
+def test_bad_magic_is_typed_error():
+    hdfs, _ = _deployment()
+    _corrupt_record(hdfs, lambda pid, blob: (pid, b"XXXX" + blob[4:]))
+    index = PersistentRTree.open(hdfs, "idx")
+    with pytest.raises(IndexCorruptError, match="magic"):
+        index.query_rect(RECT)
+
+
+def test_mislabeled_page_record_is_typed_error():
+    hdfs, _ = _deployment()
+    # Page bytes are fine; the record claims the wrong page id, so a read
+    # of page 0 would silently return another node's data.
+    _corrupt_record(hdfs, lambda pid, blob: (pid + 1, blob))
+    index = PersistentRTree.open(hdfs, "idx")
+    with pytest.raises(IndexCorruptError):
+        index.query_rect(RECT)
+
+
+def test_corruption_surfaces_through_engine_and_portable():
+    hdfs, _ = _deployment()
+    _corrupt_record(hdfs, lambda pid, blob: (pid, blob[:7]))
+    index = PersistentRTree.open(hdfs, "idx")
+    engine = QueryEngine(index, hdfs=hdfs)
+    with pytest.raises(IndexCorruptError):
+        engine.range(39.5, 115.5, 40.5, 117.5)
+    # to_portable copies raw blobs; the decode (and the error) happens
+    # at first query through the portable facade.
+    portable = index.to_portable()
+    with pytest.raises(IndexCorruptError):
+        portable.query_rect(RECT)
+
+
+def test_missing_meta_is_typed_error():
+    hdfs = SimulatedHDFS(paper_cluster(2), chunk_size=64 * 1024, seed=0)
+    with pytest.raises(IndexCorruptError, match="no persisted index"):
+        PersistentRTree.open(hdfs, "nowhere")
+
+
+def test_missing_pages_fail_at_read():
+    hdfs, _ = _deployment()
+    hdfs.delete("idx/pages")
+    index = PersistentRTree.open(hdfs, "idx")  # meta alone still opens
+    with pytest.raises(IndexCorruptError, match="pages"):
+        index.query_rect(RECT)
+
+
+def _catalog_deployment():
+    rng = np.random.default_rng(5)
+    from repro.geo.trace import TraceArray
+
+    lat = rng.uniform(39.6, 40.3, 4000)
+    lon = rng.uniform(116.0, 116.8, 4000)
+    ts = np.arange(4000, dtype=np.float64)
+    corpus = TraceArray.from_columns(["u"], lat, lon, ts)
+    hdfs = SimulatedHDFS(paper_cluster(3), chunk_size=64 * 1024, seed=0)
+    hdfs.put_trace_array("input/traces", corpus)
+    return hdfs
+
+
+def test_missing_catalog_entry_is_typed_error():
+    hdfs = _catalog_deployment()
+    catalog = IndexCatalog(hdfs)
+    with pytest.raises(IndexCorruptError, match="no catalog entry"):
+        catalog.entry("deadbeefdeadbeef")
+    with pytest.raises(IndexCorruptError, match="no catalog entry"):
+        catalog.open("deadbeefdeadbeef")
+
+
+def test_dangling_catalog_entry_is_typed_error():
+    hdfs = _catalog_deployment()
+    catalog = IndexCatalog(hdfs)
+    with JobRunner(hdfs, executor="serial") as runner:
+        catalog.ensure(runner, "input/traces", n_partitions=2)
+    (entry,) = catalog.entries()
+    hdfs.delete(f"{entry.path}/meta")
+    with pytest.raises(IndexCorruptError, match="dangles"):
+        catalog.entry(entry.key)
+    # entries() skips (rather than crashes on) dangling rows.
+    assert catalog.entries() == []
+
+
+def test_catalog_rebuild_restores_byte_identical_answers():
+    hdfs = _catalog_deployment()
+    catalog = IndexCatalog(hdfs)
+    with JobRunner(hdfs, executor="serial") as runner:
+        index, built = catalog.ensure(runner, "input/traces", n_partitions=2)
+        assert built
+        want_rect = index.query_rect(RECT)
+        want_knn = index.knn(40.0, 116.4, 7)
+        meta = dict(index.meta)
+
+        catalog.delete(catalog.entries()[0].key)
+        rebuilt, built_again = catalog.ensure(runner, "input/traces", n_partitions=2)
+        assert built_again
+        assert rebuilt.meta == meta
+        assert np.array_equal(rebuilt.query_rect(RECT), want_rect)
+        assert rebuilt.knn(40.0, 116.4, 7) == want_knn

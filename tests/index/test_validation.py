@@ -1,0 +1,88 @@
+"""Input validation at the query surface: bad parameters raise typed
+``ValueError``\\ s instead of silently returning empty (or wrong) answers.
+
+NaN is the dangerous case: every comparison against NaN is False, so an
+unvalidated NaN coordinate would traverse nothing and return an empty
+result that looks legitimate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.persistent import PersistentRTree, QueryEngine
+from repro.index.rtree import RTree
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import SimulatedHDFS
+
+NAN = float("nan")
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(3)
+    pts = np.column_stack(
+        (rng.uniform(39.0, 41.0, 100), rng.uniform(115.0, 118.0, 100))
+    )
+    return RTree.bulk_load(pts)
+
+
+@pytest.mark.parametrize("bad_lat, bad_lon", [(NAN, 116.5), (40.0, NAN), (INF, -INF)])
+def test_knn_rejects_non_finite_coordinates(tree, bad_lat, bad_lon):
+    with pytest.raises(ValueError, match="finite"):
+        tree.knn(bad_lat, bad_lon, 3)
+
+
+def test_knn_keeps_positive_k_validation(tree):
+    with pytest.raises(ValueError, match="k must be positive"):
+        tree.knn(40.0, 116.5, 0)
+
+
+@pytest.mark.parametrize("bad_lat, bad_lon", [(NAN, 116.5), (40.0, NAN), (-INF, 116.5)])
+def test_query_radius_rejects_non_finite_coordinates(tree, bad_lat, bad_lon):
+    with pytest.raises(ValueError, match="finite"):
+        tree.query_radius(bad_lat, bad_lon, 100.0)
+
+
+@pytest.mark.parametrize("bad_radius", [NAN, INF, -INF])
+def test_query_radius_rejects_non_finite_radius(tree, bad_radius):
+    with pytest.raises(ValueError, match="radius must be finite"):
+        tree.query_radius(40.0, 116.5, bad_radius)
+
+
+def test_query_radius_keeps_negative_radius_validation(tree):
+    with pytest.raises(ValueError, match="radius must be non-negative"):
+        tree.query_radius(40.0, 116.5, -1.0)
+
+
+def test_query_radius_batch_rejects_nan_points(tree):
+    points = np.array([[40.0, 116.5], [NAN, 116.5]])
+    with pytest.raises(ValueError, match="finite"):
+        tree.query_radius_batch(points, 100.0)
+    with pytest.raises(ValueError, match="radius must be finite"):
+        tree.query_radius_batch(np.array([[40.0, 116.5]]), NAN)
+
+
+def test_valid_queries_still_work(tree):
+    assert tree.knn(40.0, 116.5, 3)
+    assert tree.query_radius(40.0, 116.5, 1_000_000.0).size > 0
+    assert len(tree.query_radius_batch(np.array([[40.0, 116.5]]), 1000.0)) == 1
+    assert math.isfinite(tree.knn(40.0, 116.5, 1)[0][1])
+
+
+def test_query_engine_rejects_non_finite_parameters(tree):
+    hdfs = SimulatedHDFS(paper_cluster(2), chunk_size=64 * 1024, seed=0)
+    PersistentRTree.save(hdfs, "idx", tree)
+    engine = QueryEngine(PersistentRTree.open(hdfs, "idx"), hdfs=hdfs)
+    with pytest.raises(ValueError, match="lat must be finite"):
+        engine.point(NAN, 116.5)
+    with pytest.raises(ValueError, match="max_lon must be finite"):
+        engine.range(39.5, 115.5, 40.5, NAN)
+    with pytest.raises(ValueError, match="lon must be finite"):
+        engine.radius(40.0, INF, 100.0)
+    with pytest.raises(ValueError, match="lat must be finite"):
+        engine.knn(NAN, 116.5, 3)
+    # Rejected queries are never counted as served.
+    assert engine.stats.n_queries == 0

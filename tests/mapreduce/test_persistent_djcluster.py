@@ -1,0 +1,122 @@
+"""DJ-Cluster on the shared persistent index: an execution detail.
+
+The neighborhood phase now reads the catalog-managed persistent R-tree
+by default.  That switch must be invisible to the answers: clusters,
+labels and noise must be byte-identical to the legacy per-job in-memory
+build — on every execution backend, under a fixed chaos schedule, and
+under a memory budget.  And because the index is shared, a second
+``ensure`` over the same preprocessed dataset version must be a zero-job
+catalog hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.djcluster import DJClusterParams, run_djcluster_mapreduce
+from repro.mapreduce.chaos import INPUT_PATH, _build_corpus, _fresh_runner, default_schedule
+from repro.mapreduce.config import BACKENDS
+from repro.observability.events import EventKind
+
+#: DJ-Cluster over the tiny chaos corpus: every point stationary enough
+#: to survive the speed filter needs a reachable neighborhood, so loosen
+#: the defaults to get non-trivial clusters from 3 users x 1 day.
+PARAMS = DJClusterParams(radius_m=200.0, min_pts=4)
+
+
+def _run(use_persistent, *, backend="serial", chaos=None, budget=None):
+    runner = _fresh_runner(
+        _build_corpus(3, 1, 42), 3, 64 * 1024, chaos,
+        executor=backend, max_workers=2, memory_budget_mb=budget,
+    )
+    try:
+        result = run_djcluster_mapreduce(
+            runner, INPUT_PATH, PARAMS, use_persistent_index=use_persistent
+        )
+        kinds = [e.kind for e in runner.history]
+        return result, kinds
+    finally:
+        runner.close()
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.labels, b.labels)
+    assert np.array_equal(a.noise_ids, b.noise_ids)
+    assert len(a.clusters) == len(b.clusters)
+    for x, y in zip(a.clusters, b.clusters):
+        assert np.array_equal(x, y)
+    assert np.array_equal(
+        a.preprocessed.coordinates(), b.preprocessed.coordinates()
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_persistent_index_is_invisible_per_backend(backend):
+    legacy, legacy_kinds = _run(False, backend=backend)
+    shared, shared_kinds = _run(True, backend=backend)
+    assert legacy.n_clusters > 0, "corpus produced no clusters — test is vacuous"
+    _assert_identical(legacy, shared)
+    # Same simulated build cost: the catalog runs the same Figure-6 jobs.
+    # (The neighborhood stage drifts by microseconds — the broadcast now
+    # ships the portable page set, whose modeled size differs slightly
+    # from the pickled tree's.)
+    assert shared.stage_sim_seconds["preprocessing"] == legacy.stage_sim_seconds["preprocessing"]
+    assert shared.stage_sim_seconds["rtree_build"] == legacy.stage_sim_seconds["rtree_build"]
+    assert shared.sim_seconds == pytest.approx(legacy.sim_seconds, rel=1e-5)
+    assert EventKind.INDEX_PUBLISH in shared_kinds
+    assert EventKind.INDEX_PUBLISH not in legacy_kinds
+
+
+def test_persistent_index_is_invisible_under_chaos():
+    schedule = default_schedule(3)
+    legacy, _ = _run(False, chaos=schedule)
+    shared, _ = _run(True, chaos=schedule)
+    assert legacy.n_clusters > 0
+    _assert_identical(legacy, shared)
+
+
+def test_persistent_index_is_invisible_under_memory_budget():
+    legacy, _ = _run(False)
+    budgeted, kinds = _run(True, budget=0.01)
+    _assert_identical(legacy, budgeted)
+    assert EventKind.INDEX_PUBLISH in kinds
+
+
+def test_second_ensure_over_same_version_is_zero_job_hit():
+    from repro.index.persistent import IndexCatalog
+
+    runner = _fresh_runner(_build_corpus(3, 1, 42), 3, 64 * 1024, None)
+    try:
+        result = run_djcluster_mapreduce(runner, INPUT_PATH, PARAMS)
+        assert result.preprocessed is not None
+        catalog = IndexCatalog(runner.hdfs)
+        (entry,) = catalog.entries()
+        n_jobs = sum(1 for e in runner.history if e.kind == EventKind.JOB_START)
+        index, built = catalog.ensure(
+            runner,
+            entry.input_path,
+            n_partitions=entry.params["n_partitions"],
+            max_entries=entry.params["max_entries"],
+        )
+        assert not built
+        assert sum(1 for e in runner.history if e.kind == EventKind.JOB_START) == n_jobs
+        assert [e.kind for e in runner.history].count(EventKind.INDEX_REUSE) == 1
+        assert len(index) == entry.n_points
+        assert runner.history.validate() == []
+    finally:
+        runner.close()
+
+
+def test_rerun_after_repreprocessing_rebuilds_not_reuses():
+    """Re-running the driver rewrites the preprocessed dataset, bumping
+    its namenode version: the catalog key changes, so the second run
+    publishes a second index rather than unsafely reusing the first."""
+    runner = _fresh_runner(_build_corpus(3, 1, 42), 3, 64 * 1024, None)
+    try:
+        first = run_djcluster_mapreduce(runner, INPUT_PATH, PARAMS, workdir="tmp/dj-a")
+        second = run_djcluster_mapreduce(runner, INPUT_PATH, PARAMS, workdir="tmp/dj-b")
+        _assert_identical(first, second)
+        kinds = [e.kind for e in runner.history]
+        assert kinds.count(EventKind.INDEX_PUBLISH) == 2
+        assert kinds.count(EventKind.INDEX_REUSE) == 0
+    finally:
+        runner.close()

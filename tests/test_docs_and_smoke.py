@@ -66,7 +66,7 @@ def test_cli_help_mentions_every_documented_subcommand():
             r"python -m repro ([a-z][a-z0-9_-]*)", doc.read_text()
         ):
             documented.add(match.group(1))
-    assert {"history", "chaos", "bench", "submit", "service"} <= documented
+    assert {"history", "chaos", "bench", "submit", "service", "query"} <= documented
     missing = sorted(
         cmd for cmd in documented if not re.search(rf"\b{cmd}\b", help_text)
     )
