@@ -358,6 +358,7 @@ def run_preprocessing_pipeline(
     input_path: str,
     params: DJClusterParams,
     workdir: str = "tmp/djcluster",
+    name_prefix: str = "dj",
 ) -> PipelineResult:
     """Figure 5's two pipelined map-only preprocessing jobs.
 
@@ -378,10 +379,10 @@ def run_preprocessing_pipeline(
     runner.hdfs.delete(f"{workdir}/stationary", missing_ok=True)
     runner.hdfs.delete(f"{workdir}/preprocessed", missing_ok=True)
     pipeline = JobPipeline(
-        name="dj-preprocessing",
+        name=f"{name_prefix}-preprocessing",
         stages=[
             lambda src: JobSpec(
-                name="dj-filter-moving",
+                name=f"{name_prefix}-filter-moving",
                 mapper=SpeedFilterMapper,
                 input_paths=[src],
                 output_path=f"{workdir}/stationary",
@@ -389,7 +390,7 @@ def run_preprocessing_pipeline(
                 map_cost_factor=0.8,
             ),
             lambda src: JobSpec(
-                name="dj-remove-duplicates",
+                name=f"{name_prefix}-remove-duplicates",
                 mapper=DeduplicateMapper,
                 input_paths=[src],
                 output_path=f"{workdir}/preprocessed",
@@ -410,6 +411,7 @@ def run_djcluster_mapreduce(
     workdir: str = "tmp/djcluster",
     history_path: str | None = None,
     use_persistent_index: bool = True,
+    name_prefix: str = "dj",
 ) -> DJClusterResult:
     """The full MapReduced DJ-Cluster: preprocessing, R-tree build,
     neighborhood map phase and single-reducer merge.
@@ -432,7 +434,9 @@ def run_djcluster_mapreduce(
     build — retained as the reference path for equivalence tests.
     """
     hdfs = runner.hdfs
-    pre = run_preprocessing_pipeline(runner, input_path, params, workdir)
+    pre = run_preprocessing_pipeline(
+        runner, input_path, params, workdir, name_prefix=name_prefix
+    )
     preprocessed_path = pre.output_path
     prepared = hdfs.read_trace_array(preprocessed_path)
     n = len(prepared)
@@ -479,7 +483,7 @@ def run_djcluster_mapreduce(
     hdfs.delete(cluster_out, missing_ok=True)
     res = runner.run(
         JobSpec(
-            name="dj-neighborhood-merge",
+            name=f"{name_prefix}-neighborhood-merge",
             mapper=NeighborhoodMapper,
             reducer=MergeReducer,
             input_paths=[preprocessed_path],

@@ -319,6 +319,7 @@ def run_kmeans_mapreduce(
     num_reducers: int | None = None,
     workdir: str = "tmp/kmeans",
     history_path: str | None = None,
+    name_prefix: str = "kmeans",
 ) -> KMeansResult:
     """The k-means driver (Algorithm 3): one MapReduce job per iteration.
 
@@ -338,6 +339,10 @@ def run_kmeans_mapreduce(
     and each iteration's job is snapshotted at submit time, so
     concurrent tenants iterating on the same input never see each
     other's centroids (``docs/JOBSERVICE.md``).
+
+    ``name_prefix`` namespaces the per-iteration job names
+    (``{name_prefix}-iter-{i}``) so several runs can share one history
+    without colliding — the streaming layer passes a per-window prefix.
     """
     get_metric(distance)
     hdfs = runner.hdfs
@@ -363,7 +368,7 @@ def run_kmeans_mapreduce(
         hdfs.delete(out_path, missing_ok=True)
         result = runner.run(
             JobSpec(
-                name=f"kmeans-iter-{iteration}",
+                name=f"{name_prefix}-iter-{iteration}",
                 mapper=KMeansMapper,
                 reducer=KMeansReducer,
                 combiner=KMeansCombiner if use_combiner else None,

@@ -19,6 +19,7 @@ Commands
 ``submit``     submit one job to a JobService and trace its future (docs/JOBSERVICE.md)
 ``service``    multi-tenant campaign over the algorithm drivers (docs/JOBSERVICE.md)
 ``query``      build/reuse a persistent R-tree and serve queries from it (docs/SERVING.md)
+``stream``     micro-batch streaming run over a simulated feed (docs/STREAMING.md)
 """
 
 from __future__ import annotations
@@ -158,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenant",
         help="restrict to one tenant's jobs (service histories tag each "
         "job_start with its tenant)",
+    )
+    hist.add_argument(
+        "--window",
+        action="store_true",
+        help="per-window/per-tenant rollups instead of per-job blocks "
+        "(streaming histories tag each job_start with its stream and "
+        "window index)",
     )
     hist.add_argument(
         "--no-gantt", action="store_true", help="omit the per-task timeline"
@@ -317,6 +325,15 @@ def build_parser() -> argparse.ArgumentParser:
         "in-memory tree (fixed workload so the document doubles as a "
         "baseline; combine with --check/--out)",
     )
+    ben.add_argument(
+        "--stream", action="store_true",
+        help="benchmark the streaming layer instead: a warm windowed run "
+        "over a stationary 10^5-point corpus under fixed feed chaos, a "
+        "cold control proving the warm start saves k-means iterations, "
+        "the batch-vs-stream equivalence matrix on every backend, and a "
+        "result-cache replay probe (fixed workload so the document "
+        "doubles as a baseline; combine with --check/--out)",
+    )
 
     smt = sub.add_parser(
         "submit",
@@ -431,6 +448,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qry.add_argument(
         "--history", help="export the serving job history (.json/.jsonl)"
+    )
+
+    strm = sub.add_parser(
+        "stream",
+        help="micro-batch streaming run over a simulated feed",
+        description=(
+            "The worked docs/STREAMING.md example: a StreamSource cuts a "
+            "synthetic corpus into per-user feed batches on the simtime "
+            "clock (optionally with chaos-driven late/lost/duplicate "
+            "deliveries), a MicroBatcher seals fixed windows into HDFS "
+            "datasets, and a StreamingJobManager runs the per-window "
+            "analysis chain — sampling, warm-started k-means, DJ-Cluster "
+            "POIs, a re-identification risk score — through a "
+            "multi-tenant JobService, printing the rolling risk "
+            "timeline.  A streaming run is byte-identical to the "
+            "equivalent batch-job sequence; --selfcheck proves it."
+        ),
+    )
+    strm.add_argument("--users", type=int, default=4, help="synthetic corpus users")
+    strm.add_argument("--days", type=int, default=1, help="synthetic corpus days")
+    strm.add_argument("--seed", type=int, default=11, help="corpus seed")
+    strm.add_argument(
+        "--window-s", type=float, default=3 * 3600.0,
+        help="micro-batch window size in simtime seconds (default 10800)",
+    )
+    strm.add_argument(
+        "--tenants", type=int, default=1,
+        help="split the feeds round-robin over this many tenants "
+        "sharing one JobService (default 1)",
+    )
+    strm.add_argument("--k", type=int, default=3, help="k-means cluster count")
+    strm.add_argument(
+        "--max-iter", type=int, default=8, help="k-means iteration cap per window"
+    )
+    strm.add_argument(
+        "--sampling-window", type=float, default=1800.0,
+        help="down-sampling window within each micro-batch (seconds)",
+    )
+    strm.add_argument(
+        "--no-warm-start", action="store_true",
+        help="cold-start k-means in every window instead of reusing the "
+        "previous window's centroids",
+    )
+    strm.add_argument(
+        "--late-prob", type=float, default=0.0,
+        help="per-batch probability of a late delivery (next window)",
+    )
+    strm.add_argument(
+        "--lost-prob", type=float, default=0.0,
+        help="per-batch probability of a lost delivery",
+    )
+    strm.add_argument(
+        "--dup-prob", type=float, default=0.0,
+        help="per-batch probability of a duplicate delivery",
+    )
+    strm.add_argument(
+        "--chaos-seed", type=int, default=0, help="feed-chaos schedule seed"
+    )
+    strm.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="execution backend for the service",
+    )
+    strm.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="run out-of-core under this memory budget",
+    )
+    strm.add_argument(
+        "--out", help="write the risk-timeline JSON document here"
+    )
+    strm.add_argument(
+        "--report", help="render a previously saved risk-timeline JSON and exit"
+    )
+    strm.add_argument(
+        "--history", help="export the streaming run's job history (.json/.jsonl)"
+    )
+    strm.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run the fixed stream-vs-batch equivalence, chaos and "
+        "warm-start checks (used by the CI smoke step)",
     )
     return parser
 
@@ -549,7 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.file:
             raise SystemExit("history: provide a history file or --selfcheck")
         from repro.observability.history import load_history
-        from repro.observability.report import render_report
+        from repro.observability.report import render_report, render_window_report
 
         try:
             history = load_history(args.file)
@@ -566,15 +663,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"{len(violations)} ordering violation(s)"
             )
             return 1 if violations else 0
-        print(
-            render_report(
-                history,
-                jobs=args.job,
-                gantt=not args.no_gantt,
-                width=args.width,
-                tenant=args.tenant,
+        if args.window:
+            print(render_window_report(history, tenant=args.tenant))
+        else:
+            print(
+                render_report(
+                    history,
+                    jobs=args.job,
+                    gantt=not args.no_gantt,
+                    width=args.width,
+                    tenant=args.tenant,
+                )
             )
-        )
         if violations:
             print(f"\nWARNING: {len(violations)} ordering violation(s); run --validate-only")
             return 1
@@ -623,22 +723,55 @@ def main(argv: list[str] | None = None) -> int:
             DEFAULT_MULTITENANT_OUT,
             DEFAULT_QUERY_OUT,
             DEFAULT_SPILL_OUT,
+            DEFAULT_STREAM_OUT,
             check_against_baseline,
             check_multitenant_against_baseline,
             check_multitenant_result,
             check_query_against_baseline,
             check_query_result,
+            check_stream_against_baseline,
+            check_stream_result,
             load_result,
             render_multitenant_result,
             render_query_result,
             render_result,
             render_spill_result,
+            render_stream_result,
             run_backend_benchmark,
             run_multitenant_benchmark,
             run_query_benchmark,
             run_spill_benchmark,
+            run_stream_benchmark,
             save_result,
         )
+
+        if args.stream:
+            try:
+                doc = run_stream_benchmark()
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(f"bench: {exc}")
+            print(render_stream_result(doc))
+            problems = check_stream_result(doc)
+            if args.check:
+                # Compare before (possibly) overwriting the baseline.
+                baseline_path = args.baseline or DEFAULT_STREAM_OUT
+                try:
+                    baseline = load_result(baseline_path)
+                    problems += check_stream_against_baseline(doc, baseline)
+                except FileNotFoundError:
+                    print(f"(no baseline at {baseline_path}; intrinsic gates only)")
+            if args.out or not args.check:
+                # Generation mode writes the artifact; --check without
+                # --out leaves the committed baseline untouched.
+                out = args.out or DEFAULT_STREAM_OUT
+                print(f"result written to {save_result(doc, out)}")
+            if problems:
+                print("\nFAILED gates:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print("all streaming gates passed")
+            return 0
 
         if args.query:
             try:
@@ -1028,6 +1161,114 @@ def main(argv: list[str] | None = None) -> int:
                 service.history.save(args.history)
                 print(f"history exported to {args.history}")
         return 1 if mismatches else 0
+
+    if args.command == "stream":
+        import json as _json
+
+        if args.report:
+            from repro.streaming.manager import RiskTimeline
+
+            try:
+                with open(args.report) as fh:
+                    doc = _json.load(fh)
+                timeline = RiskTimeline.from_doc(doc)
+            except FileNotFoundError:
+                raise SystemExit(f"stream: no such timeline file: {args.report}")
+            except (ValueError, KeyError) as exc:
+                raise SystemExit(f"stream: cannot read {args.report}: {exc}")
+            print(timeline.render())
+            return 0
+
+        if args.selfcheck:
+            from repro.streaming.check import run_stream_selfcheck
+
+            ok = run_stream_selfcheck(verbose=True)
+            print("stream selfcheck: ok" if ok else "stream selfcheck: FAILED")
+            return 0 if ok else 1
+
+        from repro.mapreduce.failures import ChaosSchedule, JobFailedError
+        from repro.streaming.check import run_multitenant_stream, run_stream
+
+        if args.tenants < 1:
+            raise SystemExit("stream: --tenants must be positive")
+        if args.window_s <= 0:
+            raise SystemExit("stream: --window-s must be positive")
+        dataset, _ = generate_dataset(
+            SyntheticConfig(n_users=args.users, days=args.days, seed=args.seed)
+        )
+        array = dataset.flat()
+        chaos = None
+        if args.late_prob or args.lost_prob or args.dup_prob:
+            try:
+                chaos = ChaosSchedule(
+                    seed=args.chaos_seed,
+                    late_batch_prob=args.late_prob,
+                    lost_batch_prob=args.lost_prob,
+                    dup_batch_prob=args.dup_prob,
+                )
+            except ValueError as exc:
+                raise SystemExit(f"stream: {exc}")
+        manager_kwargs = dict(
+            k=args.k,
+            max_iter=args.max_iter,
+            sampling_window_s=args.sampling_window,
+            warm_start=not args.no_warm_start,
+            seed=args.seed,
+        )
+        try:
+            if args.tenants == 1:
+                result = run_stream(
+                    array,
+                    args.window_s,
+                    mode="service",
+                    executor=args.backend,
+                    max_workers=None if args.backend == "serial" else 2,
+                    memory_budget_mb=args.memory_budget_mb,
+                    chaos=chaos,
+                    history_path=args.history,
+                    **manager_kwargs,
+                )
+                results = {"stream": result}
+            else:
+                tenants = {
+                    f"tenant{i}": 1.0 for i in range(args.tenants)
+                }
+                results, report = run_multitenant_stream(
+                    array,
+                    args.window_s,
+                    tenants,
+                    executor=args.backend,
+                    max_workers=None if args.backend == "serial" else 2,
+                    memory_budget_mb=args.memory_budget_mb,
+                    chaos=chaos,
+                    history_path=args.history,
+                    **manager_kwargs,
+                )
+        except JobFailedError as exc:
+            raise SystemExit(f"stream: run failed cleanly under chaos: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"stream: {exc}")
+        for name in sorted(results):
+            print(results[name].timeline.render())
+            print(f"run signature: {results[name].signature()}")
+        if args.tenants > 1:
+            print(report.render())
+        if args.out:
+            docs = (
+                results["stream"].timeline.to_doc()
+                if args.tenants == 1
+                else {
+                    name: results[name].timeline.to_doc()
+                    for name in sorted(results)
+                }
+            )
+            with open(args.out, "w") as fh:
+                _json.dump(docs, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"timeline written to {args.out}")
+        if args.history:
+            print(f"history exported to {args.history}")
+        return 0
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
 

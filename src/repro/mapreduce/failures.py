@@ -66,8 +66,26 @@ class FaultKind:
     NODE_LOSS = "node_loss"
     SHUFFLE_FETCH = "shuffle_fetch"
     CACHE_LOAD = "cache_load"
+    #: A feed's micro-batch arrives after its window's watermark and is
+    #: delivered during the next window (streaming layer).
+    LATE_BATCH = "late_batch"
+    #: A feed's micro-batch never arrives: its points are dropped and
+    #: counted, no retry (streaming layer).
+    LOST_BATCH = "lost_batch"
+    #: A feed's micro-batch is delivered twice; the batcher deduplicates
+    #: by (feed, window) sequence id so outputs are unchanged.
+    DUP_BATCH = "dup_batch"
 
-    ALL = (TASK_CRASH, SLOW_NODE, NODE_LOSS, SHUFFLE_FETCH, CACHE_LOAD)
+    ALL = (
+        TASK_CRASH,
+        SLOW_NODE,
+        NODE_LOSS,
+        SHUFFLE_FETCH,
+        CACHE_LOAD,
+        LATE_BATCH,
+        LOST_BATCH,
+        DUP_BATCH,
+    )
 
 
 class TaskFailure(RuntimeError):
@@ -140,7 +158,9 @@ class Fault:
     task-scoped kinds (crash, cache load, shuffle fetch) match on
     ``(task, attempt)``; ``slow_node`` matches on ``node``; ``node_loss``
     matches on ``node`` and optionally restricts to one ``job`` name
-    (``job=None`` = the first job where the node is still alive).
+    (``job=None`` = the first job where the node is still alive).  Feed
+    kinds (late/lost/dup batch) match on ``(feed, window)``; leaving
+    ``feed`` or ``window`` at ``None`` matches every feed or window.
     """
 
     kind: str
@@ -148,6 +168,8 @@ class Fault:
     node: str | None = None
     attempt: int = 1
     job: str | None = None
+    feed: str | None = None
+    window: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
@@ -195,12 +217,16 @@ class ChaosSchedule:
     slow_factor: float = 3.0
     node_loss_prob: float = 0.0
     max_node_losses: int = 1
+    late_batch_prob: float = 0.0
+    lost_batch_prob: float = 0.0
+    dup_batch_prob: float = 0.0
     bad_nodes: frozenset[str] = frozenset()
     faults: tuple[Fault, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("crash_prob", "cache_load_prob", "shuffle_fetch_prob",
-                     "slow_node_prob", "node_loss_prob"):
+                     "slow_node_prob", "node_loss_prob",
+                     "late_batch_prob", "lost_batch_prob", "dup_batch_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {p}")
@@ -298,6 +324,42 @@ class ChaosSchedule:
             return ordered[min(int(pick * len(ordered)), len(ordered) - 1)]
         return None
 
+    # -- feed faults (streaming micro-batches) --------------------------------
+    def _batch_fault(self, kind: str, feed: str, window: int) -> bool:
+        """Shared scripted + probabilistic decision for one feed batch.
+
+        Keys on ``(seed, kind, feed, window)`` — stable identifiers of the
+        batch itself — so the decision is independent of delivery order
+        and identical between a streaming run and its batch replay.
+        """
+        for fault in self.faults:
+            if fault.kind != kind:
+                continue
+            if fault.feed is not None and fault.feed != feed:
+                continue
+            if fault.window is not None and fault.window != window:
+                continue
+            return True
+        prob = {
+            FaultKind.LATE_BATCH: self.late_batch_prob,
+            FaultKind.LOST_BATCH: self.lost_batch_prob,
+            FaultKind.DUP_BATCH: self.dup_batch_prob,
+        }[kind]
+        return prob > 0.0 and _hash_u01(self.seed, kind, feed, window) < prob
+
+    def batch_lost(self, feed: str, window: int) -> bool:
+        """Whether this feed's batch for ``window`` never arrives."""
+        return self._batch_fault(FaultKind.LOST_BATCH, feed, window)
+
+    def batch_late(self, feed: str, window: int) -> bool:
+        """Whether this feed's batch misses the watermark and slips into
+        the next window's delivery."""
+        return self._batch_fault(FaultKind.LATE_BATCH, feed, window)
+
+    def batch_duplicated(self, feed: str, window: int) -> bool:
+        """Whether this feed's batch is delivered twice."""
+        return self._batch_fault(FaultKind.DUP_BATCH, feed, window)
+
     # -- introspection ---------------------------------------------------------
     def active(self) -> bool:
         """Whether this schedule can inject anything at all."""
@@ -307,6 +369,9 @@ class ChaosSchedule:
             or self.shuffle_fetch_prob
             or self.slow_node_prob
             or self.node_loss_prob
+            or self.late_batch_prob
+            or self.lost_batch_prob
+            or self.dup_batch_prob
             or self.bad_nodes
             or self.faults
         )
@@ -320,6 +385,9 @@ class ChaosSchedule:
             ("shuffle", self.shuffle_fetch_prob),
             ("slow", self.slow_node_prob),
             ("node-loss", self.node_loss_prob),
+            ("late-batch", self.late_batch_prob),
+            ("lost-batch", self.lost_batch_prob),
+            ("dup-batch", self.dup_batch_prob),
         ):
             if value:
                 parts.append(f"{label}={value:g}")

@@ -236,6 +236,10 @@ class JobRunner:
         #: runs.  Set by the :class:`~repro.mapreduce.service.JobService`
         #: dispatcher around each job it executes.
         self.tenant: str | None = None
+        #: Extra JSON-safe labels stamped into JOB_START alongside the
+        #: tenant (e.g. the streaming window index); also set by the
+        #: service dispatcher, ``None`` everywhere else.
+        self.job_tags: dict | None = None
         #: Simulated one-time deployment overhead (HDFS install + upload);
         #: reported separately, as the paper does (~25 s).
         self.deploy_overhead_s = self.cost_model.deploy_overhead_s
@@ -980,6 +984,7 @@ class JobRunner:
             num_reducers=0 if job.map_only else job.num_reducers,
             combiner=job.combiner is not None,
             **({"tenant": self.tenant} if self.tenant is not None else {}),
+            **(self.job_tags or {}),
         )
         h.emit(EventKind.PHASE_START, job.name, t0, phase=Phase.SETUP)
         if len(self.cache):

@@ -390,6 +390,9 @@ class _Submission:
     job: JobSpec
     snapshot: dict[str, Any]
     future: JobFuture
+    #: Extra JSON-safe labels stamped into the job's JOB_SUBMIT/JOB_START
+    #: events (the streaming layer tags jobs with their window index).
+    tags: dict[str, Any] | None = None
 
 
 class TenantClient:
@@ -413,6 +416,10 @@ class TenantClient:
             )
         self.service = service
         self.tenant = tenant
+        #: Labels attached to every subsequent submit (JSON-safe values);
+        #: the streaming manager sets ``{"window": i}`` around each
+        #: window's jobs so histories can be rolled up per window.
+        self.tags: dict[str, Any] | None = None
 
     @property
     def hdfs(self) -> SimulatedHDFS:
@@ -435,7 +442,7 @@ class TenantClient:
         return self.service._tenants[self.tenant].cache
 
     def submit(self, job: JobSpec) -> JobFuture:
-        return self.service.submit(job, tenant=self.tenant)
+        return self.service.submit(job, tenant=self.tenant, tags=self.tags)
 
     def run(self, job: JobSpec) -> JobResult:
         """Submit and block — the drop-in for ``JobRunner.run``."""
@@ -684,14 +691,21 @@ class JobService:
         self.close(wait=not any(exc))
 
     # -- submission ---------------------------------------------------------
-    def submit(self, job: JobSpec, tenant: str = "default") -> JobFuture:
+    def submit(
+        self,
+        job: JobSpec,
+        tenant: str = "default",
+        tags: dict[str, Any] | None = None,
+    ) -> JobFuture:
         """Queue ``job`` for ``tenant``; returns its :class:`JobFuture`.
 
         Raises :class:`UnknownTenantError` for tenants outside the
         roster and :class:`QuotaExceededError` when the tenant is at its
         ``max_queued`` admission quota.  The tenant's distributed cache
         is snapshotted *now* — later mutations (e.g. the next k-means
-        iteration's centroids) don't leak into this job.
+        iteration's centroids) don't leak into this job.  ``tags`` are
+        JSON-safe labels stamped into the job's ``job_submit`` and
+        ``job_start`` events (e.g. a streaming window index).
         """
         state = self._tenants.get(tenant)
         if state is None:
@@ -717,6 +731,7 @@ class JobService:
                 job=spec,
                 snapshot=state.cache.snapshot(),
                 future=future,
+                tags=dict(tags) if tags else None,
             )
             state.queue.append(sub)
             self._outstanding += 1
@@ -727,6 +742,7 @@ class JobService:
                 self.history.clock,
                 tenant=tenant,
                 queue_depth=queue_depth,
+                **(sub.tags or {}),
             )
             self._cond.notify_all()
         return future
@@ -847,6 +863,7 @@ class JobService:
         runner = self._runner
         runner.cache = DistributedCache.from_snapshot(sub.snapshot)
         runner.tenant = sub.tenant
+        runner.job_tags = sub.tags
         try:
             key = (
                 result_cache_key(sub.job, self.hdfs, sub.snapshot)
@@ -872,6 +889,7 @@ class JobService:
             return result, False
         finally:
             runner.tenant = None
+            runner.job_tags = None
 
     def _serve_cache_hit(self, sub: _Submission, key: str) -> JobResult:
         """Answer a submission from the result cache: zero tasks run.
@@ -908,6 +926,7 @@ class JobService:
             num_reducers=0,
             combiner=job.combiner is not None,
             tenant=sub.tenant,
+            **(sub.tags or {}),
         )
         h.emit(
             EventKind.RESULT_CACHE_HIT,

@@ -122,6 +122,23 @@ class EventKind:
     #: persisted pages (zero map tasks); data: query, n_results,
     #: page_faults, fault_bytes, latency_s, plus query parameters.
     QUERY_SERVED = "query_served"
+    #: The micro-batcher started accepting feed batches for one simtime
+    #: window; data: window (index), t_start, t_end (event-time bounds).
+    WINDOW_OPEN = "window_open"
+    #: The micro-batcher advanced the stream's watermark: every batch
+    #: with event time below it has been delivered, dropped (lost) or
+    #: reassigned to the next window (late); data: window, watermark
+    #: (event-time seconds).
+    WATERMARK = "watermark"
+    #: A window's dataset was sealed into HDFS via ``put_trace_stream``;
+    #: data: window, path, n_points, late_points, lost_points,
+    #: dup_points, n_feeds.
+    WINDOW_CLOSE = "window_close"
+    #: The per-window analysis jobs finished and the rolling risk score
+    #: was appended to the :class:`~repro.streaming.RiskTimeline`; data:
+    #: window, n_points, kmeans_iterations, warm_start, n_pois, risk,
+    #: min_anonymity, latency_s (simulated close-to-result seconds).
+    WINDOW_RESULT = "window_result"
 
     @classmethod
     def all(cls) -> tuple[str, ...]:

@@ -25,8 +25,10 @@ __all__ = [
     "summarize",
     "summarize_job",
     "tenant_accounting",
+    "window_accounting",
     "render_gantt",
     "render_report",
+    "render_window_report",
 ]
 
 #: A task is ranked as a straggler when its duration exceeds the phase
@@ -44,6 +46,10 @@ class JobSummary:
     phases: dict[str, float]
     #: Owning tenant when the job ran through a JobService (None = solo run).
     tenant: str | None = None
+    #: Streaming window tags stamped by the StreamingJobManager
+    #: (None = not part of a streaming run).
+    stream: str | None = None
+    window: int | None = None
     #: True when the output was served from the service result cache.
     cache_hit: bool = False
     n_map_tasks: int = 0
@@ -209,6 +215,12 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
         timing=timing,
         phases=history.phase_durations(job),
         tenant=start.data.get("tenant"),
+        stream=start.data.get("stream"),
+        window=(
+            int(start.data["window"])
+            if start.data.get("window") is not None
+            else None
+        ),
         cache_hit=cache_hit,
         n_map_tasks=int(finish.data.get("n_map_tasks", 0)),
         n_reduce_tasks=int(finish.data.get("n_reduce_tasks", 0)),
@@ -274,6 +286,87 @@ def tenant_accounting(
         row["map_tasks"] += s.n_map_tasks
         row["reduce_tasks"] += s.n_reduce_tasks
     return accounts
+
+
+def window_accounting(
+    summaries: list[JobSummary],
+) -> dict[tuple[str, int, str], dict[str, Any]]:
+    """Aggregate job summaries per (stream, window, tenant).
+
+    Streaming runs tag every job's ``job_start`` with its stream name
+    and window index (``repro.streaming``); this rolls the per-job
+    summaries up into one row per (stream, window, tenant) — job count,
+    cache hits, simulated seconds, task counts — the ``repro history
+    --window`` view.  Jobs without window tags (the batch world) are
+    ignored; an empty dict means the history has no streaming run.
+    """
+    accounts: dict[tuple[str, int, str], dict[str, Any]] = {}
+    for s in summaries:
+        if s.window is None:
+            continue
+        key = (s.stream or "-", s.window, s.tenant or "-")
+        row = accounts.setdefault(
+            key,
+            {
+                "jobs": 0,
+                "cache_hits": 0,
+                "total_s": 0.0,
+                "map_tasks": 0,
+                "reduce_tasks": 0,
+            },
+        )
+        row["jobs"] += 1
+        row["cache_hits"] += int(s.cache_hit)
+        row["total_s"] += s.total_s
+        row["map_tasks"] += s.n_map_tasks
+        row["reduce_tasks"] += s.n_reduce_tasks
+    return accounts
+
+
+def render_window_report(history: JobHistory, tenant: str | None = None) -> str:
+    """The ``repro history --window`` view: per-window/per-tenant rollups.
+
+    One row per (stream, window, tenant) plus the stream's control-plane
+    counters (points, late/lost/dup) read from the ``window_close``
+    events, so the operator sees the windowed workload without paging
+    through every job block.
+    """
+    summaries = summarize(history)
+    if tenant is not None:
+        summaries = [s for s in summaries if s.tenant == tenant]
+    accounts = window_accounting(summaries)
+    if not accounts:
+        return "history contains no window-tagged jobs (not a streaming run?)"
+    closes: dict[tuple[str, int], dict[str, Any]] = {}
+    for event in history.events:
+        if event.kind == EventKind.WINDOW_CLOSE:
+            stream = str(event.job).removesuffix("-ingest")
+            closes[(stream, int(event.data.get("window", -1)))] = event.data
+    lines = [
+        "== per-window accounting " + "=" * 37,
+        f"{'stream':<14} {'win':>4} {'tenant':<10} {'jobs':>5} {'hits':>5} "
+        f"{'sim-s':>9} {'maps':>6} {'reduces':>8} {'points':>8} "
+        f"{'late':>6} {'lost':>6} {'dup':>5}",
+    ]
+    for key in sorted(accounts):
+        stream, window, who = key
+        row = accounts[key]
+        close = closes.get((stream, window), {})
+        lines.append(
+            f"{stream:<14} {window:>4} {who:<10} {row['jobs']:>5} "
+            f"{row['cache_hits']:>5} {row['total_s']:>9.1f} "
+            f"{row['map_tasks']:>6} {row['reduce_tasks']:>8} "
+            f"{close.get('n_points', 0):>8} {close.get('late_points', 0):>6} "
+            f"{close.get('lost_points', 0):>6} {close.get('dup_points', 0):>5}"
+        )
+    n_windows = len({(s, w) for s, w, _ in accounts})
+    total = sum(r["total_s"] for r in accounts.values())
+    jobs = sum(r["jobs"] for r in accounts.values())
+    lines.append(
+        f"{n_windows} window(s), {jobs} windowed job(s), "
+        f"{total:.1f} simulated s total"
+    )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

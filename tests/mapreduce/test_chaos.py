@@ -301,3 +301,108 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(blacklist_after=0)
+
+
+class TestFeedFaults:
+    """Feed-level chaos: the late/lost/dup batch modes the streaming
+    subsystem feeds through the same seeded decision pipeline."""
+
+    def test_scripted_fault_scopes_to_feed_and_window(self):
+        chaos = ChaosSchedule(
+            seed=0, faults=(Fault(FaultKind.LATE_BATCH, feed="u01", window=2),)
+        )
+        assert chaos.batch_late("u01", 2)
+        assert not chaos.batch_late("u01", 3)
+        assert not chaos.batch_late("u02", 2)
+        assert not chaos.batch_lost("u01", 2)
+        assert not chaos.batch_duplicated("u01", 2)
+
+    def test_wildcard_feed_and_window_match_everything(self):
+        every_feed = ChaosSchedule(
+            seed=0, faults=(Fault(FaultKind.LOST_BATCH, window=1),)
+        )
+        assert every_feed.batch_lost("a", 1)
+        assert every_feed.batch_lost("z", 1)
+        assert not every_feed.batch_lost("a", 0)
+        every_window = ChaosSchedule(
+            seed=0, faults=(Fault(FaultKind.DUP_BATCH, feed="a"),)
+        )
+        assert every_window.batch_duplicated("a", 0)
+        assert every_window.batch_duplicated("a", 99)
+        assert not every_window.batch_duplicated("b", 0)
+
+    def test_probability_extremes(self):
+        never = ChaosSchedule(seed=3)
+        always = ChaosSchedule(
+            seed=3, late_batch_prob=1.0, lost_batch_prob=1.0, dup_batch_prob=1.0
+        )
+        for feed, window in [("a", 0), ("b", 1), ("c", 7)]:
+            assert not never.batch_late(feed, window)
+            assert not never.batch_lost(feed, window)
+            assert not never.batch_duplicated(feed, window)
+            assert always.batch_late(feed, window)
+            assert always.batch_lost(feed, window)
+            assert always.batch_duplicated(feed, window)
+
+    def test_decisions_keyed_on_identity_not_draw_order(self):
+        chaos = ChaosSchedule(seed=5, late_batch_prob=0.5, lost_batch_prob=0.5)
+        keys = [(f"u{i}", w) for i in range(4) for w in range(4)]
+        forward = [(chaos.batch_late(f, w), chaos.batch_lost(f, w)) for f, w in keys]
+        backward = list(reversed(
+            [(chaos.batch_late(f, w), chaos.batch_lost(f, w))
+             for f, w in reversed(keys)]
+        ))
+        assert forward == backward
+        # ... and the three kinds draw independently per batch.
+        assert len({chaos.batch_late(f, w) for f, w in keys}) == 2
+
+    def test_batch_prob_validated(self):
+        with pytest.raises(ValueError, match="late_batch_prob"):
+            ChaosSchedule(late_batch_prob=1.5)
+        with pytest.raises(ValueError, match="dup_batch_prob"):
+            ChaosSchedule(dup_batch_prob=-0.1)
+
+    def test_feed_faults_count_as_active_and_described(self):
+        chaos = ChaosSchedule(
+            seed=1, late_batch_prob=0.2,
+            faults=(Fault(FaultKind.LOST_BATCH, feed="a"),),
+        )
+        assert chaos.active()
+        text = chaos.describe()
+        assert "late-batch=0.2" in text
+        assert "1 scripted fault(s)" in text
+        assert not ChaosSchedule(seed=1).active()
+
+    def test_watermark_accounts_for_late_and_lost(self):
+        """End to end through the streaming data plane: once window w's
+        watermark passes, every point below it is in w's dataset, in
+        w+1's dataset (late), or counted lost -- never silently dropped."""
+        from repro.geo.synthetic import SyntheticConfig, generate_dataset
+        from repro.observability.history import JobHistory
+        from repro.streaming import MicroBatcher, StreamSource
+
+        dataset, _ = generate_dataset(SyntheticConfig(n_users=2, days=1, seed=3))
+        corpus = dataset.flat()
+        feeds = sorted(set(corpus.users))
+        chaos = ChaosSchedule(
+            seed=2,
+            faults=(
+                Fault(FaultKind.LATE_BATCH, feed=feeds[0], window=0),
+                Fault(FaultKind.LOST_BATCH, feed=feeds[1], window=1),
+            ),
+        )
+        source = StreamSource(corpus, 3 * 3600.0, chaos=chaos)
+        history = JobHistory()
+        hdfs = SimulatedHDFS(paper_cluster(3), chunk_size=64 * 1024, seed=0)
+        datasets = MicroBatcher(hdfs, history=history).run(source)
+        delivered = sum(d.n_points for d in datasets)
+        lost = sum(d.lost_points for d in datasets)
+        assert delivered + lost == len(corpus)
+        assert datasets[1].late_points > 0
+        assert datasets[1].lost_points == source.lost_by_window[1] > 0
+        marks = [
+            e.data["watermark"]
+            for e in history.events
+            if e.kind == EventKind.WATERMARK
+        ]
+        assert marks == [source.window_bounds(w)[1] for w in range(source.n_windows)]

@@ -1,0 +1,95 @@
+"""Warm-started incremental k-means on a stationary stream.
+
+On a corpus whose users shuttle between fixed anchors (every window has
+the same spatial structure), warm-starting each window's k-means from
+the previous window's centroids must (a) spend strictly fewer total
+Lloyd iterations than cold random restarts, (b) agree byte-for-byte on
+window 0 (nothing to warm-start from — both runs are cold there), and
+(c) land on exact Lloyd fixed points from window 1 on: one more
+assignment/update step moves no centroid.  Cold restarts land in
+*different local optima* window to window, so fixed-point convergence —
+not centroid equality — is the correctness bar for the warm chain.
+
+Warm starting only changes the k-means init; sampling and DJ-Cluster
+outputs must be byte-identical between the two runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.bench import synthetic_stream_corpus
+from repro.streaming.check import run_stream
+
+WINDOW_S = 3600.0
+KW = dict(k=8, max_iter=25, seed=0, sampling_window_s=600.0)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    corpus = synthetic_stream_corpus(
+        20_000, n_users=20, n_windows=10, window_s=WINDOW_S, seed=0
+    )
+    warm = run_stream(corpus, WINDOW_S, mode="runner", warm_start=True, **KW)
+    cold = run_stream(corpus, WINDOW_S, mode="runner", warm_start=False, **KW)
+    return corpus, warm, cold
+
+
+def _lloyd_step(points: np.ndarray, centroids: np.ndarray) -> float:
+    """Largest centroid displacement (degrees) after one Lloyd step."""
+    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    assign = d2.argmin(axis=1)
+    moved = centroids.copy()
+    for j in range(len(centroids)):
+        members = points[assign == j]
+        if len(members):
+            moved[j] = members.mean(axis=0)
+    return float(np.abs(moved - centroids).max())
+
+
+def test_warm_start_saves_iterations(runs):
+    _, warm, cold = runs
+    assert warm.total_kmeans_iterations < cold.total_kmeans_iterations
+    assert warm.total_kmeans_iterations > 0
+
+
+def test_window_zero_is_byte_identical(runs):
+    # No previous centroids exist at window 0: warm and cold runs are the
+    # same cold start and must agree exactly.
+    _, warm, cold = runs
+    assert np.array_equal(warm.results[0].centroids, cold.results[0].centroids)
+    assert warm.results[0].signature() == cold.results[0].signature()
+
+
+def test_warm_windows_are_lloyd_fixed_points(runs):
+    corpus, warm, _ = runs
+    ts = corpus.timestamp
+    base = np.floor(ts.min() / WINDOW_S)
+    win = (np.floor(ts / WINDOW_S) - base).astype(np.int64)
+    checked = 0
+    for r in warm.results[1:]:
+        if r.centroids is None:
+            continue
+        mask = win == r.window.index
+        points = np.column_stack((corpus.latitude[mask], corpus.longitude[mask]))
+        assert _lloyd_step(points, r.centroids) < 1e-6, (
+            f"window {r.window.index} centroids are not a Lloyd fixed point"
+        )
+        checked += 1
+    assert checked >= 5
+
+
+def test_everything_converged(runs):
+    _, warm, cold = runs
+    for run in (warm, cold):
+        for r in run.results:
+            if r.centroids is not None:
+                assert r.converged
+
+
+def test_warm_start_only_affects_kmeans(runs):
+    _, warm, cold = runs
+    assert len(warm.results) == len(cold.results)
+    for w, c in zip(warm.results, cold.results):
+        assert w.sampled_signature == c.sampled_signature
+        assert w.n_pois == c.n_pois
+        assert w.risk == c.risk

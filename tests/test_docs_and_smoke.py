@@ -54,6 +54,14 @@ def test_service_selfcheck_smoke(capsys):
     assert "service selfcheck OK" in capsys.readouterr().out
 
 
+def test_stream_selfcheck_smoke(capsys):
+    """`python -m repro stream --selfcheck`: the micro-batch pipeline's
+    determinism, equivalence, chaos, and warm-start invariants hold on a
+    miniature corpus."""
+    assert main(["stream", "--selfcheck"]) == 0
+    assert "stream selfcheck: ok" in capsys.readouterr().out
+
+
 def test_cli_help_mentions_every_documented_subcommand():
     """Docs and CLI can't drift: every `python -m repro <cmd>` usage in
     the markdown corpus must name a real subcommand."""
@@ -66,7 +74,9 @@ def test_cli_help_mentions_every_documented_subcommand():
             r"python -m repro ([a-z][a-z0-9_-]*)", doc.read_text()
         ):
             documented.add(match.group(1))
-    assert {"history", "chaos", "bench", "submit", "service", "query"} <= documented
+    assert {
+        "history", "chaos", "bench", "submit", "service", "query", "stream"
+    } <= documented
     missing = sorted(
         cmd for cmd in documented if not re.search(rf"\b{cmd}\b", help_text)
     )
