@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geo.distance import METRIC_COST, get_metric, pairwise
+from repro.mapreduce.aggregation import Aggregation
 from repro.mapreduce.config import Configuration
 from repro.mapreduce.job import JobSpec, Mapper, Reducer
 from repro.mapreduce.runner import JobRunner
@@ -41,6 +42,7 @@ __all__ = [
     "assign_points",
     "kmeans_sequential",
     "run_kmeans_mapreduce",
+    "KMeansAggregation",
     "KMeansResult",
     "KMeansIterationStats",
     "CENTROIDS_CACHE_KEY",
@@ -281,6 +283,51 @@ class KMeansCombiner(Reducer):
         ctx.emit(key, (total, count), nbytes=24)
 
 
+class KMeansAggregation(Aggregation):
+    """The update step declared as a monoid: ``(sum_lat_lon, count)``.
+
+    The partial is exactly the combiner's record — a per-cluster
+    coordinate sum plus a point count — but declared as an
+    :class:`~repro.mapreduce.aggregation.Aggregation` the runner can
+    pre-aggregate worker-side and ship through the metadata-only
+    shuffle: one 24-byte envelope per (node, cluster) crosses the
+    network instead of one record per (map task, cluster).
+    ``finalize`` mirrors :class:`KMeansReducer` (including the
+    empty-cluster skip), so both paths emit the same records.
+    """
+
+    #: sum_lat + sum_lon (float64) + count, matching the combiner's
+    #: modelled 24-byte record.
+    envelope_nbytes = 24
+
+    def zero(self):
+        return (np.zeros(2), 0)
+
+    def lift(self, key, block):
+        return (block.sum(axis=0), len(block))
+
+    def merge(self, acc, partial):
+        return (acc[0] + partial[0], acc[1] + partial[1])
+
+    def finalize(self, key, acc, ctx) -> None:
+        total, count = acc
+        if count == 0:
+            return
+        centroid = total / count
+        ctx.emit(int(key), (float(centroid[0]), float(centroid[1]), int(count)))
+
+    def lift_pairs(self, pairs):
+        # One block.sum per emitted block — the same NumPy reduction the
+        # combiner performs, folded per cluster id in arrival order (the
+        # mapper emits each cluster at most once per task, so this is
+        # trivially bit-identical to the object loop).
+        acc: dict[int, tuple] = {}
+        for key, block in pairs:
+            partial = (block.sum(axis=0), len(block))
+            acc[key] = self.merge(acc[key], partial) if key in acc else partial
+        return [(key, acc[key]) for key in sorted(acc)]
+
+
 class KMeansReducer(Reducer):
     """Update step (Algorithm 2): average each cluster's points.
 
@@ -316,6 +363,7 @@ def run_kmeans_mapreduce(
     initial_centroids: np.ndarray | None = None,
     init: str = "random",
     use_combiner: bool = False,
+    use_aggregation: bool = False,
     num_reducers: int | None = None,
     workdir: str = "tmp/kmeans",
     history_path: str | None = None,
@@ -326,6 +374,14 @@ def run_kmeans_mapreduce(
     Each iteration writes a ``{workdir}/clusters-{i}`` file holding the
     new centroids (Figure 4's per-iteration clusters directory) and
     republished them in the distributed cache for the next map phase.
+
+    ``use_combiner`` enables the object-level combiner (ablation X3);
+    ``use_aggregation`` declares :class:`KMeansAggregation` on each
+    iteration's job, unlocking map-side vectorized pre-aggregation and
+    the metadata-only shuffle on runners with ``preagg`` enabled (the
+    shuffle-byte minimization benchmark).  The two knobs compose: a
+    runner with ``preagg=False`` falls back from the aggregation to the
+    combiner (if enabled) or the raw reducer.
 
     Every iteration's job emits its full event stream into
     ``runner.history`` and the driver adds one ``driver_annotation``
@@ -372,6 +428,7 @@ def run_kmeans_mapreduce(
                 mapper=KMeansMapper,
                 reducer=KMeansReducer,
                 combiner=KMeansCombiner if use_combiner else None,
+                aggregation=KMeansAggregation if use_aggregation else None,
                 input_paths=[input_path],
                 output_path=out_path,
                 conf=conf,

@@ -334,6 +334,16 @@ def build_parser() -> argparse.ArgumentParser:
         "result-cache replay probe (fixed workload so the document "
         "doubles as a baseline; combine with --check/--out)",
     )
+    ben.add_argument(
+        "--shuffle", action="store_true",
+        help="benchmark shuffle-byte minimization instead: the same "
+        "10^6-trace k-means run with the object-level combiner vs the "
+        "declared aggregation algebra (map-side vectorized pre-agg + "
+        "metadata-only shuffle + locality-aware reduce placement) on "
+        "every backend; gates the >=10x shuffle-byte reduction and "
+        "per-mode byte-identical centroids (fixed workload so the "
+        "document doubles as a baseline; combine with --check/--out)",
+    )
 
     smt = sub.add_parser(
         "submit",
@@ -722,6 +732,7 @@ def main(argv: list[str] | None = None) -> int:
             DEFAULT_BASELINE,
             DEFAULT_MULTITENANT_OUT,
             DEFAULT_QUERY_OUT,
+            DEFAULT_SHUFFLE_OUT,
             DEFAULT_SPILL_OUT,
             DEFAULT_STREAM_OUT,
             check_against_baseline,
@@ -729,21 +740,58 @@ def main(argv: list[str] | None = None) -> int:
             check_multitenant_result,
             check_query_against_baseline,
             check_query_result,
+            check_shuffle_against_baseline,
+            check_shuffle_result,
             check_stream_against_baseline,
             check_stream_result,
             load_result,
             render_multitenant_result,
             render_query_result,
             render_result,
+            render_shuffle_result,
             render_spill_result,
             render_stream_result,
             run_backend_benchmark,
             run_multitenant_benchmark,
             run_query_benchmark,
+            run_shuffle_benchmark,
             run_spill_benchmark,
             run_stream_benchmark,
             save_result,
         )
+
+        if args.shuffle:
+            try:
+                backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+                doc = run_shuffle_benchmark(
+                    backends=backends,
+                    reps=args.iterations,
+                    max_workers=args.workers,
+                )
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(f"bench: {exc}")
+            print(render_shuffle_result(doc))
+            problems = check_shuffle_result(doc)
+            if args.check:
+                # Compare before (possibly) overwriting the baseline.
+                baseline_path = args.baseline or DEFAULT_SHUFFLE_OUT
+                try:
+                    baseline = load_result(baseline_path)
+                    problems += check_shuffle_against_baseline(doc, baseline)
+                except FileNotFoundError:
+                    print(f"(no baseline at {baseline_path}; intrinsic gates only)")
+            if args.out or not args.check:
+                # Generation mode writes the artifact; --check without
+                # --out leaves the committed baseline untouched.
+                out = args.out or DEFAULT_SHUFFLE_OUT
+                print(f"result written to {save_result(doc, out)}")
+            if problems:
+                print("\nFAILED gates:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print("all shuffle-byte gates passed")
+            return 0
 
         if args.stream:
             try:

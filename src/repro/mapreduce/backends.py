@@ -101,6 +101,12 @@ class MapTaskRequest:
     #: outcome carries a :class:`~repro.mapreduce.spill.SpilledMapOutput`
     #: handle instead of the pair list.
     spill: WorkerSpillSpec | None = None
+    #: When set (a job with a declared aggregation on a pre-agg-enabled
+    #: runner), the attempt loop folds the task's output into one
+    #: aggregate envelope per key-group — the vectorized pre-aggregation
+    #: that supersedes the object-level combiner — and the outcome's
+    #: ``combined_output`` carries the envelope pairs.
+    aggregation: Any | None = None
 
 
 @dataclass
@@ -214,7 +220,15 @@ def run_map_attempts(request: MapTaskRequest) -> MapOutcome:
             STANDARD.GROUP_SCHEDULER, STANDARD.FAILED_TASKS, attempt - 1
         )
         combined_output = combine_counters = None
-        if request.combiner is not None:
+        if request.aggregation is not None:
+            # Vectorized pre-aggregation supersedes the object combiner:
+            # one envelope per key-group replaces the task's raw pairs.
+            from repro.mapreduce.aggregation import preaggregate
+
+            combined_output, combine_counters = preaggregate(
+                request.aggregation, ctx.output, request.node, request.task_id
+            )
+        elif request.combiner is not None:
             combined_output, combine_counters = run_combiner(
                 request.combiner,
                 request.conf,
@@ -417,7 +431,7 @@ def _resolve_chunk(ref: tuple) -> Chunk:
 
 def _pool_run_map(message: tuple) -> MapOutcome:
     (task_id, node, chunk_ref, mapper, combiner, conf, chaos, scripted,
-     max_attempts, cache_token, spill) = message
+     max_attempts, cache_token, spill, aggregation) = message
     request = MapTaskRequest(
         task_id=task_id,
         node=node,
@@ -430,6 +444,7 @@ def _pool_run_map(message: tuple) -> MapOutcome:
         scripted=scripted,
         max_attempts=max_attempts,
         spill=spill,
+        aggregation=aggregation,
     )
     return run_map_attempts(request)
 
@@ -584,6 +599,7 @@ class ProcessBackend(ExecutionBackend):
                 r.max_attempts,
                 self._cache_token,
                 r.spill,
+                r.aggregation,
             )
             for r in requests
         ]

@@ -50,7 +50,11 @@ __all__ = [
     "run_multitenant_benchmark",
     "run_query_benchmark",
     "run_stream_benchmark",
+    "run_shuffle_benchmark",
     "check_against_baseline",
+    "check_shuffle_result",
+    "check_shuffle_against_baseline",
+    "render_shuffle_result",
     "check_multitenant_result",
     "check_multitenant_against_baseline",
     "check_query_result",
@@ -68,6 +72,7 @@ __all__ = [
     "DEFAULT_MULTITENANT_OUT",
     "DEFAULT_QUERY_OUT",
     "DEFAULT_STREAM_OUT",
+    "DEFAULT_SHUFFLE_OUT",
     "DEFAULT_TENANT_WEIGHTS",
 ]
 
@@ -95,11 +100,16 @@ DEFAULT_QUERY_OUT = Path("benchmarks") / "results" / "BENCH_query.json"
 #: trajectory.
 DEFAULT_STREAM_OUT = Path("benchmarks") / "results" / "BENCH_stream.json"
 
+#: Default artifact path (and ``--check`` baseline) for the
+#: shuffle-byte minimization trajectory.
+DEFAULT_SHUFFLE_OUT = Path("benchmarks") / "results" / "BENCH_shuffle.json"
+
 _SCHEMA = 1
 _SPILL_SCHEMA = 1
 _MULTITENANT_SCHEMA = 1
 _QUERY_SCHEMA = 1
 _STREAM_SCHEMA = 1
+_SHUFFLE_SCHEMA = 1
 
 
 def _blob_centers(rng: np.random.Generator, n_clusters: int) -> np.ndarray:
@@ -329,6 +339,22 @@ def check_against_baseline(
                 )
     if not set(cur) & set(base):
         problems.append("no overlapping corpus sizes between run and baseline")
+    if problems:
+        # Provenance up front: a host mismatch is the first thing to rule
+        # out when a timing gate trips (a 1-core CI runner vs an 8-core
+        # laptop compares serial-normalized ratios, not raw seconds).
+        problems.insert(
+            0,
+            f"provenance: baseline recorded on cpu_count="
+            f"{baseline.get('cpu_count')}, this run on cpu_count="
+            f"{current.get('cpu_count')} ("
+            + (
+                "matching hosts, raw wall-clock compared"
+                if same_host
+                else "different hosts, serial-normalized ratios compared"
+            )
+            + ")",
+        )
     return problems
 
 
@@ -1504,5 +1530,308 @@ def render_stream_result(doc: Mapping[str, Any]) -> str:
         f"wall-clock warm {wall['warm']:.2f}s, cold {wall['cold']:.2f}s, "
         f"equivalence {wall['equivalence']:.2f}s "
         f"on cpu_count={doc['cpu_count']}",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shuffle-byte minimization benchmark (repro bench --shuffle).
+# ---------------------------------------------------------------------------
+
+
+def _shuffle_cell(
+    corpus: TraceArray,
+    backend: str,
+    mode: str,
+    *,
+    k: int,
+    max_iter: int,
+    chunk_mb: int,
+    max_workers: int | None,
+) -> dict[str, Any]:
+    """One timed k-means run in one shuffle mode on a fresh deployment.
+
+    ``mode="combiner"`` is the object-level combiner path (the previous
+    best); ``mode="aggregation"`` declares the k-means reduce as its
+    :class:`~repro.algorithms.kmeans.KMeansAggregation` monoid, which
+    turns on map-side vectorized pre-aggregation, the metadata-only
+    shuffle, and locality-aware reduce placement.
+    """
+    from repro.algorithms.kmeans import run_kmeans_mapreduce
+    from repro.observability.events import EventKind
+
+    if mode not in ("combiner", "aggregation"):
+        raise ValueError(f"unknown shuffle mode {mode!r}")
+    hdfs = SimulatedHDFS(paper_cluster(4), chunk_size=chunk_mb * MB, seed=0)
+    hdfs.put_trace_array("input/traces", corpus)
+    init = corpus.coordinates()[:k].copy()
+    workers = None if backend == "serial" else max_workers
+    with JobRunner(
+        hdfs,
+        executor=backend,
+        max_workers=workers,
+        reduce_locality=(mode == "aggregation"),
+    ) as runner:
+        start = time.perf_counter()
+        result = run_kmeans_mapreduce(
+            runner,
+            "input/traces",
+            k=k,
+            max_iter=max_iter,
+            initial_centroids=init,
+            use_combiner=(mode == "combiner"),
+            use_aggregation=(mode == "aggregation"),
+            workdir="tmp/kmeans",
+        )
+        elapsed = time.perf_counter() - start
+        preagg = {"envelopes": 0, "raw_records": 0, "cross_node_bytes": 0}
+        for event in runner.history.events:
+            if event.kind == EventKind.SHUFFLE_PREAGG:
+                preagg["envelopes"] += int(event.data.get("envelopes", 0))
+                preagg["raw_records"] += int(event.data.get("raw_records", 0))
+                preagg["cross_node_bytes"] += int(
+                    event.data.get("cross_node_bytes", 0)
+                )
+    return {
+        "wall_s": elapsed,
+        "sim_seconds": result.total_sim_seconds,
+        "shuffle_bytes": int(sum(s.shuffle_bytes for s in result.history)),
+        "n_iterations": int(result.n_iterations),
+        "centroids_sha256": hashlib.sha256(
+            np.ascontiguousarray(result.centroids).tobytes()
+        ).hexdigest(),
+        "preagg": preagg if mode == "aggregation" else None,
+    }
+
+
+def run_shuffle_benchmark(
+    n_traces: int = 1_000_000,
+    backends: Sequence[str] = BACKENDS,
+    *,
+    k: int = 11,
+    max_iter: int = 2,
+    chunk_mb: int = 2,
+    max_workers: int | None = None,
+    seed: int = 0,
+    reps: int = 2,
+) -> dict[str, Any]:
+    """Shuffle bytes moved: combiner-only vs the aggregation algebra.
+
+    The same fixed-initial-centroid k-means run (k=``k``,
+    ``max_iter`` iterations over 10^6 traces by default) is measured in
+    two shuffle modes on every backend.  Per (mode, backend) cell the
+    best of ``reps`` wall-clocks is kept; the shuffle-byte totals,
+    simulated seconds, pre-agg accounting, and centroid digests are
+    deterministic and identical across reps.
+
+    Two identities gate the numbers before any ratio is reported: within
+    a mode every backend must produce byte-identical centroids, and both
+    modes must converge in the same iteration count.  (Across modes the
+    centroids agree to float rounding, not bytes — the combiner reduce
+    folds task partials in arrival order while the aggregation reduce
+    uses the canonical node-major merge tree.)
+    """
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise ValueError(f"unknown backend(s) {unknown}; choose from {list(BACKENDS)}")
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    corpus = synthetic_corpus(int(n_traces), seed=seed)
+    modes: dict[str, dict[str, dict[str, Any]]] = {}
+    for mode in ("combiner", "aggregation"):
+        cells: dict[str, dict[str, Any]] = {}
+        for backend in backends:
+            best: dict[str, Any] | None = None
+            for _ in range(reps):
+                cell = _shuffle_cell(
+                    corpus,
+                    backend,
+                    mode,
+                    k=k,
+                    max_iter=max_iter,
+                    chunk_mb=chunk_mb,
+                    max_workers=max_workers,
+                )
+                if best is None or cell["wall_s"] < best["wall_s"]:
+                    best = cell
+            cells[backend] = best
+        reference = cells[backends[0]]
+        for backend in backends:
+            if cells[backend]["centroids_sha256"] != reference["centroids_sha256"]:
+                raise RuntimeError(
+                    f"backend {backend!r} diverged from {backends[0]!r} in "
+                    f"mode {mode!r}: centroids differ"
+                )
+            if cells[backend]["shuffle_bytes"] != reference["shuffle_bytes"]:
+                raise RuntimeError(
+                    f"backend {backend!r} diverged from {backends[0]!r} in "
+                    f"mode {mode!r}: shuffle bytes differ"
+                )
+        modes[mode] = cells
+    first = backends[0]
+    combiner_bytes = modes["combiner"][first]["shuffle_bytes"]
+    agg_bytes = modes["aggregation"][first]["shuffle_bytes"]
+    return {
+        "schema": _SHUFFLE_SCHEMA,
+        "workload": {
+            "driver": "kmeans",
+            "n_traces": int(n_traces),
+            "k": int(k),
+            "max_iter": int(max_iter),
+            "chunk_mb": int(chunk_mb),
+            "cluster_workers": 4,
+            "seed": int(seed),
+        },
+        "cpu_count": os.cpu_count(),
+        "max_workers": max_workers,
+        "reps": int(reps),
+        "backends": list(backends),
+        "modes": modes,
+        "shuffle_bytes": {
+            "combiner": int(combiner_bytes),
+            "aggregation": int(agg_bytes),
+            "ratio": (combiner_bytes / agg_bytes) if agg_bytes else None,
+            "cross_node_bytes": int(
+                modes["aggregation"][first]["preagg"]["cross_node_bytes"]
+            ),
+        },
+    }
+
+
+def check_shuffle_result(doc: Mapping[str, Any], min_ratio: float = 10.0) -> list[str]:
+    """Intrinsic gates on one shuffle document (no baseline needed).
+
+    * the aggregation algebra moves at least ``min_ratio`` x fewer
+      shuffle bytes than the combiner-only path — the headline claim;
+    * within each mode, every backend produced byte-identical centroids
+      and identical shuffle-byte totals;
+    * the aggregation cells actually pre-aggregated (envelopes > 0 and
+      raw records folded > envelopes shipped);
+    * cross-node bytes never exceed total shuffle bytes.
+    """
+    problems: list[str] = []
+    ratio = (doc.get("shuffle_bytes") or {}).get("ratio")
+    if ratio is None or float(ratio) < min_ratio:
+        problems.append(
+            f"shuffle bytes: aggregation/combiner ratio {ratio if ratio is None else f'{ratio:.1f}'}x "
+            f"is below the {min_ratio:g}x floor"
+        )
+    modes = doc.get("modes", {})
+    for mode, cells in modes.items():
+        digests = {c["centroids_sha256"] for c in cells.values()}
+        if len(digests) != 1:
+            problems.append(f"mode {mode!r}: centroids differ across backends")
+        volumes = {c["shuffle_bytes"] for c in cells.values()}
+        if len(volumes) != 1:
+            problems.append(f"mode {mode!r}: shuffle bytes differ across backends")
+        iters = {c["n_iterations"] for c in cells.values()}
+        if len(iters) != 1:
+            problems.append(f"mode {mode!r}: iteration counts differ across backends")
+    for backend, cell in modes.get("aggregation", {}).items():
+        preagg = cell.get("preagg") or {}
+        if preagg.get("envelopes", 0) <= 0:
+            problems.append(f"aggregation/{backend}: no pre-agg envelopes recorded")
+        elif preagg.get("raw_records", 0) <= preagg.get("envelopes", 0):
+            problems.append(
+                f"aggregation/{backend}: pre-agg folded "
+                f"{preagg.get('raw_records')} raw records into "
+                f"{preagg.get('envelopes')} envelopes (no compression)"
+            )
+        if preagg.get("cross_node_bytes", 0) > cell.get("shuffle_bytes", 0):
+            problems.append(
+                f"aggregation/{backend}: cross-node bytes exceed total shuffle bytes"
+            )
+    if not modes:
+        problems.append("no mode cells in document")
+    return problems
+
+
+def check_shuffle_against_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+) -> list[str]:
+    """Drift of the deterministic shuffle sections versus a baseline.
+
+    Shuffle-byte totals, pre-agg accounting, centroid digests and
+    simulated seconds are pure functions of the workload parameters and
+    must match exactly; wall-clock columns are host-dependent and
+    ignored (cpu_count provenance is reported when a mismatch is found).
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems
+    if baseline.get("workload") != current.get("workload"):
+        problems.append("workload mismatch: run with the baseline's parameters")
+        return problems
+    if current.get("shuffle_bytes") != baseline.get("shuffle_bytes"):
+        problems.append(
+            f"shuffle_bytes section drifted: {current.get('shuffle_bytes')} "
+            f"vs baseline {baseline.get('shuffle_bytes')}"
+        )
+    cur_modes, base_modes = current.get("modes", {}), baseline.get("modes", {})
+    for mode in sorted(set(cur_modes) & set(base_modes)):
+        for backend in sorted(set(cur_modes[mode]) & set(base_modes[mode])):
+            now, then = cur_modes[mode][backend], base_modes[mode][backend]
+            for key in (
+                "shuffle_bytes",
+                "n_iterations",
+                "centroids_sha256",
+                "sim_seconds",
+                "preagg",
+            ):
+                if now.get(key) != then.get(key):
+                    problems.append(
+                        f"{mode}/{backend}: {key} {now.get(key)!r} vs "
+                        f"baseline {then.get(key)!r}"
+                    )
+    if not set(cur_modes) & set(base_modes):
+        problems.append("no overlapping modes between run and baseline")
+    if problems:
+        problems.insert(
+            0,
+            f"provenance: baseline recorded on cpu_count="
+            f"{baseline.get('cpu_count')}, this run on cpu_count="
+            f"{current.get('cpu_count')} (deterministic sections compared "
+            "exactly; wall-clock ignored)",
+        )
+    return problems
+
+
+def render_shuffle_result(doc: Mapping[str, Any]) -> str:
+    """Terminal table for one shuffle benchmark document."""
+    w = doc["workload"]
+    sb = doc["shuffle_bytes"]
+    lines = [
+        f"shuffle-byte minimization (k-means, {w['n_traces']:,} traces, "
+        f"k={w['k']}, {w['max_iter']} iterations; cpu_count={doc['cpu_count']}, "
+        f"best of {doc['reps']})",
+        "",
+        f"{'mode':>12}  {'backend':>10}  {'shuffle':>12}  {'cross-node':>11}  "
+        f"{'sim':>9}  {'wall':>8}",
+    ]
+    for mode in ("combiner", "aggregation"):
+        for backend in doc["backends"]:
+            cell = doc["modes"][mode][backend]
+            cross = (
+                f"{cell['preagg']['cross_node_bytes']:>10,}B"
+                if cell.get("preagg")
+                else f"{'-':>11}"
+            )
+            lines.append(
+                f"{mode:>12}  {backend:>10}  {cell['shuffle_bytes']:>11,}B  "
+                f"{cross}  {cell['sim_seconds']:>8.1f}s  {cell['wall_s']:>7.2f}s"
+            )
+    agg = doc["modes"]["aggregation"][doc["backends"][0]]
+    lines += [
+        "",
+        f"shuffle bytes: combiner {sb['combiner']:,} B -> aggregation "
+        f"{sb['aggregation']:,} B ({sb['ratio']:.1f}x fewer; "
+        f"{sb['cross_node_bytes']:,} B actually crossed nodes)",
+        f"pre-agg: {agg['preagg']['raw_records']:,} raw records folded into "
+        f"{agg['preagg']['envelopes']:,} envelopes",
     ]
     return "\n".join(lines)

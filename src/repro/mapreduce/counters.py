@@ -23,10 +23,13 @@ class STANDARD:
     MAP_OUTPUT_BYTES = "map_output_bytes"
     COMBINE_INPUT_RECORDS = "combine_input_records"
     COMBINE_OUTPUT_RECORDS = "combine_output_records"
+    PREAGG_INPUT_RECORDS = "preagg_input_records"
+    PREAGG_OUTPUT_RECORDS = "preagg_output_records"
     REDUCE_INPUT_RECORDS = "reduce_input_records"
     REDUCE_INPUT_GROUPS = "reduce_input_groups"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"
     SHUFFLE_BYTES = "shuffle_bytes"
+    SHUFFLE_CROSS_NODE_BYTES = "shuffle_cross_node_bytes"
 
     GROUP_SCHEDULER = "scheduler"
     DATA_LOCAL_MAPS = "data_local_maps"

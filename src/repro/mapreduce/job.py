@@ -196,6 +196,15 @@ class JobSpec:
     combiner:
         Optional reducer class/factory applied to each map task's local
         output before the shuffle.
+    aggregation:
+        Optional :class:`~repro.mapreduce.aggregation.Aggregation`
+        (class or instance) declaring the reduce as an associative
+        monoid.  A runner with pre-aggregation enabled then folds map
+        output into fixed-size aggregate envelopes worker-side, ships
+        them through the metadata-only shuffle, and synthesizes the
+        reduce from the monoid's ``finalize`` — the declared ``reducer``
+        (and ``combiner``) remain the fallback when pre-aggregation is
+        disabled, so the job always stays runnable on a legacy runner.
     input_paths:
         HDFS paths whose chunks feed the map phase.
     output_path:
@@ -217,6 +226,7 @@ class JobSpec:
     output_path: str
     reducer: Any = None
     combiner: Any = None
+    aggregation: Any = None
     conf: Configuration = field(default_factory=Configuration)
     num_reducers: int = 1
     partitioner: Partitioner = field(default_factory=HashPartitioner)
@@ -233,6 +243,11 @@ class JobSpec:
         self.combiner = _as_factory(self.combiner)
         if self.combiner is not None and self.reducer is None:
             raise ValueError("a combiner requires a reduce phase")
+        if self.aggregation is not None:
+            if isinstance(self.aggregation, type):
+                self.aggregation = self.aggregation()
+            if self.reducer is None:
+                raise ValueError("an aggregation requires a reduce phase")
 
     @property
     def map_only(self) -> bool:

@@ -24,6 +24,7 @@ from typing import Any
 
 
 from repro.geo.trace import TraceArray
+from repro.mapreduce.aggregation import AggregationReducerFactory, preaggregate
 from repro.mapreduce.backends import (
     MapOutcome,
     MapTaskRequest,
@@ -171,6 +172,27 @@ class JobRunner:
     prefer_locality / speculative:
         Scheduler knobs (DESIGN.md locality ablation; straggler
         speculation).
+    preagg:
+        Map-side vectorized pre-aggregation (default on).  Only jobs
+        declaring a :class:`~repro.mapreduce.aggregation.Aggregation`
+        are affected: their map output is folded into fixed-size
+        aggregate envelopes worker-side and their reduce is synthesized
+        from the monoid.  ``False`` falls back to the declared
+        combiner/reducer — the ablation knob; outputs are byte-identical
+        either way.
+    metadata_shuffle:
+        When a pre-aggregated job's every map output is envelopes, ship
+        one coalesced envelope per (node, partition, key) and charge the
+        cost model for those bytes only (default on).  ``False`` pushes
+        envelopes through the generic shuffle — same outputs, legacy
+        byte accounting.
+    reduce_locality:
+        Locality-aware reduce placement (default off, preserving legacy
+        placements): schedule each reducer on the node holding the
+        plurality of its partition's bytes and charge shuffle fetch for
+        bytes actually crossing nodes.  Requires the per-node byte
+        provenance the metadata-only shuffle records; jobs without it
+        keep legacy placement.
     history:
         The :class:`~repro.observability.history.JobHistory` receiving
         this deployment's structured trace events.  One collector spans
@@ -196,6 +218,9 @@ class JobRunner:
         retry_policy: RetryPolicy | None = None,
         memory_budget_mb: float | None = None,
         spill_dir: str | None = None,
+        preagg: bool = True,
+        metadata_shuffle: bool = True,
+        reduce_locality: bool = False,
     ):
         self.exec_config = MapReduceConfig(
             backend=executor,
@@ -230,6 +255,9 @@ class JobRunner:
         )
         self.prefer_locality = prefer_locality
         self.speculative = speculative
+        self.preagg = preagg
+        self.metadata_shuffle = metadata_shuffle
+        self.reduce_locality = reduce_locality
         self.history = history if history is not None else JobHistory()
         #: Tenant label stamped into JOB_START events; ``None`` (solo
         #: deployments) keeps histories byte-identical to pre-service
@@ -515,6 +543,7 @@ class JobRunner:
         )
 
         legacy_faults = self._uses_order_dependent_faults()
+        use_preagg = job.aggregation is not None and self.preagg
         pre_combined: list[tuple[list, Counters] | None] = [None] * len(primary)
         if legacy_faults:
             # Legacy in-driver path: fault decisions depend on execution
@@ -545,6 +574,7 @@ class JobRunner:
                     scripted=scripted,
                     max_attempts=self.max_attempts,
                     spill=spill_spec,
+                    aggregation=job.aggregation if use_preagg else None,
                 )
                 for a in primary
             ]
@@ -599,11 +629,15 @@ class JobRunner:
         if node_loss is not None:
             retry_penalty += node_loss["recovery_s"]
 
-        if job.combiner is not None:
-            # Backend outcomes carry worker-side combined output; tasks
-            # re-executed after node loss (and legacy-path tasks) combine
-            # here.  Both paths are the same pure function of the task
-            # output, so the result is byte-identical either way.
+        if use_preagg or job.combiner is not None:
+            # Backend outcomes carry worker-side combined/pre-aggregated
+            # output; tasks re-executed after node loss (and legacy-path
+            # tasks) fold here.  Both paths are the same pure function of
+            # the task output, so the result is byte-identical either
+            # way.  Pre-aggregation envelopes are always labelled with
+            # the *planned* assignment node, so a chaos re-execution on
+            # another node leaves the canonical merge tree — and the job
+            # output — untouched.
             lost_indices = (
                 set(node_loss["lost_indices"]) if node_loss is not None else set()
             )
@@ -612,6 +646,13 @@ class JobRunner:
                 pre = pre_combined[i]
                 if pre is not None and i not in lost_indices:
                     out, c_counters = pre
+                elif use_preagg:
+                    out, c_counters = preaggregate(
+                        job.aggregation,
+                        as_pairs(output),
+                        assignment.node,
+                        assignment.task_id,
+                    )
                 else:
                     out, c_counters = self._apply_combiner(
                         job, output, assignment.task_id, assignment.node
@@ -654,7 +695,14 @@ class JobRunner:
             if self._spill is not None
             else None
         )
-        sh = shuffle(map_outputs, job.partitioner, job.num_reducers, spiller=spiller)
+        sh = shuffle(
+            map_outputs,
+            job.partitioner,
+            job.num_reducers,
+            spiller=spiller,
+            aggregation=job.aggregation if use_preagg else None,
+            metadata_only=self.metadata_shuffle,
+        )
         for handle in spill_handles:
             handle.delete()
         counters.increment(STANDARD.GROUP_TASK, STANDARD.SHUFFLE_BYTES, sh.shuffled_bytes)
@@ -677,12 +725,16 @@ class JobRunner:
 
         reduce_output: list[tuple[Any, Any]] = []
         reduce_failures: dict[str, list[tuple]] = {}
+        reduce_factory = (
+            AggregationReducerFactory(job.aggregation) if use_preagg else job.reducer
+        )
         if legacy_faults:
             # Materialize one partition at a time (spilled partitions stay
             # on disk until their reduce task runs).
             reduce_results = [
                 self._run_reduce_task(
-                    job, f"reduce-{r:04d}", sh.partition(r), blacklist
+                    job, f"reduce-{r:04d}", sh.partition(r), blacklist,
+                    factory=reduce_factory,
                 )
                 for r in range(sh.n_reducers)
             ]
@@ -692,7 +744,7 @@ class JobRunner:
                 ReduceTaskRequest(
                     task_id=f"reduce-{r:04d}",
                     groups=sh.raw_partition(r),
-                    reducer=job.reducer,
+                    reducer=reduce_factory,
                     conf=job.conf,
                     cache=self.cache,
                     chaos=self.chaos,
@@ -735,15 +787,57 @@ class JobRunner:
                 len(blacklisted_now) - len(blacklisted),
             )
 
+        # Locality-aware reduce placement: pin each reducer to the alive
+        # node holding the plurality of its partition's bytes (ties break
+        # on node name), and charge the fetch term of its duration for
+        # the bytes that actually cross nodes.  Needs the per-node byte
+        # provenance only the metadata-only shuffle records.
+        pinned: dict[int, str] | None = None
+        if self.reduce_locality and sh.node_bytes is not None:
+            alive_slotted = {
+                n.name
+                for n in self.cluster.tasktrackers()
+                if n.name not in self.hdfs.dead_nodes and n.reduce_slots > 0
+            }
+            pinned = {}
+            for r in range(sh.n_reducers):
+                local = {
+                    node: b
+                    for node, b in sh.node_bytes[r].items()
+                    if node in alive_slotted
+                }
+                if local:
+                    pinned[r] = max(sorted(local), key=lambda n: local[n])
+
+        def _reduce_duration(r: int) -> float:
+            cross = None
+            if pinned is not None:
+                on_node = sh.node_bytes[r].get(pinned.get(r, ""), 0)
+                cross = sh.partition_bytes[r] - on_node
+            return self.cost_model.reduce_task_time(
+                sh.partition_bytes[r], job.reduce_cost_factor, cross_nbytes=cross
+            )
+
         reduce_placements, reduce_makespan = plan_reduce_phase(
             job.num_reducers,
             self.cluster,
-            lambda r: self.cost_model.reduce_task_time(
-                sh.partition_bytes[r], job.reduce_cost_factor
-            ),
+            _reduce_duration,
             dead_nodes=self.hdfs.dead_nodes,
             node_slowdown=slowdown,
+            pinned_nodes=pinned,
         )
+        if sh.node_bytes is not None:
+            node_of = {p.task_id: p.node for p in reduce_placements}
+            cross_total = sum(
+                sh.partition_bytes[r]
+                - sh.node_bytes[r].get(node_of[f"reduce-{r:04d}"], 0)
+                for r in range(sh.n_reducers)
+            )
+            counters.increment(
+                STANDARD.GROUP_TASK,
+                STANDARD.SHUFFLE_CROSS_NODE_BYTES,
+                cross_total,
+            )
         self._write_output(job.output_path, reduce_output)
         spill_info = self._spill_info(map_spills, sh)
         spill_s = (
@@ -1051,6 +1145,37 @@ class JobRunner:
         if sh is not None:
             t_reduce = t_map + timing.map_s
             emit_shuffle_events(h, job.name, sh, t_reduce)
+            if sh.preagg is not None:
+                preagg_data = dict(sh.preagg)
+                if sh.node_bytes is not None and reduce_placements:
+                    node_of = {p.task_id: p.node for p in reduce_placements}
+                    preagg_data["cross_node_bytes"] = sum(
+                        sh.partition_bytes[r]
+                        - sh.node_bytes[r].get(node_of[f"reduce-{r:04d}"], 0)
+                        for r in range(sh.n_reducers)
+                    )
+                h.emit(
+                    EventKind.SHUFFLE_PREAGG, job.name, t_reduce, **preagg_data
+                )
+            if (
+                self.reduce_locality
+                and sh.node_bytes is not None
+                and reduce_placements
+            ):
+                for p in sorted(reduce_placements, key=lambda p: p.task_id):
+                    r = int(p.task_id.rsplit("-", 1)[1])
+                    local_b = sh.node_bytes[r].get(p.node, 0)
+                    h.emit(
+                        EventKind.REDUCE_PLACEMENT,
+                        job.name,
+                        t_reduce,
+                        task=p.task_id,
+                        node=p.node,
+                        reducer=p.task_id,
+                        bytes=sh.partition_bytes[r],
+                        local_bytes=local_b,
+                        cross_bytes=sh.partition_bytes[r] - local_b,
+                    )
             if spill is not None:
                 for s in spill["merges"]:
                     h.emit(
@@ -1114,8 +1239,14 @@ class JobRunner:
         task_id: str,
         groups: list[tuple[Any, list[Any]]],
         blacklist: NodeBlacklist | None = None,
+        factory: Any | None = None,
     ) -> tuple[list[tuple[Any, Any]], Counters, list[tuple]]:
-        """Run one reduce task with the same retry policy as map tasks."""
+        """Run one reduce task with the same retry policy as map tasks.
+
+        ``factory`` overrides the job's declared reducer (the runner
+        passes the synthesized aggregation reducer for pre-aggregated
+        jobs); ``None`` uses ``job.reducer``.
+        """
         alive = [
             n.name
             for n in self.cluster.tasktrackers()
@@ -1131,7 +1262,7 @@ class JobRunner:
             node = usable[(attempt - 1) % len(usable)]
             counters = Counters()
             ctx = ReduceContext(job.conf, counters, self.cache, task_id, node)
-            reducer = job.reducer()
+            reducer = (factory or job.reducer)()
             try:
                 if self.failure_injector is not None:
                     self.failure_injector.fail_attempt(task_id, attempt)

@@ -228,6 +228,16 @@ class ShuffleResult:
         #: ``spill_start`` / ``spill_merge`` history events.
         self.spill_runs: list[dict[str, int]] = []
         self.spill_merges: list[dict[str, int]] = []
+        #: Per-partition ``{source node: bytes}`` provenance, recorded by
+        #: the metadata-only path — the input of locality-aware reduce
+        #: placement and cross-node-only byte charging.  ``None`` when the
+        #: shuffle has no provenance (every legacy path).
+        self.node_bytes: list[dict[str, int]] | None = None
+        #: Pre-aggregation facts of the metadata-only path (``None``
+        #: otherwise): envelopes shipped after per-node coalescing, their
+        #: modelled bytes, the raw mapper records they replaced, and the
+        #: per-task envelope count before coalescing.
+        self.preagg: dict[str, int] | None = None
 
     @property
     def partitions(self) -> list[list[tuple[Any, list[Any]]]]:
@@ -257,6 +267,22 @@ class ShuffleResult:
             return p.n_records
         return sum(len(values) for _, values in p)
 
+    def raw_records_for(self, partition: int) -> int:
+        """Raw mapper records behind a partition's shipped records.
+
+        Equal to :meth:`records_for` on every legacy path; on the
+        metadata-only path each shipped envelope stands in for the many
+        mapper records folded into it, and this reports that true count
+        (the history layer's per-reducer accounting uses it).
+        """
+        if self.preagg is None:
+            return self.records_for(partition)
+        return sum(
+            env.records
+            for _, values in self._partitions[partition]
+            for env in values
+        )
+
     def groups_for(self, partition: int) -> int:
         p = self._partitions[partition]
         if isinstance(p, SpilledPartition):
@@ -275,6 +301,8 @@ def shuffle(
     partitioner: Partitioner,
     n_reducers: int,
     spiller: ShuffleSpiller | None = None,
+    aggregation=None,
+    metadata_only: bool = True,
 ) -> ShuffleResult:
     """Partition, transfer and sort the map outputs.
 
@@ -285,6 +313,15 @@ def shuffle(
     input per reduce task and the total modelled bytes crossing the
     network.
 
+    With an ``aggregation`` (a job's declared monoid) and every map
+    output value a pre-aggregated
+    :class:`~repro.mapreduce.aggregation.AggregateEnvelope`, the
+    metadata-only path ships fixed-size envelopes — coalesced to one per
+    (source node, partition, key-group) — and records per-node byte
+    provenance; ``metadata_only=False`` (or any non-envelope value)
+    falls back to the ordinary paths, which move the same envelopes as
+    plain objects and produce byte-identical reduce output.
+
     Known partitioners over homogeneous key streams dispatch to a
     vectorized path (argsort grouping, FNV hashing in NumPy); custom
     partitioners and mixed keys take the per-record generic loop.  With a
@@ -294,6 +331,10 @@ def shuffle(
     """
     if n_reducers < 1:
         raise ValueError("n_reducers must be >= 1")
+    if aggregation is not None and metadata_only:
+        meta = _shuffle_metadata(map_outputs, partitioner, n_reducers, aggregation)
+        if meta is not None:
+            return meta
     if spiller is not None:
         external = _shuffle_external(map_outputs, spiller)
         if external is not None:
@@ -302,6 +343,75 @@ def shuffle(
     if fast is not None:
         return fast
     return _shuffle_generic(map_outputs, partitioner, n_reducers)
+
+
+def _shuffle_metadata(
+    map_outputs: Sequence[list[tuple[Any, Any]]],
+    partitioner: Partitioner,
+    n_reducers: int,
+    aggregation,
+) -> ShuffleResult | None:
+    """Metadata-only shuffle of pre-aggregated envelopes, or ``None``.
+
+    Applies only when *every* map output value is an
+    :class:`~repro.mapreduce.aggregation.AggregateEnvelope` (a single
+    raw pair anywhere disqualifies the whole shuffle — correctness over
+    savings).  Each partition's envelopes are grouped by key exactly as
+    the generic path would, then coalesced so one fixed-size envelope
+    per (source node, key-group) crosses the network; the coalescing
+    replays the canonical per-node fold the reducer applies anyway, so
+    reduce output is byte-identical to the fallback paths.  Byte
+    accounting charges ``envelope_nbytes`` per shipped envelope and
+    records per-node provenance for locality-aware reduce placement.
+    """
+    from repro.mapreduce.aggregation import AggregateEnvelope, coalesce_by_node
+
+    pairs_per_task: list[list[tuple[Any, Any]]] = []
+    for task_output in map_outputs:
+        pairs = as_pairs(task_output)
+        if not all(isinstance(v, AggregateEnvelope) for _, v in pairs):
+            return None
+        pairs_per_task.append(pairs)
+    buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(n_reducers)]
+    pre_coalesce = 0
+    raw_records = 0
+    for pairs in pairs_per_task:
+        for key, env in pairs:
+            part = partitioner.partition(key, n_reducers)
+            if not 0 <= part < n_reducers:
+                raise ValueError(
+                    f"partitioner returned {part} for {n_reducers} reducers"
+                )
+            buckets[part].append((key, env))
+            pre_coalesce += 1
+            raw_records += env.records
+    partitions: list[list[tuple[Any, list[Any]]]] = []
+    partition_bytes: list[int] = []
+    node_bytes: list[dict[str, int]] = []
+    n_envelopes = 0
+    for bucket in buckets:
+        groups = []
+        nbytes = 0
+        per_node: dict[str, int] = {}
+        for key, envs in group_sorted(bucket):
+            coalesced = coalesce_by_node(aggregation, envs)
+            groups.append((key, coalesced))
+            for env in coalesced:
+                nbytes += env.nbytes
+                per_node[env.node] = per_node.get(env.node, 0) + env.nbytes
+                n_envelopes += 1
+        partitions.append(groups)
+        partition_bytes.append(nbytes)
+        node_bytes.append(per_node)
+    result = ShuffleResult(partitions, sum(partition_bytes), partition_bytes)
+    result.node_bytes = node_bytes
+    result.preagg = {
+        "envelopes": n_envelopes,
+        "envelope_bytes": sum(partition_bytes),
+        "pre_coalesce_envelopes": pre_coalesce,
+        "raw_records": raw_records,
+    }
+    return result
 
 
 def _shuffle_external(
@@ -464,6 +574,15 @@ def emit_shuffle_events(history, job_name: str, result: ShuffleResult, ts: float
             bytes=result.partition_bytes[r],
             records=result.records_for(r),
             groups=result.groups_for(r),
+            # Pre-aggregated partitions ship envelopes that each stand in
+            # for many raw mapper records; surface the true count.  Keyed
+            # only on the metadata-only path so legacy histories keep
+            # their exact shape.
+            **(
+                {"raw_records": result.raw_records_for(r)}
+                if result.preagg is not None
+                else {}
+            ),
         )
 
 

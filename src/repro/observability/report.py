@@ -57,6 +57,12 @@ class JobSummary:
     locality: dict[str, int] = field(default_factory=dict)
     stragglers: list[tuple[TaskSpan, float]] = field(default_factory=list)
     shuffle_bytes_per_reducer: dict[str, int] = field(default_factory=dict)
+    #: Metadata-only shuffle accounting (the SHUFFLE_PREAGG event's data;
+    #: None when the job shipped raw pairs).
+    preagg: dict[str, int] | None = None
+    #: Per-reducer locality-aware placement rows keyed by task id
+    #: (REDUCE_PLACEMENT events; empty when placement pinning was off).
+    reduce_placement: dict[str, dict[str, int]] = field(default_factory=dict)
     combiner: dict[str, int] | None = None
     failed_attempts: int = 0
     speculative_launches: int = 0
@@ -88,6 +94,15 @@ class JobSummary:
             return 1.0
         mean = sum(loads) / len(loads)
         return max(loads) / mean
+
+    @property
+    def cross_node_shuffle_bytes(self) -> int | None:
+        """Bytes that actually crossed nodes, when provenance was recorded."""
+        if self.reduce_placement:
+            return sum(r.get("cross_bytes", 0) for r in self.reduce_placement.values())
+        if self.preagg is not None and "cross_node_bytes" in self.preagg:
+            return int(self.preagg["cross_node_bytes"])
+        return None
 
     @property
     def combiner_reduction(self) -> float | None:
@@ -174,6 +189,8 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
     shuffle_refetches = 0
     refetched_bytes = 0
     cache_hit = False
+    preagg: dict[str, int] | None = None
+    reduce_placement: dict[str, dict[str, int]] = {}
     for event in history.events_for(job):
         if event.kind == EventKind.RESULT_CACHE_HIT:
             cache_hit = True
@@ -181,6 +198,12 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
             shuffle[str(event.data.get("reducer", event.task))] = int(
                 event.data.get("bytes", 0)
             )
+        elif event.kind == EventKind.SHUFFLE_PREAGG:
+            preagg = {k: int(v) for k, v in event.data.items()}
+        elif event.kind == EventKind.REDUCE_PLACEMENT:
+            reduce_placement[str(event.task)] = {
+                k: int(v) for k, v in event.data.items() if k != "reducer"
+            }
         elif event.kind == EventKind.ATTEMPT_FAILED:
             failed += 1
         elif event.kind == EventKind.SPECULATIVE_LAUNCH:
@@ -227,6 +250,8 @@ def summarize_job(history: JobHistory, job: str) -> JobSummary:
         locality=locality,
         stragglers=_rank_stragglers(spans),
         shuffle_bytes_per_reducer=shuffle,
+        preagg=preagg,
+        reduce_placement=reduce_placement,
         combiner=combiner,
         failed_attempts=failed,
         speculative_launches=speculative,
@@ -452,6 +477,29 @@ def _render_job(history: JobHistory, summary: JobSummary, gantt: bool, width: in
             f"  shuffle: {_fmt_bytes(summary.shuffle_bytes)} across "
             f"{len(summary.shuffle_bytes_per_reducer)} reducers "
             f"(skew max/mean {summary.shuffle_skew:.2f})"
+        )
+    if summary.preagg is not None:
+        p = summary.preagg
+        cross = summary.cross_node_shuffle_bytes
+        cross_txt = (
+            f"; {_fmt_bytes(cross)} crossed nodes" if cross is not None else ""
+        )
+        lines.append(
+            f"  pre-agg shuffle: {p.get('raw_records', 0):,} raw records as "
+            f"{p.get('envelopes', 0):,} envelopes "
+            f"({_fmt_bytes(p.get('envelope_bytes', 0))}{cross_txt})"
+        )
+    if summary.reduce_placement:
+        pinned_local = sum(
+            r.get("local_bytes", 0) for r in summary.reduce_placement.values()
+        )
+        pinned_total = sum(
+            r.get("bytes", 0) for r in summary.reduce_placement.values()
+        )
+        lines.append(
+            f"  reduce placement: {len(summary.reduce_placement)} reducers "
+            f"pinned to data, {_fmt_bytes(pinned_local)} of "
+            f"{_fmt_bytes(pinned_total)} served node-locally"
         )
     if summary.combiner_reduction is not None:
         c = summary.combiner

@@ -74,8 +74,11 @@ def test_check_flags_absolute_regression_on_same_host():
     base = _doc({1000: {"serial": 1.0, "processes": 0.5}})
     cur = _doc({1000: {"serial": 1.0, "processes": 0.8}})
     problems = check_against_baseline(cur, base, tolerance=0.25)
-    assert len(problems) == 1
-    assert "processes" in problems[0] and "wall-clock" in problems[0]
+    # The provenance header leads, then the one regressed cell.
+    assert len(problems) == 2
+    assert "provenance" in problems[0] and "cpu_count=4" in problems[0]
+    assert "raw wall-clock" in problems[0]
+    assert "processes" in problems[1] and "wall-clock" in problems[1]
 
 
 def test_check_normalizes_on_different_host():
@@ -87,8 +90,9 @@ def test_check_normalizes_on_different_host():
     # Same hosts, but the ratio itself collapsed: flagged.
     worse = _doc({1000: {"serial": 3.0, "processes": 3.0}}, cpu_count=2)
     problems = check_against_baseline(worse, base, tolerance=0.25)
-    assert len(problems) == 1
-    assert "serial-normalized" in problems[0]
+    assert len(problems) == 2
+    assert "provenance" in problems[0] and "different hosts" in problems[0]
+    assert "serial-normalized" in problems[1]
 
 
 def test_check_skips_noise_floor_cells():
@@ -105,4 +109,5 @@ def test_check_reports_schema_mismatch_and_no_overlap():
 
     base = _doc({1000: {"serial": 1.0}})
     cur = _doc({2000: {"serial": 1.0}})
-    assert "no overlapping corpus sizes" in check_against_baseline(cur, base)[0]
+    problems = check_against_baseline(cur, base)
+    assert any("no overlapping corpus sizes" in p for p in problems)

@@ -9,7 +9,7 @@ from repro.observability.events import SCHEMA_VERSION, Event, EventKind, Phase
 class TestEventKind:
     def test_vocabulary_is_closed_and_unique(self):
         kinds = EventKind.all()
-        assert len(kinds) == len(set(kinds)) == 32
+        assert len(kinds) == len(set(kinds)) == 34
         assert "job_start" in kinds and "driver_annotation" in kinds
         assert "fault_injected" in kinds and "replica_healed" in kinds
         assert "spill_start" in kinds and "spill_merge" in kinds
