@@ -252,7 +252,7 @@ def _label_clusters(n: int, clusters: list[np.ndarray]) -> tuple[np.ndarray, np.
 
 def djcluster_sequential(
     array: TraceArray,
-    params: DJClusterParams = DJClusterParams(),
+    params: DJClusterParams | None = None,
     preprocess: bool = True,
     use_rtree: bool = False,
 ) -> DJClusterResult:
@@ -264,6 +264,8 @@ def djcluster_sequential(
     sets, far faster in Python); ``use_rtree=True`` switches to per-point
     R-tree queries — the paper's formulation, kept for cross-validation.
     """
+    if params is None:
+        params = DJClusterParams()
     if preprocess:
         _, prepared = preprocess_array(array, params)
     else:
@@ -405,7 +407,7 @@ def run_preprocessing_pipeline(
 def run_djcluster_mapreduce(
     runner: JobRunner,
     input_path: str,
-    params: DJClusterParams = DJClusterParams(),
+    params: DJClusterParams | None = None,
     n_rtree_partitions: int | None = None,
     rtree_curve: str = "hilbert",
     workdir: str = "tmp/djcluster",
@@ -433,6 +435,8 @@ def run_djcluster_mapreduce(
     ``use_persistent_index=False`` keeps the legacy per-job in-memory
     build — retained as the reference path for equivalence tests.
     """
+    if params is None:
+        params = DJClusterParams()
     hdfs = runner.hdfs
     pre = run_preprocessing_pipeline(
         runner, input_path, params, workdir, name_prefix=name_prefix

@@ -9,6 +9,14 @@ The attack: the adversary holds a *training* dataset with known
 identities (auxiliary information), receives a pseudonymized *target*
 dataset, fingerprints every trail in both (POIs + MMC) and links each
 pseudonym to the training identity with the closest fingerprint.
+
+Links are chosen by ``min((score, user_id))``: ties on the raw
+fingerprint distance break deterministically toward the lexicographically
+smallest training identity, so the result is independent of trail
+iteration order and reproducible by a distributed reduce.  Candidates
+with no spatial evidence (no POI pair within ``max_match_dist_m``; see
+:func:`repro.attacks.mmc.mmc_link_score`) are skipped rather than scored
+by their constant unmatched-mass penalty.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.djcluster import DJClusterParams
-from repro.attacks.mmc import MobilityMarkovChain, build_mmc, mmc_distance
+from repro.attacks.mmc import MobilityMarkovChain, build_mmc, mmc_link_score
 from repro.attacks.poi import poi_attack
 from repro.geo.trace import GeolocatedDataset, Trail
 
@@ -27,7 +35,7 @@ __all__ = ["fingerprint_user", "deanonymization_attack", "DeanonymizationResult"
 
 def fingerprint_user(
     trail: Trail,
-    params: DJClusterParams = DJClusterParams(),
+    params: DJClusterParams | None = None,
     max_pois: int = 8,
     attach_radius_m: float = 200.0,
 ) -> MobilityMarkovChain | None:
@@ -36,6 +44,8 @@ def fingerprint_user(
     Returns ``None`` when no POIs can be extracted (trail too sparse),
     which the attack treats as "unlinkable".
     """
+    if params is None:
+        params = DJClusterParams()
     pois = poi_attack(trail, params)
     if not pois:
         return None
@@ -78,15 +88,21 @@ def deanonymization_attack(
     training: GeolocatedDataset,
     target: GeolocatedDataset,
     ground_truth: dict[str, str],
-    params: DJClusterParams = DJClusterParams(),
+    params: DJClusterParams | None = None,
     max_pois: int = 8,
     max_match_dist_m: float = 500.0,
 ) -> DeanonymizationResult:
     """Link each pseudonymized trail of ``target`` to a ``training`` user.
 
     ``ground_truth`` maps target pseudonyms to true training identities
-    and is used only for scoring, never by the attack itself.
+    and is used only for scoring, never by the attack itself.  A
+    pseudonym links to ``None`` when it has no fingerprint, the training
+    set is empty, or no training fingerprint shares spatial evidence with
+    it (every candidate's :func:`~repro.attacks.mmc.mmc_link_score` is
+    ``None``).
     """
+    if params is None:
+        params = DJClusterParams()
     train_prints: dict[str, MobilityMarkovChain] = {}
     for trail in training.trails():
         fp = fingerprint_user(trail, params, max_pois)
@@ -100,11 +116,16 @@ def deanonymization_attack(
         if fp is None or not train_prints:
             linkage[trail.user_id] = None
             continue
-        best_user, best_score = None, float("inf")
+        best: tuple[float, str] | None = None
         for user, train_fp in train_prints.items():
-            score = mmc_distance(fp, train_fp, max_match_dist_m=max_match_dist_m)
-            if score < best_score:
-                best_user, best_score = user, score
-        linkage[trail.user_id] = best_user
-        scores[trail.user_id] = best_score
+            score = mmc_link_score(fp, train_fp, max_match_dist_m=max_match_dist_m)
+            if score is None:
+                continue
+            if best is None or (score, user) < best:
+                best = (score, user)
+        if best is None:
+            linkage[trail.user_id] = None
+        else:
+            linkage[trail.user_id] = best[1]
+            scores[trail.user_id] = best[0]
     return DeanonymizationResult(linkage, dict(ground_truth), scores)

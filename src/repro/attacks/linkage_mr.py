@@ -1,0 +1,745 @@
+"""MapReduce-parallel de-anonymization: the linking attack at scale.
+
+The serial :func:`repro.attacks.deanonymization.deanonymization_attack`
+scores every pseudonym against every training identity — an
+O(targets × trainings) loop that caps the paper's central question
+("does pseudonymization survive a motivated adversary?") at a few
+thousand users.  This module runs the same attack as first-class
+MapReduce jobs:
+
+* **fingerprint jobs** (one per side) — mappers slice each chunk's rows
+  per user and ship raw *trail fragments*; reducers stitch a user's
+  fragments in file order and run the unchanged serial
+  :func:`~repro.attacks.deanonymization.fingerprint_user` (DJ-Cluster
+  POIs + MMC).  Shipping raw rows matters: preprocessing is not
+  idempotent (the speed filter and dedup compare original neighbours),
+  so fingerprinting anything but the original per-user rows would break
+  bit-equality with the serial reference.
+* **linkage job** — the shuffle is keyed by *candidate-blocking cell*:
+  a geographic grid of width ``2 × max_match_dist_m``.  Target
+  fingerprints go to the cells containing their POIs; training
+  fingerprints go to every cell of a conservatively-rounded
+  ``max_match_dist_m`` box around each POI.  Two fingerprints that share
+  no cell cannot have a POI pair within ``max_match_dist_m``, hence
+  (post tie-break fix) cannot link — so reducers score only plausible
+  pairs instead of the full cross product.  Each reducer emits its
+  per-pseudonym best link; the driver folds reducer outputs with the
+  same deterministic ``min((score, user_id))`` the serial attack uses.
+
+A pair sharing several cells is scored exactly once: both sides carry
+their sorted cell lists, and only the lexicographically smallest shared
+cell ("owner") scores the pair.
+
+**Exactness audit.** The training POI table is also published through the
+shared persistent R-tree :class:`~repro.index.persistent.IndexCatalog`;
+target mappers radius-query the portable index to count, independently
+of the grid, the exact number of (pseudonym × training) pairs with any
+POI pair within ``max_match_dist_m``.  Because a pair is scored iff it
+has such a POI pair (see :func:`~repro.attacks.mmc.mmc_link_score`),
+``candidate_pairs_scored == candidate_pairs_exact`` proves the blocking
+grid dropped nothing; the bench and the property suite gate on it.
+
+Input contract: each side is a trace-array file whose per-user row order
+equals the trail's time order (any time-sorted layout qualifies —
+user-major files and globally time-sorted flats both do).
+
+``runner`` is anything runner-shaped: a
+:class:`~repro.mapreduce.runner.JobRunner` or a
+:class:`~repro.mapreduce.service.TenantClient` (the sweep harness runs
+one attack per tenant through a shared service).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.djcluster import DJClusterParams
+from repro.attacks.deanonymization import DeanonymizationResult, fingerprint_user
+from repro.attacks.mmc import MobilityMarkovChain, mmc_link_score
+from repro.geo.trace import GeolocatedDataset, Trail, TraceArray
+from repro.mapreduce.config import Configuration
+from repro.mapreduce.job import JobSpec, Mapper, Reducer
+from repro.mapreduce.types import ArrayPayload, Chunk, concrete_payload
+from repro.observability.events import EventKind
+
+__all__ = [
+    "LinkageAttackResult",
+    "run_linkage_attack",
+    "run_attack_selfcheck",
+    "linkage_signature",
+    "split_linkage_corpus",
+    "synthetic_linkage_corpus",
+    "blocking_cell",
+    "cover_cells",
+    "TrailFragmentMapper",
+    "FingerprintReducer",
+    "BlockingMapper",
+    "LinkageScoreReducer",
+    "PARAMS_CACHE_KEY",
+    "INDEX_CACHE_KEY",
+    "GROUP_LINKAGE",
+    "COUNTER_PAIRS_SCORED",
+    "COUNTER_PAIRS_EXACT",
+]
+
+#: Distributed-cache key for (params, max_pois, attach_radius_m).
+PARAMS_CACHE_KEY = "linkage.params"
+#: Distributed-cache key for (portable POI index, per-row owner users).
+INDEX_CACHE_KEY = "linkage.train_poi_index"
+
+GROUP_LINKAGE = "linkage"
+#: Pairs actually scored by reducers (owner-cell deduplicated).
+COUNTER_PAIRS_SCORED = "candidate_pairs_scored"
+#: Pairs with spatial evidence per the persistent-index ground truth.
+COUNTER_PAIRS_EXACT = "candidate_pairs_exact"
+
+# Conservative metres per degree of latitude: a deliberate UNDERestimate
+# (true value ≈ 110,574 m), so degree spans derived from it OVERestimate
+# — cells can only get extra members, never lose one.
+_M_PER_DEG = 110_000.0
+#: Radius the repo's haversine uses, in metres (EARTH_RADIUS_KM * 1000).
+_R_M = 6_371_008.8
+#: Beyond this latitude everything shares one per-hemisphere cell; the
+#: band geometry degenerates near the poles and mobility data there is
+#: noise anyway.
+_POLAR_LAT = 85.0
+_POLAR_BAND = 1 << 40
+
+
+# ---------------------------------------------------------------------------
+# Candidate-blocking geometry
+# ---------------------------------------------------------------------------
+
+def _lat_width_deg(max_match_dist_m: float) -> float:
+    return 2.0 * max_match_dist_m / _M_PER_DEG
+
+
+def _lon_width_deg(band: int, w_lat: float, max_match_dist_m: float) -> float:
+    cos_c = max(math.cos(math.radians((band + 0.5) * w_lat)), 1e-9)
+    return 2.0 * max_match_dist_m / (_M_PER_DEG * cos_c)
+
+
+def blocking_cell(lat: float, lon: float, max_match_dist_m: float) -> tuple[int, int]:
+    """The grid cell containing one POI (a hashable, sortable int pair)."""
+    if abs(lat) > _POLAR_LAT:
+        return (_POLAR_BAND, 1 if lat > 0 else -1)
+    w_lat = _lat_width_deg(max_match_dist_m)
+    band = math.floor(lat / w_lat)
+    return (band, math.floor(lon / _lon_width_deg(band, w_lat, max_match_dist_m)))
+
+
+def cover_cells(lat: float, lon: float, max_match_dist_m: float) -> set[tuple[int, int]]:
+    """Every cell that could contain a point within ``max_match_dist_m``.
+
+    The cover is conservative (it may include cells no reachable point
+    maps to) but never lossy: for any point ``p`` with
+    ``haversine(p, (lat, lon)) <= max_match_dist_m``,
+    ``blocking_cell(p) ∈ cover_cells((lat, lon))``.  The latitude span
+    uses the exact haversine bound ``Δφ ≤ d/R``; the longitude span uses
+    ``sin(Δλ/2) ≤ sin(d/2R)/cos(φ_edge)`` with the cosine taken at the
+    most poleward latitude the box reaches.  Boxes crossing the
+    antimeridian also cover their wrapped image.
+    """
+    d = max_match_dist_m
+    cells: set[tuple[int, int]] = set()
+    dlat = math.degrees(d / _R_M)
+    lat_lo, lat_hi = lat - dlat, lat + dlat
+    if lat_hi > _POLAR_LAT:
+        cells.add((_POLAR_BAND, 1))
+    if lat_lo < -_POLAR_LAT:
+        cells.add((_POLAR_BAND, -1))
+    lo = max(lat_lo, -_POLAR_LAT)
+    hi = min(lat_hi, _POLAR_LAT)
+    if lo > hi:
+        return cells
+    edge = min(max(abs(lat_lo), abs(lat_hi)), 89.9)
+    sin_half = math.sin(d / (2.0 * _R_M)) / max(math.cos(math.radians(edge)), 1e-9)
+    dlon = math.degrees(2.0 * math.asin(min(1.0, sin_half)))
+    w_lat = _lat_width_deg(d)
+    for band in range(math.floor(lo / w_lat), math.floor(hi / w_lat) + 1):
+        w_lon = _lon_width_deg(band, w_lat, d)
+        spans = [(lon - dlon, lon + dlon)]
+        if lon - dlon < -180.0:
+            spans.append((lon - dlon + 360.0, 180.0))
+        if lon + dlon > 180.0:
+            spans.append((-180.0, lon + dlon - 360.0))
+        for span_lo, span_hi in spans:
+            for j in range(math.floor(span_lo / w_lon), math.floor(span_hi / w_lon) + 1):
+                cells.add((band, j))
+    return cells
+
+
+def _own_cells(fp: MobilityMarkovChain, max_match_dist_m: float) -> set[tuple[int, int]]:
+    return {
+        blocking_cell(float(s[0]), float(s[1]), max_match_dist_m) for s in fp.states
+    }
+
+
+def _cover_of(fp: MobilityMarkovChain, max_match_dist_m: float) -> set[tuple[int, int]]:
+    cells: set[tuple[int, int]] = set()
+    for s in fp.states:
+        cells |= cover_cells(float(s[0]), float(s[1]), max_match_dist_m)
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Stage 1 — fingerprint jobs
+# ---------------------------------------------------------------------------
+
+class TrailFragmentMapper(Mapper):
+    """Ship each chunk's rows as per-user raw trail fragments.
+
+    One stable argsort per chunk; within a user the original row order is
+    preserved (stable sort), so reducers can reconstruct the exact trail
+    by concatenating fragments in chunk-offset order.
+    """
+
+    def run(self, chunk: Chunk, ctx) -> None:
+        payload = concrete_payload(chunk.payload)
+        if not isinstance(payload, ArrayPayload):
+            raise TypeError("fingerprint jobs read trace-array files")
+        array = payload.array
+        if len(array) == 0:
+            return
+        users = array.user_index
+        order = np.argsort(users, kind="stable")
+        sorted_users = users[order]
+        boundaries = np.nonzero(
+            np.concatenate(([True], sorted_users[1:] != sorted_users[:-1]))
+        )[0]
+        ends = np.concatenate((boundaries[1:], [len(order)]))
+        for start, end in zip(boundaries.tolist(), ends.tolist()):
+            rows = order[start:end]
+            lat = array.latitude[rows]
+            ctx.emit(
+                array.users[int(sorted_users[start])],
+                (
+                    int(payload.offset),
+                    lat,
+                    array.longitude[rows],
+                    array.timestamp[rows],
+                ),
+                nbytes=int(lat.nbytes * 3 + 8),
+                n_records=int(len(rows)),
+            )
+
+
+class FingerprintReducer(Reducer):
+    """Stitch a user's fragments and run the serial fingerprint on them."""
+
+    def setup(self, ctx) -> None:
+        self._params, self._max_pois, self._attach_radius_m = ctx.cache.get(
+            PARAMS_CACHE_KEY
+        )
+        self._role = ctx.conf.get_str("linkage.role")
+
+    def reduce(self, key, values, ctx) -> None:
+        fragments = sorted(values, key=lambda fragment: fragment[0])
+        lat = np.concatenate([f[1] for f in fragments])
+        lon = np.concatenate([f[2] for f in fragments])
+        ts = np.concatenate([f[3] for f in fragments])
+        trail = Trail(str(key), TraceArray.from_columns(str(key), lat, lon, ts))
+        fp = fingerprint_user(
+            trail, self._params, self._max_pois, attach_radius_m=self._attach_radius_m
+        )
+        nbytes = 16
+        if fp is not None:
+            nbytes = int(fp.states.nbytes + fp.transitions.nbytes + fp.visit_counts.nbytes + 32)
+        # None fingerprints ride along: the driver needs the full target
+        # roster to report unlinkable pseudonyms, exactly like the serial
+        # attack does.
+        ctx.emit(key, (self._role, fp), nbytes=nbytes)
+
+
+# ---------------------------------------------------------------------------
+# Stage 2 — blocking shuffle + scoring reduce
+# ---------------------------------------------------------------------------
+
+class BlockingMapper(Mapper):
+    """Route fingerprints to candidate-blocking cells.
+
+    Training fingerprints are replicated to every cell of their POIs'
+    conservative boxes; target fingerprints go only to the cells
+    containing their own POIs.  When the persistent-index audit is on,
+    target POIs are also batch-queried against the portable R-tree over
+    the training POI table to count exact candidate pairs.
+    """
+
+    def setup(self, ctx) -> None:
+        self._d = ctx.conf.get_float("linkage.max_match_dist_m")
+        self._audit = bool(ctx.conf.get_int("linkage.audit", 0))
+        if self._audit:
+            self._index, self._owners = ctx.cache.get(INDEX_CACHE_KEY)
+
+    def run(self, chunk: Chunk, ctx) -> None:
+        audit_points: list[np.ndarray] = []
+        audit_slices: list[int] = []
+        for user, (role, fp) in chunk.records():
+            if fp is None:
+                continue
+            if role == "train":
+                cover = _cover_of(fp, self._d)
+                cells = tuple(sorted(cover))
+                value = (0, str(user), fp, cells)
+                for cell in cover:
+                    ctx.emit(cell, value, nbytes=len(cells) * 16 + 64)
+            else:
+                own = _own_cells(fp, self._d)
+                cells = tuple(sorted(own))
+                value = (1, str(user), fp, cells)
+                for cell in own:
+                    ctx.emit(cell, value, nbytes=len(cells) * 16 + 64)
+                if self._audit:
+                    audit_points.append(np.asarray(fp.states, dtype=np.float64))
+                    audit_slices.append(len(fp.states))
+        if self._audit and audit_points:
+            points = np.concatenate(audit_points, axis=0)
+            hits = self._index.query_radius_batch(points, self._d)
+            at = 0
+            pairs = 0
+            for n_states in audit_slices:
+                ids = [hit for hit in hits[at : at + n_states] if len(hit)]
+                at += n_states
+                if not ids:
+                    continue
+                rows = np.unique(np.concatenate(ids))
+                pairs += len(np.unique(self._owners[rows]))
+            if pairs:
+                ctx.counters.increment(GROUP_LINKAGE, COUNTER_PAIRS_EXACT, pairs)
+
+
+class LinkageScoreReducer(Reducer):
+    """Score each plausible pair once and emit per-pseudonym cell bests.
+
+    A pair may co-occur in several cells; only its *owner* cell — the
+    smallest cell both sides share — scores it, so the scored-pairs
+    counter is an exact pair count and no work is duplicated.
+    """
+
+    def setup(self, ctx) -> None:
+        self._d = ctx.conf.get_float("linkage.max_match_dist_m")
+
+    def reduce(self, key, values, ctx) -> None:
+        trains: list[tuple[str, MobilityMarkovChain, frozenset]] = []
+        targets: list[tuple[str, MobilityMarkovChain, frozenset]] = []
+        for role, user, fp, cells in values:
+            (targets if role else trains).append((user, fp, frozenset(cells)))
+        scored = 0
+        for pseud, target_fp, target_cells in targets:
+            best: tuple[float, str] | None = None
+            for user, train_fp, train_cells in trains:
+                if min(target_cells & train_cells) != key:
+                    continue
+                score = mmc_link_score(
+                    target_fp, train_fp, max_match_dist_m=self._d
+                )
+                if score is None:
+                    continue
+                scored += 1
+                if best is None or (score, user) < best:
+                    best = (score, user)
+            if best is not None:
+                ctx.emit(pseud, best, nbytes=24)
+        if scored:
+            ctx.counters.increment(GROUP_LINKAGE, COUNTER_PAIRS_SCORED, scored)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def linkage_signature(result: DeanonymizationResult) -> str:
+    """Canonical byte fingerprint of a linkage outcome.
+
+    Order-insensitive over pseudonyms (sorted), exact over scores
+    (``float.hex``) — equal signatures mean byte-identical attacks.
+    """
+    h = hashlib.sha256()
+    for pseud in sorted(result.linkage):
+        link = result.linkage[pseud]
+        score = result.scores.get(pseud)
+        h.update(
+            "\t".join(
+                (
+                    pseud,
+                    link if link is not None else "-",
+                    score.hex() if score is not None else "-",
+                )
+            ).encode()
+        )
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+@dataclass
+class LinkageAttackResult:
+    """Outcome and audit trail of one MapReduce linkage attack."""
+
+    result: DeanonymizationResult
+    n_train_fingerprints: int
+    n_target_fingerprints: int
+    #: pairs scored by the blocking reduce (owner-cell deduplicated).
+    pairs_scored: int
+    #: exact candidate pairs per the persistent index (None = audit off).
+    pairs_exact: "int | None"
+    #: what the serial attack would have scored.
+    cross_product: int
+    sim_seconds: float
+
+    @property
+    def blocking_exact(self) -> "bool | None":
+        """Did the grid provably score every pair with spatial evidence?"""
+        if self.pairs_exact is None:
+            return None
+        return self.pairs_scored == self.pairs_exact
+
+    def signature(self) -> str:
+        return linkage_signature(self.result)
+
+
+def run_linkage_attack(
+    runner,
+    training_path: str,
+    target_path: str,
+    ground_truth: "dict[str, str] | None" = None,
+    params: DJClusterParams | None = None,
+    max_pois: int = 8,
+    attach_radius_m: float = 200.0,
+    max_match_dist_m: float = 500.0,
+    num_reducers: "int | None" = None,
+    workdir: str = "tmp/linkage",
+    use_persistent_index: bool = True,
+    history_path: "str | None" = None,
+) -> LinkageAttackResult:
+    """Run the full linking attack as MapReduce jobs.
+
+    ``training_path`` and ``target_path`` are trace-array files (see the
+    module docstring for the row-order contract).  ``ground_truth`` maps
+    pseudonyms to true identities and is used only for scoring.  Output
+    equals the serial
+    :func:`~repro.attacks.deanonymization.deanonymization_attack` on the
+    same data, byte for byte, on every backend and chunking.
+
+    ``use_persistent_index=True`` publishes the training POI table
+    through the shared :class:`~repro.index.persistent.IndexCatalog` and
+    runs the exact candidate-pair audit (see module docstring); the
+    audit never changes the attack's output, only
+    ``pairs_exact``/``blocking_exact``.
+    """
+    if params is None:
+        params = DJClusterParams()
+    hdfs = runner.hdfs
+    t0 = runner.history.clock
+    fps_train = f"{workdir}/fingerprints-train"
+    fps_target = f"{workdir}/fingerprints-target"
+    poi_path = f"{workdir}/train-pois"
+    links_path = f"{workdir}/links"
+
+    runner.cache.replace(PARAMS_CACHE_KEY, (params, max_pois, attach_radius_m))
+    reducers = num_reducers or min(8, runner.cluster.total_reduce_slots())
+    for role, in_path, out_path in (
+        ("train", training_path, fps_train),
+        ("target", target_path, fps_target),
+    ):
+        hdfs.delete(out_path, missing_ok=True)
+        runner.run(
+            JobSpec(
+                name=f"linkage-fingerprint-{role}",
+                mapper=TrailFragmentMapper,
+                reducer=FingerprintReducer,
+                input_paths=[in_path],
+                output_path=out_path,
+                conf=Configuration({"linkage.role": role}),
+                num_reducers=reducers,
+                reduce_cost_factor=3.0,  # DJ-Cluster + MMC per user
+            )
+        )
+
+    train_fps = [
+        (str(user), fp)
+        for user, (_role, fp) in hdfs.read_records(fps_train)
+        if fp is not None
+    ]
+    roster: list[str] = []
+    n_target_fps = 0
+    for user, (_role, fp) in hdfs.read_records(fps_target):
+        roster.append(str(user))
+        if fp is not None:
+            n_target_fps += 1
+
+    audit = use_persistent_index and bool(train_fps) and n_target_fps > 0
+    if audit:
+        owners: list[str] = []
+        lats: list[float] = []
+        lons: list[float] = []
+        ranks: list[float] = []
+        for user, fp in train_fps:
+            for rank, state in enumerate(fp.states):
+                owners.append(user)
+                lats.append(float(state[0]))
+                lons.append(float(state[1]))
+                ranks.append(float(rank))
+        hdfs.delete(poi_path, missing_ok=True)
+        hdfs.put_trace_array(
+            poi_path,
+            TraceArray.from_columns(
+                owners,
+                np.asarray(lats),
+                np.asarray(lons),
+                np.asarray(ranks),
+            ),
+        )
+        from repro.index.persistent import IndexCatalog
+
+        index, _built = IndexCatalog(hdfs).ensure(runner, poi_path)
+        runner.cache.replace(
+            INDEX_CACHE_KEY,
+            (index.to_portable(), np.asarray(owners, dtype=object)),
+        )
+
+    pairs_scored = 0
+    pairs_exact: "int | None" = None
+    best: dict[str, tuple[float, str]] = {}
+    if train_fps and n_target_fps:
+        hdfs.delete(links_path, missing_ok=True)
+        link_result = runner.run(
+            JobSpec(
+                name="linkage-score",
+                mapper=BlockingMapper,
+                reducer=LinkageScoreReducer,
+                input_paths=[fps_train, fps_target],
+                output_path=links_path,
+                conf=Configuration(
+                    {
+                        "linkage.max_match_dist_m": max_match_dist_m,
+                        "linkage.audit": 1 if audit else 0,
+                    }
+                ),
+                num_reducers=reducers,
+                map_cost_factor=1.2,
+                reduce_cost_factor=2.0,
+            )
+        )
+        pairs_scored = link_result.counters.value(GROUP_LINKAGE, COUNTER_PAIRS_SCORED)
+        if audit:
+            pairs_exact = link_result.counters.value(
+                GROUP_LINKAGE, COUNTER_PAIRS_EXACT
+            )
+        for pseud, (score, user) in hdfs.read_records(links_path):
+            cand = (float(score), str(user))
+            cur = best.get(str(pseud))
+            if cur is None or cand < cur:
+                best[str(pseud)] = cand
+
+    linkage: dict[str, "str | None"] = {}
+    scores: dict[str, float] = {}
+    for pseud in roster:
+        winner = best.get(pseud)
+        if winner is None:
+            linkage[pseud] = None
+        else:
+            linkage[pseud] = winner[1]
+            scores[pseud] = winner[0]
+
+    outcome = LinkageAttackResult(
+        result=DeanonymizationResult(linkage, dict(ground_truth or {}), scores),
+        n_train_fingerprints=len(train_fps),
+        n_target_fingerprints=n_target_fps,
+        pairs_scored=int(pairs_scored),
+        pairs_exact=int(pairs_exact) if pairs_exact is not None else None,
+        cross_product=len(train_fps) * n_target_fps,
+        sim_seconds=float(runner.history.clock - t0),
+    )
+    data = {
+        "driver": "linkage-attack",
+        "n_train_fingerprints": outcome.n_train_fingerprints,
+        "n_target_fingerprints": outcome.n_target_fingerprints,
+        "linked": sum(1 for v in linkage.values() if v is not None),
+        "success_rate": outcome.result.success_rate,
+        "pairs_scored": outcome.pairs_scored,
+        "cross_product": outcome.cross_product,
+        "signature": outcome.signature(),
+    }
+    if pairs_exact is not None:
+        data["pairs_exact"] = outcome.pairs_exact
+    runner.history.emit(
+        EventKind.ATTACK_RESULT, "linkage-score", runner.history.clock, **data
+    )
+    if history_path is not None:
+        runner.history.save(history_path)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Corpus helpers (chaos driver, selfcheck, bench)
+# ---------------------------------------------------------------------------
+
+def split_linkage_corpus(
+    array: TraceArray, pseudonym_prefix: str = "anon-"
+) -> tuple[TraceArray, TraceArray, dict[str, str]]:
+    """Split a corpus in time into (training, pseudonymized target, truth).
+
+    Rows before the time midpoint become the adversary's training data
+    (identities intact); rows after become the attacked release, with
+    every user renamed ``pseudonym_prefix + user``.
+    """
+    if len(array) == 0:
+        return array, array, {}
+    ts = array.timestamp
+    cut = (float(ts.min()) + float(ts.max())) / 2.0
+    train = array[np.nonzero(ts < cut)[0]]
+    released = array[np.nonzero(ts >= cut)[0]]
+    renamed = [pseudonym_prefix + u for u in released.user_ids()]
+    target = TraceArray.from_columns(
+        renamed if renamed else [pseudonym_prefix],
+        released.latitude,
+        released.longitude,
+        released.timestamp,
+        released.altitude,
+    )
+    truth = {
+        pseudonym_prefix + u: u for u in sorted(set(released.user_ids().tolist()))
+    }
+    return train, target, truth
+
+
+#: DJ-Cluster parameters matched to :func:`synthetic_linkage_corpus`
+#: (its POI visits leave ~3 surviving points per visit after the speed
+#: filter, so the default min_pts would discard everything).
+SYNTH_ATTACK_PARAMS = DJClusterParams(radius_m=150.0, min_pts=3)
+
+
+def synthetic_linkage_corpus(
+    n_users: int,
+    seed: int = 0,
+    pois_per_user: int = 2,
+    visits: int = 6,
+    points_per_visit: int = 5,
+    jitter_deg: float = 4e-5,
+    region: tuple[tuple[float, float], tuple[float, float]] = ((25.0, 55.0), (-120.0, 120.0)),
+) -> tuple[TraceArray, TraceArray, dict[str, str]]:
+    """A fully vectorized linkage workload: (training, target, truth).
+
+    Each user commutes between ``pois_per_user`` personal POIs scattered
+    a few km around a per-user anchor; anchors are spread over a wide
+    ``region`` so blocking cells stay sparse at 10^5 users.  The target
+    release re-observes the same POIs ten days later with independent
+    jitter and pseudonymized ids — so the true link survives sanitized
+    observation noise, which is exactly the paper's threat model.  Use
+    :data:`SYNTH_ATTACK_PARAMS` when attacking this corpus.
+    """
+    (lat_lo, lat_hi), (lon_lo, lon_hi) = region
+    rng = np.random.default_rng(seed)
+    anchor_lat = rng.uniform(lat_lo, lat_hi, n_users)
+    anchor_lon = rng.uniform(lon_lo, lon_hi, n_users)
+    poi_lat = anchor_lat[:, None] + rng.uniform(-0.03, 0.03, (n_users, pois_per_user))
+    poi_lon = anchor_lon[:, None] + rng.uniform(-0.03, 0.03, (n_users, pois_per_user))
+    visit_poi = np.arange(visits) % pois_per_user
+    base_lat = np.repeat(poi_lat[:, visit_poi][:, :, None], points_per_visit, axis=2)
+    base_lon = np.repeat(poi_lon[:, visit_poi][:, :, None], points_per_visit, axis=2)
+    stamps = (
+        np.arange(visits)[:, None] * 4 * 3600.0
+        + np.arange(points_per_visit)[None, :] * 60.0
+    )
+    shape = (n_users, visits, points_per_visit)
+    user_names = [f"u{i:06d}" for i in range(n_users)]
+    rows_per_user = visits * points_per_visit
+
+    def side(side_rng, names, t_offset):
+        lat = base_lat + side_rng.uniform(-jitter_deg, jitter_deg, shape)
+        lon = base_lon + side_rng.uniform(-jitter_deg, jitter_deg, shape)
+        ts = np.broadcast_to(stamps + t_offset, shape)
+        row_users = np.repeat(np.asarray(names, dtype=object), rows_per_user)
+        return TraceArray.from_columns(
+            row_users, lat.ravel(), lon.ravel(), np.ascontiguousarray(ts).ravel()
+        )
+
+    training = side(rng, user_names, 0.0)
+    pseudonyms = [f"anon-{i:06d}" for i in range(n_users)]
+    target = side(
+        np.random.default_rng(seed + 1), pseudonyms, 10 * 86_400.0
+    )
+    truth = dict(zip(pseudonyms, user_names))
+    return training, target, truth
+
+
+def run_attack_selfcheck(n_users: int = 8, seed: int = 11, verbose: bool = True) -> bool:
+    """Small end-to-end check: MR attack ≡ serial attack, every backend.
+
+    Runs the fixed serial reference on a synthetic corpus, then the MR
+    attack on all three backends plus a memory-budgeted deployment, and
+    checks byte-identical signatures and the blocking-exactness audit.
+    Returns True when everything matches (``repro attack --linkage
+    --selfcheck`` exits non-zero otherwise).
+    """
+    from repro.mapreduce.cluster import paper_cluster
+    from repro.mapreduce.config import BACKENDS
+    from repro.mapreduce.hdfs import SimulatedHDFS
+    from repro.mapreduce.runner import JobRunner
+
+    training, target, truth = synthetic_linkage_corpus(n_users, seed=seed)
+    serial = deanonymization_attack_reference(
+        training, target, truth, params=SYNTH_ATTACK_PARAMS
+    )
+    reference = linkage_signature(serial)
+    lines = [
+        f"attack selfcheck: {n_users} users, serial reference "
+        f"success={serial.success_rate:.2f} signature={reference[:12]}…"
+    ]
+    ok = True
+    cells = [(backend, None) for backend in BACKENDS] + [("serial", 8.0)]
+    for backend, budget in cells:
+        hdfs = SimulatedHDFS(
+            paper_cluster(3), chunk_size=16 * 1024, seed=0, memory_budget_mb=budget
+        )
+        hdfs.put_trace_array("input/train", training, record_bytes=64)
+        hdfs.put_trace_array("input/target", target, record_bytes=64)
+        runner = JobRunner(hdfs, executor=backend, memory_budget_mb=budget)
+        try:
+            outcome = run_linkage_attack(
+                runner,
+                "input/train",
+                "input/target",
+                truth,
+                params=SYNTH_ATTACK_PARAMS,
+            )
+        finally:
+            runner.close()
+        label = backend + (" (budgeted)" if budget else "")
+        match = outcome.signature() == reference
+        exact = outcome.blocking_exact in (True, None)
+        ok = ok and match and exact
+        lines.append(
+            f"  {label:22s} signature {'==' if match else '!='} serial, "
+            f"pairs scored/exact {outcome.pairs_scored}/{outcome.pairs_exact} "
+            f"(cross product {outcome.cross_product})"
+        )
+    lines.append("attack selfcheck: " + ("ok" if ok else "FAILED"))
+    if verbose:
+        print("\n".join(lines))
+    return ok
+
+
+def deanonymization_attack_reference(
+    training: TraceArray,
+    target: TraceArray,
+    ground_truth: dict[str, str],
+    params: DJClusterParams | None = None,
+    max_pois: int = 8,
+    max_match_dist_m: float = 500.0,
+) -> DeanonymizationResult:
+    """The serial attack on trace arrays (the MR job's ground truth)."""
+    from repro.attacks.deanonymization import deanonymization_attack
+
+    return deanonymization_attack(
+        GeolocatedDataset.from_array(training),
+        GeolocatedDataset.from_array(target),
+        ground_truth,
+        params=params,
+        max_pois=max_pois,
+        max_match_dist_m=max_match_dist_m,
+    )

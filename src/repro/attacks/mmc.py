@@ -19,7 +19,13 @@ import numpy as np
 from repro.geo.distance import haversine_m
 from repro.geo.trace import Trail, TraceArray
 
-__all__ = ["MobilityMarkovChain", "build_mmc", "mmc_distance", "visit_sequence"]
+__all__ = [
+    "MobilityMarkovChain",
+    "build_mmc",
+    "mmc_distance",
+    "mmc_link_score",
+    "visit_sequence",
+]
 
 
 @dataclass
@@ -203,7 +209,39 @@ def mmc_distance(
     matched columns); unmatched stationary mass pays ``unmatched_penalty``.
     This is the linking-attack scoring function.
     """
+    return _pair_score(a, b, _match_states(a, b, max_match_dist_m), unmatched_penalty)
+
+
+def mmc_link_score(
+    a: MobilityMarkovChain,
+    b: MobilityMarkovChain,
+    max_match_dist_m: float = 500.0,
+    unmatched_penalty: float = 1.0,
+) -> "float | None":
+    """Linking score, or ``None`` when the chains share no nearby POIs.
+
+    When no POI of ``a`` lies within ``max_match_dist_m`` of any POI of
+    ``b`` the chains carry *no spatial evidence* about each other; the
+    value :func:`mmc_distance` returns in that regime is the pure
+    unmatched-mass penalty — a constant independent of which candidate is
+    being scored, so "best by penalty" degenerates to whichever candidate
+    is enumerated first.  Returning ``None`` lets callers skip such pairs
+    outright, which is also what makes spatial candidate blocking exact:
+    every pair with a non-``None`` score has at least one POI pair within
+    ``max_match_dist_m``, hence shares a blocking cell.
+    """
     pairs = _match_states(a, b, max_match_dist_m)
+    if not pairs:
+        return None
+    return _pair_score(a, b, pairs, unmatched_penalty)
+
+
+def _pair_score(
+    a: MobilityMarkovChain,
+    b: MobilityMarkovChain,
+    pairs: list[tuple[int, int]],
+    unmatched_penalty: float,
+) -> float:
     pi_a = a.stationary_distribution()
     pi_b = b.stationary_distribution()
     matched_a = {i for i, _ in pairs}

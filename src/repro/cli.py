@@ -11,8 +11,9 @@ Commands
 ``info``       corpus statistics (users, traces, span, bounding box)
 ``visualize``  ASCII density map
 ``sample``     temporal down-sampling (Section V)
-``attack``     the POI inference attack (Section VII + labelling)
+``attack``     POI inference, or the MapReduce linkage attack (docs/ATTACKS.md)
 ``sanitize``   apply a geo-sanitization mechanism
+``sweep``      privacy-vs-utility frontier over sanitizer cells (docs/ATTACKS.md)
 ``history``    render a job-history trace report (docs/OBSERVABILITY.md)
 ``chaos``      seeded fault-injection campaign over a driver (docs/CHAOS.md)
 ``bench``      wall-clock benchmark of the execution backends (docs/PERFORMANCE.md)
@@ -88,6 +89,8 @@ def parse_mechanism(spec: str):
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.mapreduce.config import BACKENDS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GEPETO-MR: privacy analysis of mobility traces",
@@ -119,8 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     samp.add_argument("--window", type=float, default=60.0, help="seconds")
     samp.add_argument("--technique", choices=["upper", "middle"], default="upper")
 
-    atk = sub.add_parser("attack", help="POI inference attack (Section VII)")
-    atk.add_argument("--in", dest="input", required=True)
+    atk = sub.add_parser(
+        "attack",
+        help="POI inference attack, or the MapReduce linkage attack",
+        description=(
+            "Default mode: the serial POI inference attack (Section VII "
+            "+ labelling).  With --linkage the corpus is split in time "
+            "into training/pseudonymized halves and the MapReduce "
+            "de-anonymization attack links them (docs/ATTACKS.md); "
+            "--linkage --selfcheck instead proves the MR attack "
+            "byte-identical to the serial reference on every backend."
+        ),
+    )
+    atk.add_argument("--in", dest="input", required=False)
     atk.add_argument("--user", help="restrict to one user id")
     atk.add_argument("--radius", type=float, default=100.0, help="metres")
     atk.add_argument("--min-pts", type=int, default=10)
@@ -128,6 +142,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--semantic",
         action="store_true",
         help="also label places semantically (home/work/lunch/leisure)",
+    )
+    atk.add_argument(
+        "--linkage",
+        action="store_true",
+        help="run the MapReduce linkage attack on a time-split of --in "
+        "instead of the per-user POI report",
+    )
+    atk.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="with --linkage: verify MR ≡ serial attack on every "
+        "backend (no --in needed); exit non-zero on divergence",
+    )
+    atk.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="serial",
+        help="execution backend for --linkage (default serial)",
+    )
+    atk.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="optional per-node memory budget for --linkage (spills to disk)",
+    )
+    atk.add_argument(
+        "--max-match-dist",
+        type=float,
+        default=500.0,
+        help="POI match distance in metres for --linkage (default 500)",
+    )
+    atk.add_argument(
+        "--max-pois",
+        type=int,
+        default=8,
+        help="fingerprint size cap for --linkage (default 8)",
+    )
+    atk.add_argument(
+        "--history", help="with --linkage: export the job history here"
     )
 
     san = sub.add_parser("sanitize", help="apply a geo-sanitization mechanism")
@@ -137,6 +190,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--mechanism",
         required=True,
         help="e.g. gaussian:200, rounding:500, sample:600, cloak:3, pseudonymize:7",
+    )
+
+    swp = sub.add_parser(
+        "sweep",
+        help="privacy-vs-utility frontier over sanitizer cells",
+        description=(
+            "Runs the MapReduce linkage attack against one sanitized "
+            "release per --mechanisms spec, every cell a tenant of one "
+            "fair-share JobService, and renders the privacy-vs-utility "
+            "frontier (docs/ATTACKS.md).  Reads a GeoLife corpus with "
+            "--in (split in time into training/target) or synthesizes a "
+            "linkage corpus with --users."
+        ),
+    )
+    swp.add_argument("--in", dest="input", help="GeoLife corpus to sweep over")
+    swp.add_argument(
+        "--users", type=int, default=12,
+        help="synthetic corpus size when --in is omitted (default 12)",
+    )
+    swp.add_argument("--seed", type=int, default=0, help="synthetic corpus seed")
+    swp.add_argument(
+        "--mechanisms",
+        default="none,gaussian:100,gaussian:300,rounding:500,sample:600",
+        help="comma-separated sanitizer specs; 'none' is the "
+        "pseudonymize-only origin cell",
+    )
+    swp.add_argument(
+        "--radius", type=float, default=None,
+        help="DJ-Cluster radius in metres (default: matched to the corpus)",
+    )
+    swp.add_argument(
+        "--min-pts", type=int, default=None,
+        help="DJ-Cluster density floor (default: matched to the corpus)",
+    )
+    swp.add_argument(
+        "--backend", choices=list(BACKENDS), default="serial",
+        help="execution backend for the attack jobs (default serial)",
+    )
+    swp.add_argument("--out", help="write the frontier JSON document here")
+    swp.add_argument(
+        "--history", help="export the shared service's job history here"
     )
 
     hist = sub.add_parser(
@@ -245,8 +339,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fixed fault-heavy campaign over all drivers and "
         "verify equivalence + reproducibility (used by the CI smoke step)",
     )
-    from repro.mapreduce.config import BACKENDS
-
     cha.add_argument(
         "--backend",
         choices=BACKENDS,
@@ -343,6 +435,16 @@ def build_parser() -> argparse.ArgumentParser:
         "every backend; gates the >=10x shuffle-byte reduction and "
         "per-mode byte-identical centroids (fixed workload so the "
         "document doubles as a baseline; combine with --check/--out)",
+    )
+    ben.add_argument(
+        "--attack", action="store_true",
+        help="benchmark the MapReduce linkage attack instead: an "
+        "equivalence matrix proving the MR attack byte-identical to the "
+        "serial reference on every backend, under a memory budget, and "
+        "under a fixed chaos schedule, plus a timed 10^5-user scale cell "
+        "whose persistent-index audit proves the candidate blocking "
+        "lossless (fixed workload so the document doubles as a "
+        "baseline; combine with --check/--out)",
     )
 
     smt = sub.add_parser(
@@ -615,6 +717,81 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "attack":
+        if args.selfcheck:
+            from repro.attacks.linkage_mr import run_attack_selfcheck
+
+            return 0 if run_attack_selfcheck() else 1
+        if not args.input:
+            raise SystemExit("attack: provide --in (or --linkage --selfcheck)")
+        if args.linkage:
+            from repro.attacks.linkage_mr import (
+                run_linkage_attack,
+                split_linkage_corpus,
+            )
+            from repro.mapreduce.cluster import paper_cluster
+            from repro.mapreduce.hdfs import SimulatedHDFS
+            from repro.mapreduce.runner import JobRunner
+
+            dataset = _load(args.input)
+            train, target, truth = split_linkage_corpus(dataset.flat())
+            if len(train) == 0 or len(target) == 0:
+                raise SystemExit(
+                    "attack: corpus too small to split into training/target halves"
+                )
+            budget = args.memory_budget_mb
+            hdfs = SimulatedHDFS(paper_cluster(4), seed=0, memory_budget_mb=budget)
+            hdfs.put_trace_array("input/train", train, record_bytes=64)
+            hdfs.put_trace_array("input/target", target, record_bytes=64)
+            runner = JobRunner(
+                hdfs, executor=args.backend, memory_budget_mb=budget
+            )
+            try:
+                outcome = run_linkage_attack(
+                    runner,
+                    "input/train",
+                    "input/target",
+                    truth,
+                    params=DJClusterParams(
+                        radius_m=args.radius, min_pts=args.min_pts
+                    ),
+                    max_pois=args.max_pois,
+                    max_match_dist_m=args.max_match_dist,
+                    history_path=args.history,
+                )
+            finally:
+                runner.close()
+            result = outcome.result
+            linked = sum(1 for v in result.linkage.values() if v is not None)
+            print(
+                f"linkage attack: {outcome.n_train_fingerprints} training "
+                f"fingerprints vs {result.n_targets} pseudonyms "
+                f"({args.backend} backend)"
+            )
+            if result.n_targets <= 30:
+                for pseud in sorted(result.linkage):
+                    link = result.linkage[pseud]
+                    mark = "" if truth.get(pseud) == link else "  (wrong)"
+                    if link is None:
+                        print(f"  {pseud:<16} -> unlinked")
+                    else:
+                        score = result.scores[pseud]
+                        print(f"  {pseud:<16} -> {link}  (score {score:.4f}){mark}")
+            exact = outcome.blocking_exact
+            audit = (
+                "audit off"
+                if exact is None
+                else ("blocking exact" if exact else "BLOCKING DROPPED PAIRS")
+            )
+            print(
+                f"linked {linked}/{result.n_targets} "
+                f"({result.success_rate:.2%} correct); scored "
+                f"{outcome.pairs_scored:,} of {outcome.cross_product:,} "
+                f"candidate pairs ({audit}); {outcome.sim_seconds:.1f} "
+                "simulated seconds"
+            )
+            if args.history:
+                print(f"job history exported to {args.history}")
+            return 0
         dataset = _load(args.input)
         params = DJClusterParams(radius_m=args.radius, min_pts=args.min_pts)
         users = [args.user] if args.user else dataset.user_ids
@@ -646,6 +823,55 @@ def main(argv: list[str] | None = None) -> int:
             f"applied {sanitizer!r}: {len(dataset):,} -> "
             f"{len(released.flat()):,} traces -> {args.out}"
         )
+        return 0
+
+    if args.command == "sweep":
+        from repro.attacks.linkage_mr import (
+            SYNTH_ATTACK_PARAMS,
+            split_linkage_corpus,
+            synthetic_linkage_corpus,
+        )
+        from repro.attacks.sweep import run_sweep
+
+        mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
+        if not mechanisms:
+            raise SystemExit("sweep: provide at least one --mechanisms spec")
+        if args.input:
+            dataset = _load(args.input)
+            train, target, truth = split_linkage_corpus(dataset.flat())
+            defaults = DJClusterParams()
+        else:
+            train, target, truth = synthetic_linkage_corpus(
+                args.users, seed=args.seed
+            )
+            defaults = SYNTH_ATTACK_PARAMS
+        if len(train) == 0 or len(target) == 0:
+            raise SystemExit(
+                "sweep: corpus too small to split into training/target halves"
+            )
+        params = DJClusterParams(
+            radius_m=args.radius if args.radius is not None else defaults.radius_m,
+            min_pts=args.min_pts if args.min_pts is not None else defaults.min_pts,
+        )
+        try:
+            frontier = run_sweep(
+                train,
+                target,
+                truth,
+                mechanisms,
+                params=params,
+                executor=args.backend,
+                history_path=args.history,
+            )
+        except (ValueError, RuntimeError) as exc:
+            raise SystemExit(f"sweep: {exc}")
+        print(frontier.render())
+        print()
+        print(frontier.service_report)
+        if args.out:
+            print(f"frontier written to {frontier.save(args.out)}")
+        if args.history:
+            print(f"service history exported to {args.history}")
         return 0
 
     if args.command == "history":
@@ -729,6 +955,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         from repro.mapreduce.bench import (
+            DEFAULT_ATTACK_OUT,
             DEFAULT_BASELINE,
             DEFAULT_MULTITENANT_OUT,
             DEFAULT_QUERY_OUT,
@@ -736,6 +963,8 @@ def main(argv: list[str] | None = None) -> int:
             DEFAULT_SPILL_OUT,
             DEFAULT_STREAM_OUT,
             check_against_baseline,
+            check_attack_against_baseline,
+            check_attack_result,
             check_multitenant_against_baseline,
             check_multitenant_result,
             check_query_against_baseline,
@@ -745,12 +974,14 @@ def main(argv: list[str] | None = None) -> int:
             check_stream_against_baseline,
             check_stream_result,
             load_result,
+            render_attack_result,
             render_multitenant_result,
             render_query_result,
             render_result,
             render_shuffle_result,
             render_spill_result,
             render_stream_result,
+            run_attack_benchmark,
             run_backend_benchmark,
             run_multitenant_benchmark,
             run_query_benchmark,
@@ -759,6 +990,40 @@ def main(argv: list[str] | None = None) -> int:
             run_stream_benchmark,
             save_result,
         )
+
+        if args.attack:
+            try:
+                backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+                doc = run_attack_benchmark(
+                    backends=backends,
+                    reps=args.iterations,
+                    max_workers=args.workers,
+                    budget_mb=args.budget_mb,
+                )
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(f"bench: {exc}")
+            print(render_attack_result(doc))
+            problems = check_attack_result(doc)
+            if args.check:
+                # Compare before (possibly) overwriting the baseline.
+                baseline_path = args.baseline or DEFAULT_ATTACK_OUT
+                try:
+                    baseline = load_result(baseline_path)
+                    problems += check_attack_against_baseline(doc, baseline)
+                except FileNotFoundError:
+                    print(f"(no baseline at {baseline_path}; intrinsic gates only)")
+            if args.out or not args.check:
+                # Generation mode writes the artifact; --check without
+                # --out leaves the committed baseline untouched.
+                out = args.out or DEFAULT_ATTACK_OUT
+                print(f"result written to {save_result(doc, out)}")
+            if problems:
+                print("\nFAILED gates:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print("all linkage-attack gates passed")
+            return 0
 
         if args.shuffle:
             try:

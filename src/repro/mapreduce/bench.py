@@ -51,10 +51,14 @@ __all__ = [
     "run_query_benchmark",
     "run_stream_benchmark",
     "run_shuffle_benchmark",
+    "run_attack_benchmark",
     "check_against_baseline",
     "check_shuffle_result",
     "check_shuffle_against_baseline",
     "render_shuffle_result",
+    "check_attack_result",
+    "check_attack_against_baseline",
+    "render_attack_result",
     "check_multitenant_result",
     "check_multitenant_against_baseline",
     "check_query_result",
@@ -73,6 +77,7 @@ __all__ = [
     "DEFAULT_QUERY_OUT",
     "DEFAULT_STREAM_OUT",
     "DEFAULT_SHUFFLE_OUT",
+    "DEFAULT_ATTACK_OUT",
     "DEFAULT_TENANT_WEIGHTS",
 ]
 
@@ -104,12 +109,17 @@ DEFAULT_STREAM_OUT = Path("benchmarks") / "results" / "BENCH_stream.json"
 #: shuffle-byte minimization trajectory.
 DEFAULT_SHUFFLE_OUT = Path("benchmarks") / "results" / "BENCH_shuffle.json"
 
+#: Default artifact path (and ``--check`` baseline) for the linkage
+#: attack trajectory.
+DEFAULT_ATTACK_OUT = Path("benchmarks") / "results" / "BENCH_attack.json"
+
 _SCHEMA = 1
 _SPILL_SCHEMA = 1
 _MULTITENANT_SCHEMA = 1
 _QUERY_SCHEMA = 1
 _STREAM_SCHEMA = 1
 _SHUFFLE_SCHEMA = 1
+_ATTACK_SCHEMA = 1
 
 
 def _blob_centers(rng: np.random.Generator, n_clusters: int) -> np.ndarray:
@@ -1834,4 +1844,346 @@ def render_shuffle_result(doc: Mapping[str, Any]) -> str:
         f"pre-agg: {agg['preagg']['raw_records']:,} raw records folded into "
         f"{agg['preagg']['envelopes']:,} envelopes",
     ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Linkage attack benchmark (repro bench --attack).
+# ---------------------------------------------------------------------------
+
+
+def _attack_cell(
+    training: TraceArray,
+    target: TraceArray,
+    truth: dict[str, str],
+    backend: str,
+    *,
+    chunk_mb: int,
+    max_workers: int | None,
+    budget_mb: float | None = None,
+    chaos_seed: int | None = None,
+) -> dict[str, Any]:
+    """One timed MapReduce linkage attack on a fresh deployment.
+
+    ``budget_mb`` forces the paged/spill path; ``chaos_seed`` runs the
+    attack under the chaos campaign's :func:`default fault schedule
+    <repro.mapreduce.chaos.default_schedule>`.  Everything but ``wall_s``
+    is a deterministic function of the inputs (and, for the chaos cell,
+    the seed).
+    """
+    from repro.attacks.linkage_mr import SYNTH_ATTACK_PARAMS, run_linkage_attack
+    from repro.mapreduce.chaos import default_schedule
+
+    hdfs = SimulatedHDFS(
+        paper_cluster(4),
+        chunk_size=chunk_mb * MB,
+        seed=0,
+        memory_budget_mb=budget_mb,
+    )
+    hdfs.put_trace_array("input/train", training, record_bytes=64)
+    hdfs.put_trace_array("input/target", target, record_bytes=64)
+    workers = None if backend == "serial" else max_workers
+    chaos = default_schedule(chaos_seed) if chaos_seed is not None else None
+    with JobRunner(
+        hdfs,
+        executor=backend,
+        max_workers=workers,
+        chaos=chaos,
+        memory_budget_mb=budget_mb,
+    ) as runner:
+        start = time.perf_counter()
+        outcome = run_linkage_attack(
+            runner,
+            "input/train",
+            "input/target",
+            truth,
+            params=SYNTH_ATTACK_PARAMS,
+        )
+        elapsed = time.perf_counter() - start
+    linked = sum(1 for v in outcome.result.linkage.values() if v is not None)
+    return {
+        "wall_s": elapsed,
+        "sim_seconds": round(float(outcome.sim_seconds), 6),
+        "signature": outcome.signature(),
+        "success_rate": round(float(outcome.result.success_rate), 9),
+        "linked": int(linked),
+        "n_targets": int(outcome.result.n_targets),
+        "pairs_scored": int(outcome.pairs_scored),
+        "pairs_exact": (
+            None if outcome.pairs_exact is None else int(outcome.pairs_exact)
+        ),
+        "cross_product": int(outcome.cross_product),
+        "blocking_exact": outcome.blocking_exact,
+    }
+
+
+def run_attack_benchmark(
+    n_users: int = 100_000,
+    backends: Sequence[str] = BACKENDS,
+    *,
+    equivalence_users: int = 40,
+    chunk_mb: int = 2,
+    max_workers: int | None = None,
+    seed: int = 0,
+    budget_mb: float = 8.0,
+    chaos_seed: int = 7,
+    reps: int = 1,
+) -> dict[str, Any]:
+    """The MapReduce linkage attack: exactness matrix + 10^5-user scale.
+
+    Two blocks.  The *equivalence* block runs a small
+    :func:`~repro.attacks.linkage_mr.synthetic_linkage_corpus` through
+    the tie-break-fixed serial reference attack, then through the
+    MapReduce attack on every backend, under a ``budget_mb`` memory
+    budget, and under a fixed chaos schedule — every cell must reproduce
+    the reference signature byte for byte (divergence raises before a
+    document is even produced).  The *scale* block times the attack at
+    ``n_users`` training users vs ``n_users`` pseudonymized targets
+    (10^10 candidate pairs) on the serial backend, best of ``reps``,
+    with the persistent-index audit proving the candidate blocking
+    lossless.
+    """
+    from repro.attacks.linkage_mr import (
+        SYNTH_ATTACK_PARAMS,
+        deanonymization_attack_reference,
+        linkage_signature,
+        synthetic_linkage_corpus,
+    )
+
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise ValueError(f"unknown backend(s) {unknown}; choose from {list(BACKENDS)}")
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+
+    small_train, small_target, small_truth = synthetic_linkage_corpus(
+        int(equivalence_users), seed=seed
+    )
+    reference = deanonymization_attack_reference(
+        small_train, small_target, small_truth, params=SYNTH_ATTACK_PARAMS
+    )
+    reference_signature = linkage_signature(reference)
+    equivalence: dict[str, dict[str, Any]] = {}
+    for backend in backends:
+        equivalence[backend] = _attack_cell(
+            small_train,
+            small_target,
+            small_truth,
+            backend,
+            chunk_mb=chunk_mb,
+            max_workers=max_workers,
+        )
+    equivalence["serial+budget"] = _attack_cell(
+        small_train,
+        small_target,
+        small_truth,
+        "serial",
+        chunk_mb=chunk_mb,
+        max_workers=max_workers,
+        budget_mb=budget_mb,
+    )
+    equivalence["serial+chaos"] = _attack_cell(
+        small_train,
+        small_target,
+        small_truth,
+        "serial",
+        chunk_mb=chunk_mb,
+        max_workers=max_workers,
+        chaos_seed=chaos_seed,
+    )
+    for label, cell in equivalence.items():
+        if cell["signature"] != reference_signature:
+            raise RuntimeError(
+                f"equivalence cell {label!r} diverged from the serial "
+                "reference attack: signatures differ"
+            )
+
+    train, target, truth = synthetic_linkage_corpus(int(n_users), seed=seed)
+    scale: dict[str, Any] | None = None
+    for _ in range(reps):
+        cell = _attack_cell(
+            train,
+            target,
+            truth,
+            "serial",
+            chunk_mb=chunk_mb,
+            max_workers=max_workers,
+        )
+        if scale is None or cell["wall_s"] < scale["wall_s"]:
+            scale = cell
+    return {
+        "schema": _ATTACK_SCHEMA,
+        "workload": {
+            "driver": "linkage",
+            "n_users": int(n_users),
+            "equivalence_users": int(equivalence_users),
+            "radius_m": float(SYNTH_ATTACK_PARAMS.radius_m),
+            "min_pts": int(SYNTH_ATTACK_PARAMS.min_pts),
+            "chunk_mb": int(chunk_mb),
+            "cluster_workers": 4,
+            "seed": int(seed),
+            "budget_mb": float(budget_mb),
+            "chaos_seed": int(chaos_seed),
+        },
+        "cpu_count": os.cpu_count(),
+        "max_workers": max_workers,
+        "reps": int(reps),
+        "backends": list(backends),
+        "reference_signature": reference_signature,
+        "equivalence": equivalence,
+        "scale": scale,
+    }
+
+
+def check_attack_result(
+    doc: Mapping[str, Any], min_success: float = 0.9, min_blocking_ratio: float = 100.0
+) -> list[str]:
+    """Intrinsic gates on one attack document (no baseline needed).
+
+    * every equivalence cell (backends, memory budget, chaos) reproduced
+      the serial reference signature byte for byte;
+    * every non-chaos cell's persistent-index audit proved the candidate
+      blocking lossless (``pairs_scored == pairs_exact``);
+    * the scale attack actually de-anonymizes: success rate at least
+      ``min_success`` with at least one link;
+    * the blocking actually blocks: the scale cell scored at least
+      ``min_blocking_ratio`` x fewer pairs than the serial cross
+      product.
+    """
+    problems: list[str] = []
+    reference = doc.get("reference_signature")
+    equivalence = doc.get("equivalence", {})
+    if not equivalence:
+        problems.append("no equivalence cells in document")
+    for label, cell in equivalence.items():
+        if cell.get("signature") != reference:
+            problems.append(
+                f"equivalence/{label}: signature differs from the serial reference"
+            )
+        if label != "serial+chaos" and cell.get("blocking_exact") is not True:
+            problems.append(
+                f"equivalence/{label}: blocking audit not exact "
+                f"(pairs_scored={cell.get('pairs_scored')}, "
+                f"pairs_exact={cell.get('pairs_exact')})"
+            )
+    scale = doc.get("scale") or {}
+    if not scale:
+        problems.append("no scale cell in document")
+        return problems
+    if scale.get("blocking_exact") is not True:
+        problems.append(
+            f"scale: blocking audit not exact (pairs_scored="
+            f"{scale.get('pairs_scored')}, pairs_exact={scale.get('pairs_exact')})"
+        )
+    if scale.get("linked", 0) <= 0:
+        problems.append("scale: attack linked nothing")
+    if float(scale.get("success_rate", 0.0)) < min_success:
+        problems.append(
+            f"scale: success rate {scale.get('success_rate')} is below "
+            f"the {min_success:g} floor"
+        )
+    scored = int(scale.get("pairs_scored", 0))
+    cross = int(scale.get("cross_product", 0))
+    if scored <= 0 or scored * min_blocking_ratio > cross:
+        problems.append(
+            f"scale: blocking scored {scored:,} of {cross:,} pairs — "
+            f"less than {min_blocking_ratio:g}x reduction"
+        )
+    return problems
+
+
+def check_attack_against_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+) -> list[str]:
+    """Drift of the deterministic attack sections versus a baseline.
+
+    Signatures, counters, success rates and simulated seconds are pure
+    functions of the workload parameters (the chaos cell's additionally
+    of the fixed schedule seed) and must match exactly; wall-clock
+    columns are host-dependent and ignored.
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems
+    if baseline.get("workload") != current.get("workload"):
+        problems.append("workload mismatch: run with the baseline's parameters")
+        return problems
+    if current.get("reference_signature") != baseline.get("reference_signature"):
+        problems.append(
+            f"reference signature drifted: {current.get('reference_signature')!r} "
+            f"vs baseline {baseline.get('reference_signature')!r}"
+        )
+    deterministic = (
+        "signature",
+        "sim_seconds",
+        "success_rate",
+        "linked",
+        "n_targets",
+        "pairs_scored",
+        "pairs_exact",
+        "cross_product",
+        "blocking_exact",
+    )
+    cur_cells = dict(current.get("equivalence", {}))
+    base_cells = dict(baseline.get("equivalence", {}))
+    if current.get("scale"):
+        cur_cells["scale"] = current["scale"]
+    if baseline.get("scale"):
+        base_cells["scale"] = baseline["scale"]
+    for label in sorted(set(cur_cells) & set(base_cells)):
+        now, then = cur_cells[label], base_cells[label]
+        for key in deterministic:
+            if now.get(key) != then.get(key):
+                problems.append(
+                    f"{label}: {key} {now.get(key)!r} vs baseline {then.get(key)!r}"
+                )
+    if not set(cur_cells) & set(base_cells):
+        problems.append("no overlapping cells between run and baseline")
+    if problems:
+        problems.insert(
+            0,
+            f"provenance: baseline recorded on cpu_count="
+            f"{baseline.get('cpu_count')}, this run on cpu_count="
+            f"{current.get('cpu_count')} (deterministic sections compared "
+            "exactly; wall-clock ignored)",
+        )
+    return problems
+
+
+def render_attack_result(doc: Mapping[str, Any]) -> str:
+    """Terminal table for one attack benchmark document."""
+    w = doc["workload"]
+    lines = [
+        f"linkage attack ({w['n_users']:,} users vs {w['n_users']:,} pseudonyms; "
+        f"equivalence on {w['equivalence_users']} users; "
+        f"cpu_count={doc['cpu_count']}, best of {doc['reps']})",
+        "",
+        f"{'cell':>14}  {'success':>8}  {'linked':>7}  {'pairs':>10}  "
+        f"{'exact':>5}  {'sim':>9}  {'wall':>8}",
+    ]
+    cells = dict(doc.get("equivalence", {}))
+    if doc.get("scale"):
+        cells["scale"] = doc["scale"]
+    for label, cell in cells.items():
+        exact = {True: "yes", False: "NO", None: "-"}[cell.get("blocking_exact")]
+        lines.append(
+            f"{label:>14}  {cell['success_rate']:>8.2%}  {cell['linked']:>7,}  "
+            f"{cell['pairs_scored']:>10,}  {exact:>5}  "
+            f"{cell['sim_seconds']:>8.1f}s  {cell['wall_s']:>7.2f}s"
+        )
+    scale = doc.get("scale") or {}
+    if scale:
+        lines += [
+            "",
+            f"blocking: {scale['pairs_scored']:,} pairs scored of "
+            f"{scale['cross_product']:,} serial cross product "
+            f"({scale['cross_product'] / max(scale['pairs_scored'], 1):,.0f}x fewer)",
+            f"all {len(doc.get('equivalence', {}))} equivalence cells match the "
+            f"serial reference signature {doc['reference_signature'][:16]}…",
+        ]
     return "\n".join(lines)

@@ -148,6 +148,31 @@ def _drive_mmc(runner, context) -> str:
     return _digest(*blobs)
 
 
+def _drive_linkage(runner, context) -> str:
+    from repro.attacks.linkage_mr import run_linkage_attack, split_linkage_corpus
+    from repro.algorithms.djcluster import DJClusterParams
+
+    prefix = context.get("prefix", "")
+    training, target, truth = split_linkage_corpus(
+        runner.hdfs.read_trace_array(INPUT_PATH)
+    )
+    train_path = f"{prefix}tmp/chaos-linkage/train"
+    target_path = f"{prefix}tmp/chaos-linkage/target"
+    runner.hdfs.delete(train_path, missing_ok=True)
+    runner.hdfs.delete(target_path, missing_ok=True)
+    runner.hdfs.put_trace_array(train_path, training, record_bytes=64)
+    runner.hdfs.put_trace_array(target_path, target, record_bytes=64)
+    outcome = run_linkage_attack(
+        runner,
+        train_path,
+        target_path,
+        truth,
+        params=DJClusterParams(radius_m=150.0, min_pts=3),
+        workdir=f"{prefix}tmp/chaos-linkage/work",
+    )
+    return outcome.signature()
+
+
 DRIVERS: dict[str, ChaosDriver] = {
     "sampling": ChaosDriver("sampling", "map-only temporal sampling", _drive_sampling),
     "kmeans": ChaosDriver("kmeans", "iterative k-means clustering", _drive_kmeans),
@@ -155,6 +180,9 @@ DRIVERS: dict[str, ChaosDriver] = {
         "djcluster", "DJ-Cluster preprocessing pipeline", _drive_djcluster
     ),
     "mmc": ChaosDriver("mmc", "Mobility Markov Chain learning", _drive_mmc),
+    "linkage": ChaosDriver(
+        "linkage", "MapReduce fingerprint linkage attack", _drive_linkage
+    ),
 }
 
 
@@ -590,7 +618,7 @@ def run_multitenant_check(
 
 
 def run_chaos_selfcheck(verbose: bool = True) -> int:
-    """CI smoke: all four drivers survive a fault-heavy seeded schedule.
+    """CI smoke: all five drivers survive a fault-heavy seeded schedule.
 
     Returns 0 when every driver's output is equivalent under failure and
     the chaos runs are bit-reproducible, 1 otherwise — mirroring

@@ -27,6 +27,8 @@ from repro.sanitization.mixzones import MixZone
 __all__ = [
     "poi_recovery",
     "PoiRecoveryReport",
+    "division_warnings",
+    "reset_division_warnings",
     "anonymity_set_sizes",
     "mixzone_anonymity_sets",
     "home_work_anonymity",
@@ -37,6 +39,34 @@ __all__ = [
 ]
 
 _M_PER_DEG_LAT = KM_PER_DEG_LAT * 1000.0
+
+# Count of ratio computations whose denominator was empty (e.g. POI
+# recovery scored with no extracted or no true POIs).  Such ratios come
+# back 0.0 instead of raising — the same convention as
+# ``DeanonymizationResult.success_rate`` — but the degenerate input is
+# worth surfacing, so callers (and the bench gates) can check this
+# counter after a run.
+_division_warnings = 0
+
+
+def division_warnings() -> int:
+    """Number of guarded zero-denominator ratios since the last reset."""
+    return _division_warnings
+
+
+def reset_division_warnings() -> None:
+    """Reset the zero-denominator warning counter (test/bench hygiene)."""
+    global _division_warnings
+    _division_warnings = 0
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, or 0.0 (counted) on an empty denominator."""
+    global _division_warnings
+    if not denominator:
+        _division_warnings += 1
+        return 0.0
+    return numerator / denominator
 
 
 @dataclass
@@ -68,7 +98,14 @@ def poi_recovery(
     recovery after sanitization means the mechanism bought privacy.
     """
     if not extracted or not ground_truth:
-        return PoiRecoveryReport(len(ground_truth), len(extracted), 0, 0.0, 0.0, float("nan"))
+        return PoiRecoveryReport(
+            n_true=len(ground_truth),
+            n_extracted=len(extracted),
+            n_matched=0,
+            precision=_safe_ratio(0, len(extracted)),
+            recall=_safe_ratio(0, len(ground_truth)),
+            mean_match_error_m=float("nan"),
+        )
     ex = np.array([p.coordinate for p in extracted])
     gt = np.array([(p.latitude, p.longitude) for p in ground_truth])
     d = np.atleast_2d(
@@ -91,8 +128,8 @@ def poi_recovery(
         n_true=len(ground_truth),
         n_extracted=len(extracted),
         n_matched=n_matched,
-        precision=n_matched / len(extracted),
-        recall=n_matched / len(ground_truth),
+        precision=_safe_ratio(n_matched, len(extracted)),
+        recall=_safe_ratio(n_matched, len(ground_truth)),
         mean_match_error_m=float(np.mean(matched_errors)) if matched_errors else float("nan"),
     )
 

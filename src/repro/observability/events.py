@@ -155,6 +155,18 @@ class EventKind:
     #: task, only when the runner's ``reduce_locality`` knob is on and
     #: the shuffle recorded per-node byte provenance.
     REDUCE_PLACEMENT = "reduce_placement"
+    #: A linkage attack finished; data: driver, n_train_fingerprints,
+    #: n_target_fingerprints, linked, success_rate, pairs_scored,
+    #: pairs_exact (present only when the persistent-index audit ran),
+    #: cross_product, signature.  Emitted once per
+    #: ``run_linkage_attack`` call, job-scoped like driver_annotation.
+    ATTACK_RESULT = "attack_result"
+    #: One (sanitizer × attack) cell of a privacy-vs-utility sweep
+    #: finished; data: mechanism, tenant, success_rate, linked,
+    #: n_targets, window_risk, distortion_m, volume_ratio, sim_seconds.
+    #: Emitted by ``repro.attacks.sweep`` into the shared service
+    #: history.
+    SWEEP_CELL = "sweep_cell"
 
     @classmethod
     def all(cls) -> tuple[str, ...]:

@@ -95,6 +95,94 @@ class TestAttack:
         assert result.success_rate == 0.0
 
 
+def _renamed_trail(array: TraceArray, user: str) -> Trail:
+    return Trail(
+        user,
+        TraceArray.from_columns(
+            [user],
+            array.latitude.copy(),
+            array.longitude.copy(),
+            array.timestamp.copy(),
+        ),
+    )
+
+
+class TestTieBreakAndEvidence:
+    """Regression tests for the deterministic tie-break and the
+    no-spatial-evidence semantics (both fixed together: ties now break
+    by (score, user_id), and penalty-only scores no longer count as
+    linkage evidence)."""
+
+    @pytest.fixture(scope="class")
+    def one_user_corpus(self):
+        from repro.attacks.linkage_mr import synthetic_linkage_corpus
+
+        train, target, _truth = synthetic_linkage_corpus(1, seed=3)
+        return train, target
+
+    def test_equidistant_tie_goes_to_smaller_user_id(self, one_user_corpus):
+        from repro.attacks.linkage_mr import SYNTH_ATTACK_PARAMS
+
+        train, target = one_user_corpus
+        tgt = GeolocatedDataset()
+        tgt.add_trail(_renamed_trail(target, "anon-x"))
+        truth = {"anon-x": "alice"}
+        # Two training identities with byte-identical trails are exactly
+        # equidistant from the target; the winner must be the
+        # lexicographically smaller id whatever the insertion order.
+        for order in (("alice", "bob"), ("bob", "alice")):
+            training = GeolocatedDataset()
+            for user in order:
+                training.add_trail(_renamed_trail(train, user))
+            result = deanonymization_attack(
+                training, tgt, truth, SYNTH_ATTACK_PARAMS
+            )
+            assert result.linkage["anon-x"] == "alice"
+            assert "anon-x" in result.scores
+
+    def test_no_spatial_evidence_means_unlinked(self, one_user_corpus):
+        from repro.attacks.linkage_mr import SYNTH_ATTACK_PARAMS
+
+        train, target = one_user_corpus
+        # The only training user lives thousands of km away: every POI
+        # pair is beyond max_match_dist_m, so the old penalty-only score
+        # would have "linked" it; now there is no evidence at all.
+        far = TraceArray.from_columns(
+            ["far"],
+            train.latitude - 20.0,
+            train.longitude + 40.0,
+            train.timestamp.copy(),
+        )
+        training = GeolocatedDataset()
+        training.add_trail(Trail("far", far))
+        tgt = GeolocatedDataset()
+        tgt.add_trail(_renamed_trail(target, "anon-x"))
+        result = deanonymization_attack(
+            training, tgt, {"anon-x": "far"}, SYNTH_ATTACK_PARAMS
+        )
+        assert result.linkage["anon-x"] is None
+        assert "anon-x" not in result.scores
+
+    def test_params_default_is_not_shared_mutable(self):
+        import inspect
+
+        from repro.algorithms.djcluster import (
+            djcluster_sequential,
+            run_djcluster_mapreduce,
+        )
+        from repro.attacks.poi import poi_attack
+
+        for fn in (
+            fingerprint_user,
+            deanonymization_attack,
+            poi_attack,
+            djcluster_sequential,
+            run_djcluster_mapreduce,
+        ):
+            default = inspect.signature(fn).parameters["params"].default
+            assert default is None, f"{fn.__name__} shares a mutable default"
+
+
 class TestResultArithmetic:
     def test_success_rate(self):
         r = DeanonymizationResult(

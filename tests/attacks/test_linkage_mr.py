@@ -1,0 +1,271 @@
+"""Tests for the MapReduce linkage attack (repro.attacks.linkage_mr)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.linkage_mr import (
+    SYNTH_ATTACK_PARAMS,
+    blocking_cell,
+    cover_cells,
+    deanonymization_attack_reference,
+    linkage_signature,
+    run_linkage_attack,
+    split_linkage_corpus,
+    synthetic_linkage_corpus,
+)
+from repro.geo.distance import haversine_m
+from repro.geo.trace import TraceArray
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.config import BACKENDS
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.runner import JobRunner
+from repro.observability.events import EventKind
+
+D = 500.0
+
+
+def _deployment(train, target, *, chunk_size=16 * 1024, budget_mb=None, executor="serial"):
+    hdfs = SimulatedHDFS(
+        paper_cluster(3), chunk_size=chunk_size, seed=0, memory_budget_mb=budget_mb
+    )
+    hdfs.put_trace_array("input/train", train, record_bytes=64)
+    hdfs.put_trace_array("input/target", target, record_bytes=64)
+    return JobRunner(hdfs, executor=executor, memory_budget_mb=budget_mb)
+
+
+class TestBlockingGeometry:
+    def test_cell_is_deterministic_int_pair(self):
+        cell = blocking_cell(48.85, 2.35, D)
+        assert isinstance(cell, tuple) and len(cell) == 2
+        assert all(isinstance(c, int) for c in cell)
+        assert cell == blocking_cell(48.85, 2.35, D)
+
+    def test_cover_contains_own_cell(self):
+        for lat, lon in [(0.0, 0.0), (48.85, 2.35), (-33.9, 151.2), (64.1, -21.9)]:
+            assert blocking_cell(lat, lon, D) in cover_cells(lat, lon, D)
+
+    def test_cover_never_drops_a_nearby_point(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            lat = float(rng.uniform(-84.0, 84.0))
+            lon = float(rng.uniform(-180.0, 180.0))
+            # A point on the edge of the match radius, any bearing.
+            bearing = float(rng.uniform(0, 2 * math.pi))
+            frac = float(rng.uniform(0.0, 1.0))
+            dlat = math.degrees(frac * D * math.cos(bearing) / 6_371_008.8)
+            dlon = math.degrees(
+                frac * D * math.sin(bearing)
+                / (6_371_008.8 * max(math.cos(math.radians(lat)), 1e-9))
+            )
+            plat, plon = lat + dlat, lon + dlon
+            if plon > 180.0:
+                plon -= 360.0
+            if plon < -180.0:
+                plon += 360.0
+            if haversine_m(lat, lon, plat, plon) > D:
+                continue
+            assert blocking_cell(plat, plon, D) in cover_cells(lat, lon, D)
+
+    def test_polar_caps_collapse_to_one_cell(self):
+        assert blocking_cell(89.0, 10.0, D) == blocking_cell(86.0, -170.0, D)
+        assert blocking_cell(-89.0, 10.0, D) != blocking_cell(89.0, 10.0, D)
+
+    def test_antimeridian_cover_wraps(self):
+        cover = cover_cells(10.0, 179.999, D)
+        assert blocking_cell(10.0, -179.999, D) in cover
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return synthetic_linkage_corpus(10, seed=21)
+
+    @pytest.fixture(scope="class")
+    def reference(self, corpus):
+        train, target, truth = corpus
+        return deanonymization_attack_reference(
+            train, target, truth, params=SYNTH_ATTACK_PARAMS
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mr_equals_serial_on_every_backend(self, corpus, reference, backend):
+        train, target, truth = corpus
+        runner = _deployment(train, target, executor=backend)
+        try:
+            outcome = run_linkage_attack(
+                runner,
+                "input/train",
+                "input/target",
+                truth,
+                params=SYNTH_ATTACK_PARAMS,
+            )
+        finally:
+            runner.close()
+        assert outcome.signature() == linkage_signature(reference)
+        assert outcome.result.linkage == reference.linkage
+        assert outcome.result.scores == reference.scores
+
+    def test_mr_equals_serial_under_memory_budget(self, corpus, reference):
+        train, target, truth = corpus
+        runner = _deployment(train, target, budget_mb=4.0)
+        try:
+            outcome = run_linkage_attack(
+                runner,
+                "input/train",
+                "input/target",
+                truth,
+                params=SYNTH_ATTACK_PARAMS,
+            )
+        finally:
+            runner.close()
+        assert outcome.signature() == linkage_signature(reference)
+
+    def test_audit_proves_blocking_lossless(self, corpus):
+        train, target, truth = corpus
+        runner = _deployment(train, target)
+        try:
+            outcome = run_linkage_attack(
+                runner,
+                "input/train",
+                "input/target",
+                truth,
+                params=SYNTH_ATTACK_PARAMS,
+            )
+        finally:
+            runner.close()
+        assert outcome.pairs_exact is not None
+        assert outcome.blocking_exact is True
+        assert outcome.pairs_scored == outcome.pairs_exact
+        assert outcome.pairs_scored < outcome.cross_product
+
+    def test_attack_result_event_emitted(self, corpus):
+        train, target, truth = corpus
+        runner = _deployment(train, target)
+        try:
+            outcome = run_linkage_attack(
+                runner,
+                "input/train",
+                "input/target",
+                truth,
+                params=SYNTH_ATTACK_PARAMS,
+            )
+            events = [
+                e
+                for e in runner.history.events
+                if e.kind == EventKind.ATTACK_RESULT
+            ]
+        finally:
+            runner.close()
+        assert len(events) == 1
+        data = events[0].data
+        assert data["signature"] == outcome.signature()
+        assert data["pairs_scored"] == outcome.pairs_scored
+        assert data["cross_product"] == outcome.cross_product
+
+    def test_no_evidence_pair_is_never_shuffled(self):
+        # Two users half a planet apart share no blocking cell, so the
+        # linkage job scores zero pairs and links nothing.
+        train, target, truth = synthetic_linkage_corpus(
+            2, seed=4, region=((30.0, 31.0), (-100.0, -99.0))
+        )
+        far_target = TraceArray.from_columns(
+            list(target.user_ids()),
+            target.latitude - 20.0,
+            target.longitude + 90.0,
+            target.timestamp.copy(),
+        )
+        runner = _deployment(train, far_target)
+        try:
+            outcome = run_linkage_attack(
+                runner,
+                "input/train",
+                "input/target",
+                truth,
+                params=SYNTH_ATTACK_PARAMS,
+            )
+        finally:
+            runner.close()
+        assert outcome.pairs_scored == 0
+        assert all(v is None for v in outcome.result.linkage.values())
+
+
+class TestCorpusHelpers:
+    def test_split_is_disjoint_and_truthful(self):
+        train, _, truth = synthetic_linkage_corpus(5, seed=9)
+        tr, tgt, split_truth = split_linkage_corpus(train)
+        assert len(tr) + len(tgt) == len(train)
+        assert float(tr.timestamp.max()) < float(tgt.timestamp.min()) + 1e-9
+        for pseud, user in split_truth.items():
+            assert pseud == "anon-" + user
+
+    def test_synthetic_corpus_shapes(self):
+        train, target, truth = synthetic_linkage_corpus(7, seed=1)
+        assert len(set(train.user_ids().tolist())) == 7
+        assert len(truth) == 7
+        assert set(truth.values()) == set(train.user_ids().tolist())
+        # Target rows are strictly later than training rows.
+        assert float(target.timestamp.min()) > float(train.timestamp.max())
+
+    def test_empty_split(self):
+        empty = TraceArray.empty()
+        tr, tgt, truth = split_linkage_corpus(empty)
+        assert len(tr) == 0 and len(tgt) == 0 and truth == {}
+
+
+class TestSweep:
+    def test_frontier_smoke_and_roundtrip(self, tmp_path):
+        from repro.attacks.sweep import FrontierResult, run_sweep
+
+        train, target, truth = synthetic_linkage_corpus(6, seed=2)
+        frontier = run_sweep(
+            train,
+            target,
+            truth,
+            ["none", "gaussian:5000"],
+            params=SYNTH_ATTACK_PARAMS,
+        )
+        assert [c.mechanism for c in frontier.cells] == ["none", "gaussian:5000"]
+        origin, noisy = frontier.cells
+        # The pseudonymize-only origin is fully linkable; drowning the
+        # release in 5 km noise must hurt the attack.
+        assert origin.success_rate == 1.0
+        assert noisy.success_rate < origin.success_rate
+        assert noisy.distortion_m is not None and noisy.distortion_m > origin.distortion_m
+        assert "tenant" in frontier.service_report
+        path = frontier.save(tmp_path / "frontier.json")
+        import json
+
+        doc = json.loads(path.read_text())
+        restored = FrontierResult.from_doc(doc)
+        assert [c.to_doc() for c in restored.cells] == [
+            c.to_doc() for c in frontier.cells
+        ]
+
+    def test_colliding_slugs_rejected(self):
+        from repro.attacks.sweep import run_sweep
+
+        train, target, truth = synthetic_linkage_corpus(2, seed=2)
+        with pytest.raises(ValueError, match="collide"):
+            run_sweep(train, target, truth, ["gaussian:100", "gaussian 100"])
+
+    def test_sweep_cell_events_emitted(self, tmp_path):
+        from repro.attacks.sweep import run_sweep
+        from repro.observability.history import load_history
+
+        train, target, truth = synthetic_linkage_corpus(4, seed=6)
+        history_path = tmp_path / "sweep-history.jsonl"
+        run_sweep(
+            train,
+            target,
+            truth,
+            ["none"],
+            params=SYNTH_ATTACK_PARAMS,
+            history_path=str(history_path),
+        )
+        history = load_history(history_path)
+        cells = [e for e in history.events if e.kind == EventKind.SWEEP_CELL]
+        assert len(cells) == 1
+        assert cells[0].data["mechanism"] == "none"
+        assert cells[0].data["tenant"] == "none"

@@ -178,3 +178,49 @@ class TestPrivacyReport:
         assert row["poi_recall"] == 1.0
         assert row["deanonymization_rate"] == 0.25
         assert row["min_anonymity_set"] == 3.0
+
+
+class TestDivisionGuards:
+    """The precision/recall divisions are guarded: empty denominators
+    come back 0.0 and bump the module's warning counter instead of
+    raising ZeroDivisionError."""
+
+    def setup_method(self):
+        from repro.metrics.privacy import reset_division_warnings
+
+        reset_division_warnings()
+
+    def test_no_extracted_pois(self):
+        from repro.metrics.privacy import division_warnings
+
+        r = poi_recovery([], [_truth(39.9, 116.4)])
+        assert r.precision == 0.0 and r.recall == 0.0 and r.f1 == 0.0
+        assert division_warnings() == 1  # precision's denominator only
+
+    def test_no_true_pois(self):
+        from repro.metrics.privacy import division_warnings
+
+        r = poi_recovery([_estimate(39.9, 116.4)], [])
+        assert r.precision == 0.0 and r.recall == 0.0
+        assert division_warnings() == 1  # recall's denominator only
+
+    def test_both_empty(self):
+        from repro.metrics.privacy import division_warnings
+
+        r = poi_recovery([], [])
+        assert r.precision == 0.0 and r.recall == 0.0
+        assert division_warnings() == 2
+
+    def test_clean_inputs_do_not_warn(self):
+        from repro.metrics.privacy import division_warnings
+
+        poi_recovery([_estimate(39.9, 116.4)], [_truth(39.9, 116.4)])
+        assert division_warnings() == 0
+
+    def test_counter_resets(self):
+        from repro.metrics.privacy import division_warnings, reset_division_warnings
+
+        poi_recovery([], [])
+        assert division_warnings() > 0
+        reset_division_warnings()
+        assert division_warnings() == 0

@@ -9,7 +9,7 @@ from repro.observability.events import SCHEMA_VERSION, Event, EventKind, Phase
 class TestEventKind:
     def test_vocabulary_is_closed_and_unique(self):
         kinds = EventKind.all()
-        assert len(kinds) == len(set(kinds)) == 34
+        assert len(kinds) == len(set(kinds)) == 36
         assert "job_start" in kinds and "driver_annotation" in kinds
         assert "fault_injected" in kinds and "replica_healed" in kinds
         assert "spill_start" in kinds and "spill_merge" in kinds
@@ -19,6 +19,7 @@ class TestEventKind:
         assert "query_served" in kinds
         assert "window_open" in kinds and "watermark" in kinds
         assert "window_close" in kinds and "window_result" in kinds
+        assert "attack_result" in kinds and "sweep_cell" in kinds
 
     def test_phase_order(self):
         assert Phase.ORDER == (Phase.SETUP, Phase.MAP, Phase.REDUCE)

@@ -41,7 +41,7 @@ def test_history_selfcheck_smoke(capsys):
 
 
 def test_chaos_selfcheck_smoke(capsys):
-    """`python -m repro chaos --selfcheck`: all four drivers survive a
+    """`python -m repro chaos --selfcheck`: all five drivers survive a
     fault-heavy seeded schedule with byte-identical outputs."""
     assert main(["chaos", "--selfcheck"]) == 0
     assert "chaos selfcheck: ok" in capsys.readouterr().out
@@ -60,6 +60,14 @@ def test_stream_selfcheck_smoke(capsys):
     miniature corpus."""
     assert main(["stream", "--selfcheck"]) == 0
     assert "stream selfcheck: ok" in capsys.readouterr().out
+
+
+def test_attack_selfcheck_smoke(capsys):
+    """`python -m repro attack --linkage --selfcheck`: the MapReduce
+    linkage attack matches the serial reference byte for byte on every
+    backend, including a memory-budgeted deployment."""
+    assert main(["attack", "--linkage", "--selfcheck"]) == 0
+    assert "attack selfcheck: ok" in capsys.readouterr().out
 
 
 def test_cli_help_mentions_every_documented_subcommand():
